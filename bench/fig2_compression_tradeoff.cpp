@@ -1,0 +1,68 @@
+// Reproduces Figure 2: the trade-off between compression ratio and
+// compression speed, averaged over the 16 datasets, including the NeaTS
+// variants LeaTS (linear-only) and SNeaTS (model selection).
+//
+// Shapes to expect (paper): LzHuf-strong (Xz/Brotli role) at bottom-left
+// (best ratio, slow); Gorilla top-right (fast, poor ratio); ALP on the Pareto
+// front; NeaTS near the best ratios with modest speed; LeaTS ~5x and SNeaTS
+// ~13x faster than NeaTS at slightly worse ratios.
+
+#include <cstdio>
+#include <vector>
+
+#include "harness.hpp"
+
+using namespace neats;
+using namespace neats::bench;
+
+int main() {
+  auto roster = LosslessRoster();
+  // Add the two NeaTS variants of Sec. IV-C1.
+  roster.push_back({"LeaTS", false, [](const Dataset& ds) {
+    return std::unique_ptr<AnyCompressed>(new bench::internal::IntAdapter(
+        CompressLeaTS(ds.values)));
+  }});
+  roster.push_back({"SNeaTS", false, [](const Dataset& ds) {
+    return std::unique_ptr<AnyCompressed>(new bench::internal::IntAdapter(
+        CompressSNeaTS(ds.values)));
+  }});
+
+  std::vector<double> sum_ratio(roster.size(), 0), sum_time(roster.size(), 0);
+  double mb_total = 0;
+  for (size_t d = 0; d < kNumDatasets; ++d) {
+    Dataset ds = LoadDataset(kDatasetSpecs[d]);
+    mb_total += static_cast<double>(ds.values.size()) * 8.0 / 1048576.0;
+    for (size_t c = 0; c < roster.size(); ++c) {
+      Timer t;
+      auto blob = roster[c].compress(ds);
+      sum_time[c] += t.ElapsedSeconds();
+      sum_ratio[c] += RatioPct(blob->SizeInBits(), ds.values.size());
+    }
+  }
+
+  std::printf("== Figure 2 reproduction: ratio vs compression speed "
+              "(avg over 16 datasets) ==\n\n");
+  std::printf("%-14s %12s %18s\n", "Compressor", "ratio (%)",
+              "comp. speed (MB/s)");
+  for (size_t c = 0; c < roster.size(); ++c) {
+    std::printf("%-14s %12.2f %18.2f\n", roster[c].name.c_str(),
+                sum_ratio[c] / static_cast<double>(kNumDatasets),
+                mb_total / sum_time[c]);
+  }
+
+  size_t neats = 0, leats = 0, sneats = 0;
+  for (size_t c = 0; c < roster.size(); ++c) {
+    if (roster[c].name == "NeaTS") neats = c;
+    if (roster[c].name == "LeaTS") leats = c;
+    if (roster[c].name == "SNeaTS") sneats = c;
+  }
+  std::printf("\nLeaTS speedup over NeaTS: %.2fx (paper: 5.22x), "
+              "ratio penalty %.2f%% (paper: 0.89%%)\n",
+              sum_time[neats] / sum_time[leats],
+              100.0 * (sum_ratio[leats] - sum_ratio[neats]) / sum_ratio[neats]);
+  std::printf("SNeaTS speedup over NeaTS: %.2fx (paper: 12.86x), "
+              "ratio penalty %.2f%% (paper: 8.18%%)\n",
+              sum_time[neats] / sum_time[sneats],
+              100.0 * (sum_ratio[sneats] - sum_ratio[neats]) / sum_ratio[neats]);
+  return 0;
+}

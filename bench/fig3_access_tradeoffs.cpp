@@ -1,0 +1,51 @@
+// Reproduces Figure 3: compression ratio vs decompression speed (left) and
+// compression ratio vs random access speed (right), averaged over the 16
+// datasets.
+//
+// Shapes to expect (paper): NeaTS top-left in both panels (good ratio, fast
+// decompression, fast access); DAC fastest access but mediocre ratio; the
+// block-wise compressors 2-3 orders of magnitude slower in random access;
+// LzHuf-strong best-ratio anchor with the slowest access.
+
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "harness.hpp"
+
+using namespace neats;
+using namespace neats::bench;
+
+int main() {
+  auto roster = LosslessRoster();
+  std::vector<double> sum_ratio(roster.size(), 0), sum_dspeed(roster.size(), 0),
+      sum_raspeed(roster.size(), 0);
+
+  for (size_t d = 0; d < kNumDatasets; ++d) {
+    Dataset ds = LoadDataset(kDatasetSpecs[d]);
+    const double mb = static_cast<double>(ds.values.size()) * 8.0 / 1048576.0;
+    std::mt19937_64 rng(7);
+    std::vector<size_t> probes(1 << 14);
+    for (auto& p : probes) p = rng() % ds.values.size();
+    for (size_t c = 0; c < roster.size(); ++c) {
+      auto blob = roster[c].compress(ds);
+      sum_ratio[c] += RatioPct(blob->SizeInBits(), ds.values.size());
+      sum_dspeed[c] += OpsPerSecond(
+          [&](size_t) { return blob->DecompressAll(); }, 0.1, 64) * mb;
+      sum_raspeed[c] += OpsPerSecond(
+          [&](size_t i) { return blob->Access(probes[i & (probes.size() - 1)]); },
+          0.1) * 8.0 / 1048576.0;
+    }
+  }
+
+  const double nd = static_cast<double>(kNumDatasets);
+  std::printf("== Figure 3 reproduction: ratio vs decompression / random "
+              "access speed (avg over 16 datasets) ==\n\n");
+  std::printf("%-14s %12s %18s %22s\n", "Compressor", "ratio (%)",
+              "dec. speed (MB/s)", "rand. access (MB/s)");
+  for (size_t c = 0; c < roster.size(); ++c) {
+    std::printf("%-14s %12.2f %18.1f %22.3f\n", roster[c].name.c_str(),
+                sum_ratio[c] / nd, sum_dspeed[c] / nd, sum_raspeed[c] / nd);
+  }
+  return 0;
+}

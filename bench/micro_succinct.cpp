@@ -1,0 +1,151 @@
+// Microbenchmarks of the succinct substrate (google-benchmark): rank/select,
+// Elias-Fano access/rank, wavelet-tree access/rank, packed-array reads, and
+// the two hot NeaTS primitives (random access, fragment lookup).
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <vector>
+
+#include "core/neats.hpp"
+#include "datasets/generators.hpp"
+#include "succinct/bit_vector.hpp"
+#include "succinct/elias_fano.hpp"
+#include "succinct/packed_array.hpp"
+#include "succinct/wavelet_tree.hpp"
+
+namespace {
+
+using namespace neats;
+
+constexpr size_t kN = 1 << 20;
+
+RankSelect MakeRankSelect(double density) {
+  std::mt19937_64 rng(1);
+  BitVector bv(kN);
+  for (size_t i = 0; i < kN; ++i) {
+    if (rng() % 1000 < static_cast<uint64_t>(density * 1000)) bv.Set(i);
+  }
+  return RankSelect(std::move(bv));
+}
+
+void BM_Rank1(benchmark::State& state) {
+  RankSelect rs = MakeRankSelect(0.5);
+  std::mt19937_64 rng(2);
+  size_t i = 0;
+  std::vector<size_t> probes(4096);
+  for (auto& p : probes) p = rng() % kN;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.Rank1(probes[i++ & 4095]));
+  }
+}
+BENCHMARK(BM_Rank1);
+
+void BM_Select1(benchmark::State& state) {
+  RankSelect rs = MakeRankSelect(0.5);
+  std::mt19937_64 rng(3);
+  std::vector<uint64_t> probes(4096);
+  for (auto& p : probes) p = rng() % rs.ones();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.Select1(probes[i++ & 4095]));
+  }
+}
+BENCHMARK(BM_Select1);
+
+void BM_EliasFanoAccess(benchmark::State& state) {
+  std::mt19937_64 rng(4);
+  std::vector<uint64_t> values;
+  uint64_t cur = 0;
+  for (size_t i = 0; i < kN / 4; ++i) {
+    cur += rng() % 50;
+    values.push_back(cur);
+  }
+  EliasFano ef(values);
+  std::vector<size_t> probes(4096);
+  for (auto& p : probes) p = rng() % values.size();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ef.Access(probes[i++ & 4095]));
+  }
+}
+BENCHMARK(BM_EliasFanoAccess);
+
+void BM_EliasFanoRank(benchmark::State& state) {
+  std::mt19937_64 rng(5);
+  std::vector<uint64_t> values;
+  uint64_t cur = 0;
+  for (size_t i = 0; i < kN / 4; ++i) {
+    cur += rng() % 50;
+    values.push_back(cur);
+  }
+  EliasFano ef(values);
+  std::vector<uint64_t> probes(4096);
+  for (auto& p : probes) p = rng() % values.back();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ef.Rank(probes[i++ & 4095]));
+  }
+}
+BENCHMARK(BM_EliasFanoRank);
+
+void BM_WaveletTreeRank(benchmark::State& state) {
+  std::mt19937 rng(6);
+  std::vector<uint32_t> symbols(kN / 8);
+  for (auto& s : symbols) s = rng() % 4;
+  WaveletTree wt(symbols, 4);
+  size_t i = 0;
+  std::vector<size_t> probes(4096);
+  for (auto& p : probes) p = rng() % symbols.size();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wt.Rank(static_cast<uint32_t>(i & 3),
+                                     probes[i & 4095]));
+    ++i;
+  }
+}
+BENCHMARK(BM_WaveletTreeRank);
+
+void BM_PackedArrayRead(benchmark::State& state) {
+  std::mt19937_64 rng(7);
+  std::vector<uint64_t> values(kN / 4);
+  int width = static_cast<int>(state.range(0));
+  for (auto& v : values) v = rng() & LowMask(width);
+  PackedArray pa(values, width);
+  std::vector<size_t> probes(4096);
+  for (auto& p : probes) p = rng() % values.size();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pa[probes[i++ & 4095]]);
+  }
+}
+BENCHMARK(BM_PackedArrayRead)->Arg(7)->Arg(13)->Arg(40);
+
+void BM_NeatsRandomAccess(benchmark::State& state) {
+  Dataset ds = MakeDataset("US", 30000);
+  Neats blob = Neats::Compress(ds.values);
+  std::mt19937_64 rng(8);
+  std::vector<size_t> probes(4096);
+  for (auto& p : probes) p = rng() % ds.values.size();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(blob.Access(probes[i++ & 4095]));
+  }
+}
+BENCHMARK(BM_NeatsRandomAccess);
+
+void BM_NeatsDecompress(benchmark::State& state) {
+  Dataset ds = MakeDataset("US", 30000);
+  Neats blob = Neats::Compress(ds.values);
+  std::vector<int64_t> out;
+  for (auto _ : state) {
+    blob.Decompress(&out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(ds.values.size()) * 8);
+}
+BENCHMARK(BM_NeatsDecompress);
+
+}  // namespace
+
+BENCHMARK_MAIN();

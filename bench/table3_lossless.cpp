@@ -1,0 +1,103 @@
+// Reproduces Table III: compression ratio (top), decompression speed
+// (middle), and random access speed (bottom) of the general-purpose and
+// special-purpose lossless compressors on the 16 datasets.
+//
+// Shapes to expect (paper): NeaTS achieves the best special-purpose ratio on
+// most datasets and the best overall on several; its decompression is among
+// the fastest; its random access is orders of magnitude faster than the
+// block-wise compressors and second only to DAC; the XOR family collapses on
+// high-precision datasets (BT/BW).
+
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "harness.hpp"
+
+using namespace neats;
+using namespace neats::bench;
+
+int main() {
+  auto roster = LosslessRoster();
+  const size_t kCompressors = roster.size();
+
+  std::vector<std::vector<double>> ratio(kNumDatasets),
+      dspeed(kNumDatasets), raspeed(kNumDatasets);
+  std::vector<std::string> names;
+  for (const auto& c : roster) names.push_back(c.name);
+  std::vector<size_t> sizes(kNumDatasets);
+
+  for (size_t d = 0; d < kNumDatasets; ++d) {
+    const DatasetSpec& spec = kDatasetSpecs[d];
+    Dataset ds = LoadDataset(spec);
+    sizes[d] = ds.values.size();
+    const double mb =
+        static_cast<double>(ds.values.size()) * 8.0 / (1024.0 * 1024.0);
+    std::mt19937_64 rng(99);
+    std::vector<size_t> probes(1 << 14);
+    for (auto& p : probes) p = rng() % ds.values.size();
+
+    for (const auto& comp : roster) {
+      auto blob = comp.compress(ds);
+      ratio[d].push_back(RatioPct(blob->SizeInBits(), ds.values.size()));
+      double dec_per_s = OpsPerSecond(
+          [&](size_t) { return blob->DecompressAll(); }, 0.15, 64);
+      dspeed[d].push_back(dec_per_s * mb);
+      double acc_per_s = OpsPerSecond(
+          [&](size_t i) { return blob->Access(probes[i & (probes.size() - 1)]); },
+          0.15);
+      raspeed[d].push_back(acc_per_s * 8.0 / (1024.0 * 1024.0));
+    }
+  }
+
+  auto print_panel = [&](const char* title,
+                         const std::vector<std::vector<double>>& data,
+                         const char* fmt) {
+    std::printf("\n%s\n%.*s\n", title, 120, kRuler);
+    std::printf("%-5s %9s", "Data", "n");
+    for (const auto& name : names) std::printf(" %12s", name.c_str());
+    std::printf("\n");
+    for (size_t d = 0; d < kNumDatasets; ++d) {
+      std::printf("%-5s %9zu", kDatasetSpecs[d].code, sizes[d]);
+      for (size_t c = 0; c < kCompressors; ++c) {
+        std::printf(fmt, data[d][c]);
+      }
+      std::printf("\n");
+    }
+    // Column averages (used by Figures 2-3).
+    std::printf("%-5s %9s", "AVG", "");
+    for (size_t c = 0; c < kCompressors; ++c) {
+      double sum = 0;
+      for (size_t d = 0; d < kNumDatasets; ++d) sum += data[d][c];
+      std::printf(fmt, sum / static_cast<double>(kNumDatasets));
+    }
+    std::printf("\n");
+  };
+
+  std::printf("== Table III reproduction ==\n");
+  std::printf("(general purpose: LzHuf-strong ~ Xz/Brotli, LzHuf-fast ~ Zstd, "
+              "FastLz ~ Lz4/Snappy; see DESIGN.md)\n");
+  print_panel("Compression ratio (%)", ratio, " %12.2f");
+  print_panel("Decompression speed (MB/s)", dspeed, " %12.1f");
+  print_panel("Random access speed (MB/s)", raspeed, " %12.3f");
+
+  // Headline claims check.
+  size_t neats_idx = kCompressors - 1;
+  int best_special = 0, best_overall = 0;
+  for (size_t d = 0; d < kNumDatasets; ++d) {
+    bool special_best = true, overall_best = true;
+    for (size_t c = 0; c < kCompressors; ++c) {
+      if (c == neats_idx) continue;
+      if (ratio[d][c] < ratio[d][neats_idx]) {
+        overall_best = false;
+        if (!roster[c].general_purpose) special_best = false;
+      }
+    }
+    best_special += special_best;
+    best_overall += overall_best;
+  }
+  std::printf("\nNeaTS best special-purpose ratio on %d/16 datasets "
+              "(paper: 14/16); best overall on %d/16 (paper: 4/16)\n",
+              best_special, best_overall);
+  return 0;
+}

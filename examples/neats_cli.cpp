@@ -1,0 +1,161 @@
+// neats_cli — command-line front end for the NeaTS compressor.
+//
+//   neats_cli compress   <input.txt> <output.neats>   one decimal per line
+//   neats_cli decompress <input.neats> <output.txt>
+//   neats_cli access     <input.neats> <index> [count]
+//   neats_cli info       <input.neats>
+//
+// The text format is one decimal value per line; values are scaled to
+// integers by the detected fractional precision (stored in the container).
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "core/neats.hpp"
+#include "io/text_io.hpp"
+
+namespace {
+
+using neats::Neats;
+
+// Container: 8-byte digit count + the Neats blob.
+std::vector<uint8_t> Pack(const Neats& compressed, int digits) {
+  std::vector<uint8_t> blob;
+  compressed.Serialize(&blob);
+  std::vector<uint8_t> out;
+  out.reserve(blob.size() + 8);
+  for (int b = 0; b < 8; ++b) {
+    out.push_back(static_cast<uint8_t>(static_cast<uint64_t>(digits) >> (8 * b)));
+  }
+  out.insert(out.end(), blob.begin(), blob.end());
+  return out;
+}
+
+Neats Unpack(const std::vector<uint8_t>& bytes, int* digits) {
+  uint64_t d = 0;
+  for (int b = 0; b < 8; ++b) d |= static_cast<uint64_t>(bytes[b]) << (8 * b);
+  *digits = static_cast<int>(d);
+  return Neats::Deserialize(
+      std::span<const uint8_t>(bytes.data() + 8, bytes.size() - 8));
+}
+
+void PrintValue(int64_t scaled, int digits) {
+  if (digits == 0) {
+    std::printf("%" PRId64 "\n", scaled);
+    return;
+  }
+  int64_t scale = 1;
+  for (int i = 0; i < digits; ++i) scale *= 10;
+  int64_t whole = scaled / scale;
+  int64_t frac = scaled % scale;
+  if (scaled < 0 && whole == 0) {
+    std::printf("-%" PRId64 ".%0*" PRId64 "\n", whole, digits, -frac);
+  } else {
+    if (frac < 0) frac = -frac;
+    std::printf("%" PRId64 ".%0*" PRId64 "\n", whole, digits, frac);
+  }
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: neats_cli compress   <input.txt> <output.neats>\n"
+               "       neats_cli decompress <input.neats> <output.txt>\n"
+               "       neats_cli access     <input.neats> <index> [count]\n"
+               "       neats_cli info       <input.neats>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string cmd = argv[1];
+
+  if (cmd == "compress" && argc == 4) {
+    neats::ParsedSeries series = neats::LoadDecimalFile(argv[2]);
+    neats::Timer timer;
+    Neats compressed = Neats::Compress(series.values);
+    double secs = timer.ElapsedSeconds();
+    std::vector<uint8_t> packed = Pack(compressed, series.digits);
+    neats::WriteFile(argv[3], packed);
+    std::printf("%zu values -> %zu bytes (%.2f%% of raw, %zu fragments) "
+                "in %.2f s\n",
+                series.values.size(), packed.size(),
+                100.0 * static_cast<double>(packed.size()) /
+                    (8.0 * static_cast<double>(series.values.size())),
+                compressed.num_fragments(), secs);
+    return 0;
+  }
+
+  if (cmd == "decompress" && argc == 4) {
+    int digits = 0;
+    Neats compressed = Unpack(neats::ReadFile(argv[2]), &digits);
+    std::vector<int64_t> values;
+    compressed.Decompress(&values);
+    std::FILE* out = std::fopen(argv[3], "w");
+    if (out == nullptr) return Usage();
+    int64_t scale = 1;
+    for (int i = 0; i < digits; ++i) scale *= 10;
+    for (int64_t v : values) {
+      if (digits == 0) {
+        std::fprintf(out, "%" PRId64 "\n", v);
+      } else {
+        int64_t frac = v % scale;
+        std::fprintf(out, "%s%" PRId64 ".%0*" PRId64 "\n",
+                     (v < 0 && v / scale == 0) ? "-" : "", v / scale, digits,
+                     frac < 0 ? -frac : frac);
+      }
+    }
+    std::fclose(out);
+    std::printf("wrote %zu values\n", values.size());
+    return 0;
+  }
+
+  if (cmd == "access" && (argc == 4 || argc == 5)) {
+    int digits = 0;
+    Neats compressed = Unpack(neats::ReadFile(argv[2]), &digits);
+    uint64_t index = std::strtoull(argv[3], nullptr, 10);
+    uint64_t count = argc == 5 ? std::strtoull(argv[4], nullptr, 10) : 1;
+    if (index + count > compressed.size()) {
+      std::fprintf(stderr, "index out of range (n=%" PRIu64 ")\n",
+                   compressed.size());
+      return 1;
+    }
+    std::vector<int64_t> values(count);
+    compressed.DecompressRange(index, count, values.data());
+    for (int64_t v : values) PrintValue(v, digits);
+    return 0;
+  }
+
+  if (cmd == "info" && argc == 3) {
+    int digits = 0;
+    Neats compressed = Unpack(neats::ReadFile(argv[2]), &digits);
+    std::printf("values:      %" PRIu64 "\n", compressed.size());
+    std::printf("fragments:   %zu\n", compressed.num_fragments());
+    std::printf("digits:      %d\n", digits);
+    std::printf("size:        %zu bits (%.2f%% of raw)\n",
+                compressed.SizeInBits(),
+                100.0 * static_cast<double>(compressed.SizeInBits()) /
+                    (64.0 * static_cast<double>(compressed.size())));
+    std::printf("kind histogram:\n");
+    size_t counts[neats::kNumFunctionKinds] = {};
+    for (size_t i = 0; i < compressed.num_fragments(); ++i) {
+      ++counts[static_cast<int>(compressed.GetFragment(i).kind)];
+    }
+    for (int k = 0; k < neats::kNumFunctionKinds; ++k) {
+      if (counts[k] > 0) {
+        std::printf("  %-14s %zu\n",
+                    std::string(
+                        neats::KindName(static_cast<neats::FunctionKind>(k)))
+                        .c_str(),
+                    counts[k]);
+      }
+    }
+    return 0;
+  }
+  return Usage();
+}

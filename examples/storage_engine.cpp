@@ -1,0 +1,115 @@
+// A miniature time-series storage engine demonstrating the deployment
+// pattern suggested in Sec. IV-C1: ingest with a fast lightweight compressor
+// (Gorilla), then recompress sealed segments with NeaTS in the background
+// for long-term storage and efficient queries.
+//
+//   $ ./build/examples/storage_engine
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "baselines/blockwise.hpp"
+#include "baselines/gorilla.hpp"
+#include "common/timer.hpp"
+#include "core/neats.hpp"
+#include "datasets/generators.hpp"
+
+namespace {
+
+// One sealed segment of the store: hot (Gorilla) or cold (NeaTS).
+class Segment {
+ public:
+  static Segment Ingest(std::vector<double> doubles,
+                        std::vector<int64_t> ints) {
+    Segment seg;
+    seg.ints_ = std::move(ints);
+    seg.hot_ = neats::Blockwise<neats::Gorilla>::Compress(doubles);
+    seg.is_hot_ = true;
+    return seg;
+  }
+
+  // Background compaction: replace the Gorilla blob with NeaTS.
+  void Compact() {
+    cold_ = neats::Neats::Compress(ints_);
+    is_hot_ = false;
+    ints_.clear();
+    ints_.shrink_to_fit();
+  }
+
+  size_t SizeInBits() const {
+    return is_hot_ ? hot_.SizeInBits() + ints_.size() * 64  // raw staging copy
+                   : cold_.SizeInBits();
+  }
+
+  int64_t Access(size_t i, int digits) const {
+    if (is_hot_) {
+      double scale = 1;
+      for (int d = 0; d < digits; ++d) scale *= 10;
+      return static_cast<int64_t>(std::llround(hot_.Access(i) * scale));
+    }
+    return cold_.Access(i);
+  }
+
+  bool is_hot() const { return is_hot_; }
+
+ private:
+  bool is_hot_ = true;
+  neats::Blockwise<neats::Gorilla> hot_;
+  neats::Neats cold_;
+  std::vector<int64_t> ints_;  // staged for compaction
+};
+
+}  // namespace
+
+int main() {
+  const size_t kSegmentLen = 50000;
+  const size_t kSegments = 6;
+  neats::Dataset ds = neats::MakeDataset("AP", kSegmentLen * kSegments);
+
+  // --- Ingestion phase: fast appends, Gorilla-compressed segments. ---
+  std::vector<Segment> store;
+  neats::Timer timer;
+  for (size_t s = 0; s < kSegments; ++s) {
+    std::vector<double> dbl(ds.doubles.begin() + s * kSegmentLen,
+                            ds.doubles.begin() + (s + 1) * kSegmentLen);
+    std::vector<int64_t> ints(ds.values.begin() + s * kSegmentLen,
+                              ds.values.begin() + (s + 1) * kSegmentLen);
+    store.push_back(Segment::Ingest(std::move(dbl), std::move(ints)));
+  }
+  std::printf("ingested %zu segments (%zu points) in %.3f s with Gorilla\n",
+              kSegments, ds.values.size(), timer.ElapsedSeconds());
+
+  auto total_bits = [&] {
+    size_t bits = 0;
+    for (const auto& seg : store) bits += seg.SizeInBits();
+    return bits;
+  };
+  std::printf("hot store size: %.2f%% of raw (incl. staging copies)\n",
+              100.0 * static_cast<double>(total_bits()) /
+                  (64.0 * static_cast<double>(ds.values.size())));
+
+  // --- Background compaction: all but the newest segment go cold. ---
+  timer.Reset();
+  for (size_t s = 0; s + 1 < store.size(); ++s) store[s].Compact();
+  std::printf("\ncompacted %zu segments to NeaTS in %.2f s\n", kSegments - 1,
+              timer.ElapsedSeconds());
+  std::printf("store size after compaction: %.2f%% of raw\n",
+              100.0 * static_cast<double>(total_bits()) /
+                  (64.0 * static_cast<double>(ds.values.size())));
+
+  // --- Queries hit hot and cold segments transparently. ---
+  bool ok = true;
+  for (size_t probe : {size_t{123}, kSegmentLen * 2 + 17,
+                       kSegmentLen * kSegments - 5}) {
+    size_t seg = probe / kSegmentLen;
+    int64_t got = store[seg].Access(probe % kSegmentLen,
+                                    ds.fractional_digits);
+    ok &= got == ds.values[probe];
+    std::printf("point query T[%zu] -> %lld (%s segment) %s\n", probe,
+                static_cast<long long>(got),
+                store[seg].is_hot() ? "hot" : "cold",
+                got == ds.values[probe] ? "ok" : "MISMATCH");
+  }
+  return ok ? 0 : 1;
+}

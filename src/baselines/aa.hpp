@@ -1,0 +1,199 @@
+// Adaptive Approximation (AA) — the lossy baseline of Sec. IV-B, after
+// Xu et al. (EDBT 2012) and Qi et al. (WWW Journal 2015).
+//
+// AA segments the series online with a *heuristic*: every candidate function
+// is forced through the first data point of the current segment, which
+// leaves a single free parameter whose feasible set is an interval that
+// shrinks as points arrive (O(1) work per point, but fewer covered points
+// than the optimal polygon method — exactly the sub-optimality the paper
+// measures). Candidate families, as in the original papers: linear,
+// quadratic, and exponential through the first point:
+//
+//   linear       f(x) = y_i + theta * (x - x_i)
+//   quadratic    f(x) = y_i + theta * (x - x_i)^2
+//   exponential  f(x) = y_i * theta^(x - x_i)      (y_i > 0)
+//
+// When every family's interval empties, the segment is closed with the
+// family that extended furthest and a new segment starts there.
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace neats {
+
+/// One AA segment: family, anchor point, single parameter.
+struct AaSegment {
+  enum Family : uint8_t { kLinear = 0, kQuadratic = 1, kExponential = 2 };
+  uint64_t start = 0;
+  uint64_t end = 0;
+  Family family = kLinear;
+  double y0 = 0;     // anchor value (the segment interpolates it)
+  double theta = 0;  // the single fitted parameter
+
+  double Predict(uint64_t k) const {
+    double dx = static_cast<double>(k - start);
+    switch (family) {
+      case kLinear: return y0 + theta * dx;
+      case kQuadratic: return y0 + theta * dx * dx;
+      case kExponential: return y0 * std::pow(theta, dx);
+    }
+    return y0;
+  }
+};
+
+/// Lossy piecewise representation produced by the AA heuristic.
+class AdaptiveApproximation {
+ public:
+  AdaptiveApproximation() = default;
+
+  static AdaptiveApproximation Compress(std::span<const int64_t> values,
+                                        int64_t eps) {
+    AdaptiveApproximation out;
+    out.n_ = values.size();
+    out.eps_ = eps;
+    uint64_t start = 0;
+    while (start < values.size()) {
+      AaSegment seg = GrowSegment(values, start, eps);
+      out.segments_.push_back(seg);
+      start = seg.end;
+    }
+    return out;
+  }
+
+  uint64_t size() const { return n_; }
+  size_t num_segments() const { return segments_.size(); }
+
+  int64_t Access(uint64_t k) const {
+    size_t lo = 0, hi = segments_.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi + 1) / 2;
+      if (segments_[mid].start <= k) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    return static_cast<int64_t>(std::floor(segments_[lo].Predict(k)));
+  }
+
+  void Decompress(std::vector<int64_t>* out) const {
+    out->resize(n_);
+    for (const AaSegment& seg : segments_) {
+      for (uint64_t k = seg.start; k < seg.end; ++k) {
+        (*out)[k] = static_cast<int64_t>(std::floor(seg.Predict(k)));
+      }
+    }
+  }
+
+  /// Storage: per segment a start (64), family tag (8), anchor (64) and one
+  /// parameter (64) — mirroring the paper's AA C++ implementation.
+  size_t SizeInBits() const { return 2 * 64 + segments_.size() * (64 + 8 + 64 + 64); }
+
+  const std::vector<AaSegment>& segments() const { return segments_; }
+
+ private:
+  struct Interval {
+    double lo = -std::numeric_limits<double>::infinity();
+    double hi = std::numeric_limits<double>::infinity();
+    bool empty = false;
+
+    void Intersect(double a, double b) {
+      lo = std::max(lo, a);
+      hi = std::min(hi, b);
+      if (lo > hi) empty = true;
+    }
+    double Mid() const {
+      if (std::isinf(lo) && std::isinf(hi)) return 0;
+      if (std::isinf(lo)) return hi;
+      if (std::isinf(hi)) return lo;
+      return (lo + hi) / 2;
+    }
+  };
+
+  static AaSegment GrowSegment(std::span<const int64_t> values, uint64_t start,
+                               int64_t eps) {
+    const double y0 = static_cast<double>(values[start]);
+    const double e = static_cast<double>(eps);
+
+    Interval lin, quad, exp;
+    bool exp_ok = y0 > 0;
+    uint64_t lin_end = start + 1, quad_end = start + 1, exp_end = start + 1;
+    double lin_theta = 0, quad_theta = 0, exp_theta = 1;
+    bool lin_alive = true, quad_alive = true, exp_alive = exp_ok;
+
+    for (uint64_t k = start + 1;
+         k < values.size() && (lin_alive || quad_alive || exp_alive); ++k) {
+      const double y = static_cast<double>(values[k]);
+      const double dx = static_cast<double>(k - start);
+      if (lin_alive) {
+        lin.Intersect((y - e - y0) / dx, (y + e - y0) / dx);
+        if (lin.empty) {
+          lin_alive = false;
+        } else {
+          lin_theta = lin.Mid();
+          lin_end = k + 1;
+        }
+      }
+      if (quad_alive) {
+        double dx2 = dx * dx;
+        quad.Intersect((y - e - y0) / dx2, (y + e - y0) / dx2);
+        if (quad.empty) {
+          quad_alive = false;
+        } else {
+          quad_theta = quad.Mid();
+          quad_end = k + 1;
+        }
+      }
+      if (exp_alive) {
+        // y0 * theta^dx within [y - e, y + e]; needs positive bounds.
+        double lo_v = y - e, hi_v = y + e;
+        if (hi_v <= 0) {
+          exp_alive = false;
+        } else {
+          double lo_t = lo_v <= 0 ? 0 : std::pow(lo_v / y0, 1.0 / dx);
+          double hi_t = std::pow(hi_v / y0, 1.0 / dx);
+          exp.Intersect(lo_t, hi_t);
+          if (exp.empty) {
+            exp_alive = false;
+          } else {
+            exp_theta = exp.Mid();
+            exp_end = k + 1;
+          }
+        }
+      }
+    }
+
+    AaSegment seg;
+    seg.start = start;
+    seg.y0 = y0;
+    // Pick the family that reached furthest (ties: cheaper family first).
+    seg.family = AaSegment::kLinear;
+    seg.end = lin_end;
+    seg.theta = lin_theta;
+    if (quad_end > seg.end) {
+      seg.family = AaSegment::kQuadratic;
+      seg.end = quad_end;
+      seg.theta = quad_theta;
+    }
+    if (exp_ok && exp_end > seg.end) {
+      seg.family = AaSegment::kExponential;
+      seg.end = exp_end;
+      seg.theta = exp_theta;
+    }
+    NEATS_DCHECK(seg.end > seg.start);
+    return seg;
+  }
+
+  uint64_t n_ = 0;
+  int64_t eps_ = 0;
+  std::vector<AaSegment> segments_;
+};
+
+}  // namespace neats

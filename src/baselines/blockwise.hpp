@@ -1,0 +1,172 @@
+// Block-wise random access wrapper (paper, Sec. IV-A2).
+//
+// Compressors without native random access are applied to blocks of 1000
+// consecutive values, with an array mapping each block index to its
+// compressed blob; accessing one value decompresses its block. This is the
+// standard benchmark harness used by Chimp/Elf and adopted by the paper.
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace neats {
+
+inline constexpr size_t kDefaultBlockValues = 1000;
+
+/// Wraps a streaming value codec (Gorilla/Chimp/Chimp128/TsXor): the codec
+/// must provide static Compress(span<const double>) returning an object with
+/// Decompress(std::vector<double>*) and SizeInBits().
+template <typename Codec>
+class Blockwise {
+ public:
+  Blockwise() = default;
+
+  static Blockwise Compress(std::span<const double> values,
+                            size_t block_values = kDefaultBlockValues) {
+    Blockwise out;
+    out.n_ = values.size();
+    out.block_values_ = block_values;
+    size_t blocks = values.empty() ? 0 : (values.size() - 1) / block_values + 1;
+    out.blocks_.reserve(blocks);
+    for (size_t b = 0; b < blocks; ++b) {
+      size_t begin = b * block_values;
+      size_t len = std::min(block_values, values.size() - begin);
+      out.blocks_.push_back(Codec::Compress(values.subspan(begin, len)));
+    }
+    return out;
+  }
+
+  /// Random access: decompresses the containing block.
+  double Access(size_t i) const {
+    std::vector<double> buffer;
+    blocks_[i / block_values_].Decompress(&buffer);
+    return buffer[i % block_values_];
+  }
+
+  /// Range access: decompresses the covered blocks.
+  void DecompressRange(size_t from, size_t len, double* out) const {
+    std::vector<double> buffer;
+    size_t produced = 0;
+    while (produced < len) {
+      size_t b = (from + produced) / block_values_;
+      blocks_[b].Decompress(&buffer);
+      size_t offset = (from + produced) - b * block_values_;
+      size_t take = std::min(len - produced, buffer.size() - offset);
+      std::memcpy(out + produced, buffer.data() + offset, take * sizeof(double));
+      produced += take;
+    }
+  }
+
+  void Decompress(std::vector<double>* out) const {
+    out->resize(n_);
+    std::vector<double> buffer;
+    size_t op = 0;
+    for (const Codec& block : blocks_) {
+      block.Decompress(&buffer);
+      std::memcpy(out->data() + op, buffer.data(), buffer.size() * sizeof(double));
+      op += buffer.size();
+    }
+  }
+
+  size_t size() const { return n_; }
+
+  /// Blob bits plus one 64-bit pointer per block (the paper's offset array).
+  size_t SizeInBits() const {
+    size_t bits = 2 * 64;
+    for (const Codec& block : blocks_) bits += block.SizeInBits() + 64;
+    return bits;
+  }
+
+ private:
+  size_t n_ = 0;
+  size_t block_values_ = kDefaultBlockValues;
+  std::vector<Codec> blocks_;
+};
+
+/// Byte-codec policies for the general-purpose compressors.
+template <typename Policy>
+class BlockwiseBytes {
+ public:
+  BlockwiseBytes() = default;
+
+  static BlockwiseBytes Compress(std::span<const int64_t> values,
+                                 size_t block_values = kDefaultBlockValues) {
+    BlockwiseBytes out;
+    out.n_ = values.size();
+    out.block_values_ = block_values;
+    size_t blocks = values.empty() ? 0 : (values.size() - 1) / block_values + 1;
+    out.blocks_.reserve(blocks);
+    for (size_t b = 0; b < blocks; ++b) {
+      size_t begin = b * block_values;
+      size_t len = std::min(block_values, values.size() - begin);
+      std::span<const uint8_t> bytes(
+          reinterpret_cast<const uint8_t*>(values.data() + begin),
+          len * sizeof(int64_t));
+      out.blocks_.push_back(Policy::CompressBytes(bytes));
+    }
+    return out;
+  }
+
+  int64_t Access(size_t i) const {
+    size_t b = i / block_values_;
+    size_t len = std::min(block_values_, n_ - b * block_values_);
+    std::vector<int64_t> buffer(len);
+    DecodeBlock(b, buffer);
+    return buffer[i % block_values_];
+  }
+
+  void DecompressRange(size_t from, size_t len, int64_t* out) const {
+    std::vector<int64_t> buffer;
+    size_t produced = 0;
+    while (produced < len) {
+      size_t b = (from + produced) / block_values_;
+      size_t blen = std::min(block_values_, n_ - b * block_values_);
+      buffer.resize(blen);
+      DecodeBlock(b, buffer);
+      size_t offset = (from + produced) - b * block_values_;
+      size_t take = std::min(len - produced, blen - offset);
+      std::memcpy(out + produced, buffer.data() + offset,
+                  take * sizeof(int64_t));
+      produced += take;
+    }
+  }
+
+  void Decompress(std::vector<int64_t>* out) const {
+    out->resize(n_);
+    for (size_t b = 0; b < blocks_.size(); ++b) {
+      size_t begin = b * block_values_;
+      size_t len = std::min(block_values_, n_ - begin);
+      std::span<int64_t> slice(out->data() + begin, len);
+      Policy::DecompressBytes(blocks_[b],
+                              std::span<uint8_t>(
+                                  reinterpret_cast<uint8_t*>(slice.data()),
+                                  slice.size() * sizeof(int64_t)));
+    }
+  }
+
+  size_t size() const { return n_; }
+
+  size_t SizeInBits() const {
+    size_t bits = 2 * 64;
+    for (const auto& block : blocks_) bits += block.size() * 8 + 64;
+    return bits;
+  }
+
+ private:
+  void DecodeBlock(size_t b, std::span<int64_t> out) const {
+    Policy::DecompressBytes(
+        blocks_[b], std::span<uint8_t>(reinterpret_cast<uint8_t*>(out.data()),
+                                       out.size() * sizeof(int64_t)));
+  }
+
+  size_t n_ = 0;
+  size_t block_values_ = kDefaultBlockValues;
+  std::vector<std::vector<uint8_t>> blocks_;
+};
+
+}  // namespace neats

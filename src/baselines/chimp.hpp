@@ -1,0 +1,265 @@
+// Chimp and Chimp128 floating-point compression (Liakos et al., VLDB 2022).
+//
+// Chimp refines Gorilla with a 2-bit flag per value and a rounded
+// leading-zero class (3 bits over {0,8,12,16,18,20,22,24}):
+//   00 — XOR with the previous value is zero
+//   01 — trailing zeros > 6: 3b lz class + 6b significant length + bits
+//   10 — tz <= 6, lz class equal to the previous one: (64 - lz) bits
+//   11 — tz <= 6, new lz class: 3b class + (64 - lz) bits
+//
+// Chimp128 additionally searches the 128 most recent values for the
+// reference producing the most trailing zeros, spending log2(128) = 7 bits
+// on the reference index in the '0x' cases.
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "succinct/bit_stream.hpp"
+
+namespace neats {
+
+namespace chimp_internal {
+
+inline constexpr int kLeadingRound[] = {0,  0,  0,  0,  0,  0,  0,  0,  8,  8,
+                                        8,  8,  12, 12, 12, 12, 16, 16, 18, 18,
+                                        20, 20, 22, 22, 24, 24, 24, 24, 24, 24,
+                                        24, 24, 24, 24, 24, 24, 24, 24, 24, 24,
+                                        24, 24, 24, 24, 24, 24, 24, 24, 24, 24,
+                                        24, 24, 24, 24, 24, 24, 24, 24, 24, 24,
+                                        24, 24, 24, 24, 24};
+
+inline constexpr int kLeadingClass[] = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2,
+                                        2, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7,
+                                        7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7,
+                                        7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7,
+                                        7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7};
+
+inline constexpr int kClassToLeading[] = {0, 8, 12, 16, 18, 20, 22, 24};
+
+}  // namespace chimp_internal
+
+/// Chimp-compressed sequence of doubles.
+class Chimp {
+ public:
+  Chimp() = default;
+
+  static Chimp Compress(std::span<const double> values) {
+    using namespace chimp_internal;
+    Chimp out;
+    out.n_ = values.size();
+    if (values.empty()) return out;
+    BitWriter writer;
+    uint64_t prev = std::bit_cast<uint64_t>(values[0]);
+    writer.Append(prev, 64);
+    int prev_class = -1;
+    for (size_t i = 1; i < values.size(); ++i) {
+      uint64_t cur = std::bit_cast<uint64_t>(values[i]);
+      uint64_t x = cur ^ prev;
+      prev = cur;
+      if (x == 0) {
+        writer.Append(0b00, 2);
+        prev_class = -1;
+        continue;
+      }
+      int lz_exact = CountLeadingZeros(x);
+      int cls = kLeadingClass[lz_exact];
+      int lz = kClassToLeading[cls];
+      int tz = CountTrailingZeros(x);
+      if (tz > 6) {
+        int sig = 64 - lz - tz;
+        writer.Append(0b01, 2);
+        writer.Append(static_cast<uint64_t>(cls), 3);
+        writer.Append(static_cast<uint64_t>(sig), 6);
+        writer.Append(x >> tz, sig);
+        prev_class = -1;
+      } else if (cls == prev_class) {
+        writer.Append(0b10, 2);
+        writer.Append(x, 64 - lz);
+      } else {
+        writer.Append(0b11, 2);
+        writer.Append(static_cast<uint64_t>(cls), 3);
+        writer.Append(x, 64 - lz);
+        prev_class = cls;
+      }
+    }
+    out.bits_ = writer.bit_size();
+    out.words_ = writer.TakeWords();
+    return out;
+  }
+
+  void Decompress(std::vector<double>* out) const {
+    using namespace chimp_internal;
+    out->resize(n_);
+    if (n_ == 0) return;
+    BitReader reader(words_.data(), bits_);
+    uint64_t prev = reader.Read(64);
+    (*out)[0] = std::bit_cast<double>(prev);
+    int prev_lz = 0;
+    for (size_t i = 1; i < n_; ++i) {
+      uint64_t flag = reader.Read(2);
+      switch (flag) {
+        case 0b00:
+          break;
+        case 0b01: {
+          int lz = kClassToLeading[reader.Read(3)];
+          int sig = static_cast<int>(reader.Read(6));
+          if (sig == 0) sig = 64;
+          int tz = 64 - lz - sig;
+          prev ^= reader.Read(sig) << tz;
+          break;
+        }
+        case 0b10:
+          prev ^= reader.Read(64 - prev_lz);
+          break;
+        default: {
+          prev_lz = kClassToLeading[reader.Read(3)];
+          prev ^= reader.Read(64 - prev_lz);
+          break;
+        }
+      }
+      (*out)[i] = std::bit_cast<double>(prev);
+    }
+  }
+
+  size_t size() const { return n_; }
+  size_t SizeInBits() const { return bits_ + 64; }
+
+ private:
+  size_t n_ = 0;
+  size_t bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+/// Chimp128: Chimp with a 128-value reference window.
+class Chimp128 {
+ public:
+  Chimp128() = default;
+
+  static constexpr int kWindowBits = 7;
+  static constexpr size_t kWindow = 1u << kWindowBits;
+
+  static Chimp128 Compress(std::span<const double> values) {
+    using namespace chimp_internal;
+    Chimp128 out;
+    out.n_ = values.size();
+    if (values.empty()) return out;
+    BitWriter writer;
+    std::vector<uint64_t> window;
+    window.reserve(kWindow);
+    uint64_t first = std::bit_cast<uint64_t>(values[0]);
+    writer.Append(first, 64);
+    window.push_back(first);
+    int prev_class = -1;
+    for (size_t i = 1; i < values.size(); ++i) {
+      uint64_t cur = std::bit_cast<uint64_t>(values[i]);
+      // Pick the window reference producing the most trailing zeros.
+      size_t best = 0;
+      int best_tz = -1;
+      for (size_t j = 0; j < window.size(); ++j) {
+        uint64_t x = cur ^ window[j];
+        int tz = x == 0 ? 64 : CountTrailingZeros(x);
+        if (tz > best_tz) {
+          best_tz = tz;
+          best = j;
+        }
+      }
+      uint64_t x = cur ^ window[best];
+      if (x == 0) {
+        writer.Append(0b00, 2);
+        writer.Append(static_cast<uint64_t>(best), kWindowBits);
+        prev_class = -1;
+      } else {
+        int lz_exact = CountLeadingZeros(x);
+        int cls = kLeadingClass[lz_exact];
+        int lz = kClassToLeading[cls];
+        int tz = CountTrailingZeros(x);
+        if (tz > 6) {
+          int sig = 64 - lz - tz;
+          writer.Append(0b01, 2);
+          writer.Append(static_cast<uint64_t>(best), kWindowBits);
+          writer.Append(static_cast<uint64_t>(cls), 3);
+          writer.Append(static_cast<uint64_t>(sig), 6);
+          writer.Append(x >> tz, sig);
+          prev_class = -1;
+        } else {
+          // Fall back to the immediately preceding value, Chimp-style.
+          uint64_t xp = cur ^ window.back();
+          int lzp_exact = CountLeadingZeros(xp == 0 ? 1 : xp);
+          int clsp = kLeadingClass[lzp_exact];
+          int lzp = kClassToLeading[clsp];
+          if (clsp == prev_class) {
+            writer.Append(0b10, 2);
+            writer.Append(xp, 64 - lzp);
+          } else {
+            writer.Append(0b11, 2);
+            writer.Append(static_cast<uint64_t>(clsp), 3);
+            writer.Append(xp, 64 - lzp);
+            prev_class = clsp;
+          }
+        }
+      }
+      if (window.size() == kWindow) window.erase(window.begin());
+      window.push_back(cur);
+    }
+    out.bits_ = writer.bit_size();
+    out.words_ = writer.TakeWords();
+    return out;
+  }
+
+  void Decompress(std::vector<double>* out) const {
+    using namespace chimp_internal;
+    out->resize(n_);
+    if (n_ == 0) return;
+    BitReader reader(words_.data(), bits_);
+    std::vector<uint64_t> window;
+    window.reserve(kWindow);
+    uint64_t cur = reader.Read(64);
+    (*out)[0] = std::bit_cast<double>(cur);
+    window.push_back(cur);
+    int prev_lz = 0;
+    for (size_t i = 1; i < n_; ++i) {
+      uint64_t flag = reader.Read(2);
+      switch (flag) {
+        case 0b00: {
+          size_t idx = reader.Read(kWindowBits);
+          cur = window[idx];
+          break;
+        }
+        case 0b01: {
+          size_t idx = reader.Read(kWindowBits);
+          int lz = kClassToLeading[reader.Read(3)];
+          int sig = static_cast<int>(reader.Read(6));
+          if (sig == 0) sig = 64;
+          int tz = 64 - lz - sig;
+          cur = window[idx] ^ (reader.Read(sig) << tz);
+          break;
+        }
+        case 0b10:
+          cur = window.back() ^ reader.Read(64 - prev_lz);
+          break;
+        default:
+          prev_lz = kClassToLeading[reader.Read(3)];
+          cur = window.back() ^ reader.Read(64 - prev_lz);
+          break;
+      }
+      (*out)[i] = std::bit_cast<double>(cur);
+      if (window.size() == kWindow) window.erase(window.begin());
+      window.push_back(cur);
+    }
+  }
+
+  size_t size() const { return n_; }
+  size_t SizeInBits() const { return bits_ + 64; }
+
+ private:
+  size_t n_ = 0;
+  size_t bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace neats

@@ -1,0 +1,114 @@
+// Directly Addressable Codes (Brisaboa, Ladra & Navarro, IP&M 2013).
+//
+// A variable-length code with direct access: each value is split into b-bit
+// chunks, level l stores the l-th chunk of every value that has one, and a
+// per-level bitvector marks whether the value continues into level l+1.
+// Access walks the levels with one Rank1 per level. Signed inputs are
+// ZigZag-mapped first.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "succinct/bit_vector.hpp"
+#include "succinct/packed_array.hpp"
+
+namespace neats {
+
+/// DAC-compressed sequence of signed 64-bit integers.
+class Dac {
+ public:
+  Dac() = default;
+
+  /// Compresses with chunks of `chunk_bits` bits (default one byte).
+  static Dac Compress(std::span<const int64_t> values, int chunk_bits = 8) {
+    Dac out;
+    out.n_ = values.size();
+    out.chunk_bits_ = chunk_bits;
+    if (values.empty()) return out;
+
+    int max_levels = (64 + chunk_bits - 1) / chunk_bits;
+    std::vector<std::vector<uint64_t>> chunks(
+        static_cast<size_t>(max_levels));
+    std::vector<BitVector> cont(static_cast<size_t>(max_levels));
+
+    // Column-wise construction: process level by level over the survivors.
+    std::vector<uint64_t> survivors(values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      survivors[i] = ZigZagEncode(values[i]);
+    }
+    int level = 0;
+    while (!survivors.empty() && level < max_levels) {
+      std::vector<uint64_t> next;
+      for (uint64_t v : survivors) {
+        chunks[static_cast<size_t>(level)].push_back(v & LowMask(chunk_bits));
+        uint64_t rest = chunk_bits >= 64 ? 0 : v >> chunk_bits;
+        bool more = rest != 0 && level + 1 < max_levels;
+        cont[static_cast<size_t>(level)].PushBack(more);
+        if (more) next.push_back(rest);
+      }
+      survivors = std::move(next);
+      ++level;
+    }
+    out.levels_ = level;
+    out.chunks_.reserve(static_cast<size_t>(level));
+    out.cont_.reserve(static_cast<size_t>(level));
+    for (int l = 0; l < level; ++l) {
+      out.chunks_.emplace_back(chunks[static_cast<size_t>(l)], chunk_bits);
+      out.cont_.emplace_back(std::move(cont[static_cast<size_t>(l)]));
+    }
+    return out;
+  }
+
+  /// Direct access to value i: one Rank1 per traversed level.
+  int64_t Access(size_t i) const {
+    uint64_t v = 0;
+    int shift = 0;
+    size_t idx = i;
+    for (int l = 0; l < levels_; ++l) {
+      v |= chunks_[static_cast<size_t>(l)][idx] << shift;
+      if (!cont_[static_cast<size_t>(l)].Get(idx)) break;
+      idx = static_cast<size_t>(cont_[static_cast<size_t>(l)].Rank1(idx));
+      shift += chunk_bits_;
+    }
+    return ZigZagDecode(v);
+  }
+
+  /// Sequential full decompression (per-level cursors, no Rank needed).
+  void Decompress(std::vector<int64_t>* out) const {
+    out->resize(n_);
+    std::vector<size_t> cursor(static_cast<size_t>(levels_), 0);
+    for (size_t i = 0; i < n_; ++i) {
+      uint64_t v = 0;
+      int shift = 0;
+      for (int l = 0; l < levels_; ++l) {
+        size_t idx = cursor[static_cast<size_t>(l)]++;
+        v |= chunks_[static_cast<size_t>(l)][idx] << shift;
+        if (!cont_[static_cast<size_t>(l)].Get(idx)) break;
+        shift += chunk_bits_;
+      }
+      (*out)[i] = ZigZagDecode(v);
+    }
+  }
+
+  size_t size() const { return n_; }
+
+  size_t SizeInBits() const {
+    size_t bits = 3 * 64;
+    for (const auto& c : chunks_) bits += c.SizeInBits();
+    for (const auto& c : cont_) bits += c.SizeInBits();
+    return bits;
+  }
+
+ private:
+  size_t n_ = 0;
+  int chunk_bits_ = 8;
+  int levels_ = 0;
+  std::vector<PackedArray> chunks_;
+  std::vector<RankSelect> cont_;
+};
+
+}  // namespace neats

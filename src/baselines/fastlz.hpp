@@ -1,0 +1,135 @@
+// Fast byte-oriented LZ compressor (LZ4/Snappy class).
+//
+// Greedy LZ77 with a 64 KiB window and an LZ4-like block format:
+//   token byte: high nibble = literal run length, low nibble = match length
+//   minus 4 (15 in a nibble = continued in 255-run extension bytes), then the
+//   literals, then a 2-byte little-endian match offset.
+// The final sequence carries literals only. This reproduces the fast/weak
+// anchor of the general-purpose family in the paper's trade-off plots (the
+// role played there by Lz4 and Snappy).
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace neats {
+
+/// Stateless fast-LZ codec over raw bytes.
+class FastLz {
+ public:
+  static std::vector<uint8_t> CompressBytes(std::span<const uint8_t> in) {
+    std::vector<uint8_t> out;
+    out.reserve(in.size() / 2 + 16);
+    const size_t n = in.size();
+    std::vector<uint32_t> table(1u << kHashBits, kNoPos);
+
+    size_t anchor = 0;  // first unemitted literal
+    size_t pos = 0;
+    while (pos + kMinMatch <= n) {
+      uint32_t h = Hash(Read32(in.data() + pos));
+      uint32_t cand = table[h];
+      table[h] = static_cast<uint32_t>(pos);
+      if (cand != kNoPos && pos - cand <= kMaxOffset &&
+          Read32(in.data() + cand) == Read32(in.data() + pos)) {
+        // Extend the match.
+        size_t len = kMinMatch;
+        while (pos + len < n && in[cand + len] == in[pos + len] &&
+               len < kMaxMatch) {
+          ++len;
+        }
+        EmitSequence(&out, in.data() + anchor, pos - anchor,
+                     static_cast<uint16_t>(pos - cand), len);
+        pos += len;
+        anchor = pos;
+      } else {
+        ++pos;
+      }
+    }
+    // Trailing literals.
+    EmitSequence(&out, in.data() + anchor, n - anchor, 0, 0);
+    return out;
+  }
+
+  /// Decompresses into `out`, whose exact size must be known by the caller.
+  static void DecompressBytes(std::span<const uint8_t> in,
+                              std::span<uint8_t> out) {
+    size_t ip = 0, op = 0;
+    while (ip < in.size()) {
+      uint8_t token = in[ip++];
+      size_t lit = token >> 4;
+      if (lit == 15) {
+        uint8_t b;
+        do {
+          b = in[ip++];
+          lit += b;
+        } while (b == 255);
+      }
+      std::memcpy(out.data() + op, in.data() + ip, lit);
+      ip += lit;
+      op += lit;
+      if (ip >= in.size()) break;  // final sequence has no match
+      size_t offset = in[ip] | (static_cast<size_t>(in[ip + 1]) << 8);
+      ip += 2;
+      size_t len = (token & 0xF) + kMinMatch;
+      if ((token & 0xF) == 15) {
+        uint8_t b;
+        do {
+          b = in[ip++];
+          len += b;
+        } while (b == 255);
+      }
+      // Overlapping copy must run byte by byte.
+      for (size_t i = 0; i < len; ++i, ++op) {
+        out[op] = out[op - offset];
+      }
+    }
+    NEATS_REQUIRE(op == out.size(), "corrupt fastlz stream");
+  }
+
+ private:
+  static constexpr int kHashBits = 16;
+  static constexpr size_t kMinMatch = 4;
+  static constexpr size_t kMaxMatch = kMinMatch + 14 + 255 * 8;  // practical cap
+  static constexpr size_t kMaxOffset = 65535;
+  static constexpr uint32_t kNoPos = UINT32_MAX;
+
+  static uint32_t Read32(const uint8_t* p) {
+    uint32_t v;
+    std::memcpy(&v, p, 4);
+    return v;
+  }
+
+  static uint32_t Hash(uint32_t v) {
+    return (v * 2654435761u) >> (32 - kHashBits);
+  }
+
+  static void EmitRun(std::vector<uint8_t>* out, size_t value) {
+    while (value >= 255) {
+      out->push_back(255);
+      value -= 255;
+    }
+    out->push_back(static_cast<uint8_t>(value));
+  }
+
+  static void EmitSequence(std::vector<uint8_t>* out, const uint8_t* literals,
+                           size_t lit_len, uint16_t offset, size_t match_len) {
+    uint8_t token = 0;
+    token |= static_cast<uint8_t>((lit_len >= 15 ? 15 : lit_len) << 4);
+    size_t match_code = match_len == 0 ? 0 : match_len - kMinMatch;
+    token |= static_cast<uint8_t>(match_code >= 15 ? 15 : match_code);
+    out->push_back(token);
+    if (lit_len >= 15) EmitRun(out, lit_len - 15);
+    out->insert(out->end(), literals, literals + lit_len);
+    if (match_len == 0) return;  // final literal-only sequence
+    out->push_back(static_cast<uint8_t>(offset & 0xFF));
+    out->push_back(static_cast<uint8_t>(offset >> 8));
+    if (match_code >= 15) EmitRun(out, match_code - 15);
+  }
+};
+
+}  // namespace neats

@@ -1,0 +1,52 @@
+// Byte-codec policies binding the general-purpose LZ compressors to the
+// block-wise wrapper. The three effort levels reproduce the anchors of the
+// paper's general-purpose family:
+//   LzHufStrongPolicy — slow, strongest ratio   (role of Xz / Brotli)
+//   LzHufFastPolicy   — balanced                (role of Zstd)
+//   FastLzPolicy      — fastest, weakest ratio  (role of Lz4 / Snappy)
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "baselines/fastlz.hpp"
+#include "baselines/lzhuf.hpp"
+
+namespace neats {
+
+struct FastLzPolicy {
+  static constexpr const char* kName = "FastLz";
+  static std::vector<uint8_t> CompressBytes(std::span<const uint8_t> in) {
+    return FastLz::CompressBytes(in);
+  }
+  static void DecompressBytes(std::span<const uint8_t> in,
+                              std::span<uint8_t> out) {
+    FastLz::DecompressBytes(in, out);
+  }
+};
+
+struct LzHufStrongPolicy {
+  static constexpr const char* kName = "LzHuf-strong";
+  static std::vector<uint8_t> CompressBytes(std::span<const uint8_t> in) {
+    return LzHuf::CompressBytes(in, LzHuf::StrongOptions());
+  }
+  static void DecompressBytes(std::span<const uint8_t> in,
+                              std::span<uint8_t> out) {
+    LzHuf::DecompressBytes(in, out);
+  }
+};
+
+struct LzHufFastPolicy {
+  static constexpr const char* kName = "LzHuf-fast";
+  static std::vector<uint8_t> CompressBytes(std::span<const uint8_t> in) {
+    return LzHuf::CompressBytes(in, LzHuf::FastOptions());
+  }
+  static void DecompressBytes(std::span<const uint8_t> in,
+                              std::span<uint8_t> out) {
+    LzHuf::DecompressBytes(in, out);
+  }
+};
+
+}  // namespace neats

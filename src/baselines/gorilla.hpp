@@ -1,0 +1,102 @@
+// Gorilla floating-point compression (Pelkonen et al., VLDB 2015).
+//
+// Each double is XOR-ed with its predecessor; the result is encoded with the
+// classic leading/trailing-zero window scheme:
+//   '0'            — XOR is zero (value repeats)
+//   '10' + bits    — meaningful bits fall inside the previous window
+//   '11' + 5b lz + 6b len + bits — new window (len 64 stored as 0)
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "succinct/bit_stream.hpp"
+
+namespace neats {
+
+/// Gorilla-compressed sequence of doubles.
+class Gorilla {
+ public:
+  Gorilla() = default;
+
+  static Gorilla Compress(std::span<const double> values) {
+    Gorilla out;
+    out.n_ = values.size();
+    if (values.empty()) return out;
+    BitWriter writer;
+    uint64_t prev = std::bit_cast<uint64_t>(values[0]);
+    writer.Append(prev, 64);
+    int prev_lz = -1, prev_tz = -1;  // invalid: no window yet
+    for (size_t i = 1; i < values.size(); ++i) {
+      uint64_t cur = std::bit_cast<uint64_t>(values[i]);
+      uint64_t x = cur ^ prev;
+      prev = cur;
+      if (x == 0) {
+        writer.AppendBit(false);
+        continue;
+      }
+      int lz = std::min(CountLeadingZeros(x), 31);
+      int tz = CountTrailingZeros(x);
+      if (prev_lz >= 0 && lz >= prev_lz && tz >= prev_tz) {
+        // Reuse the previous window.
+        writer.AppendBit(true);
+        writer.AppendBit(false);
+        int len = 64 - prev_lz - prev_tz;
+        writer.Append(x >> prev_tz, len);
+      } else {
+        writer.AppendBit(true);
+        writer.AppendBit(true);
+        int len = 64 - lz - tz;
+        writer.Append(static_cast<uint64_t>(lz), 5);
+        writer.Append(static_cast<uint64_t>(len == 64 ? 0 : len), 6);
+        writer.Append(x >> tz, len);
+        prev_lz = lz;
+        prev_tz = tz;
+      }
+    }
+    out.bits_ = writer.bit_size();
+    out.words_ = writer.TakeWords();
+    return out;
+  }
+
+  void Decompress(std::vector<double>* out) const {
+    out->resize(n_);
+    if (n_ == 0) return;
+    BitReader reader(words_.data(), bits_);
+    uint64_t prev = reader.Read(64);
+    (*out)[0] = std::bit_cast<double>(prev);
+    int lz = 0, tz = 0;
+    for (size_t i = 1; i < n_; ++i) {
+      if (!reader.ReadBit()) {
+        (*out)[i] = std::bit_cast<double>(prev);
+        continue;
+      }
+      if (reader.ReadBit()) {
+        lz = static_cast<int>(reader.Read(5));
+        int len = static_cast<int>(reader.Read(6));
+        if (len == 0) len = 64;
+        tz = 64 - lz - len;
+        prev ^= reader.Read(len) << tz;
+      } else {
+        int len = 64 - lz - tz;
+        prev ^= reader.Read(len) << tz;
+      }
+      (*out)[i] = std::bit_cast<double>(prev);
+    }
+  }
+
+  size_t size() const { return n_; }
+  size_t SizeInBits() const { return bits_ + 64; }
+
+ private:
+  size_t n_ = 0;
+  size_t bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace neats

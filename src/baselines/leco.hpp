@@ -1,0 +1,227 @@
+// LeCo-style learned compression (after Liu, Zeng & Zhang, SIGMOD 2024).
+//
+// LeCo fits a regression model per fragment and stores fixed-width residuals;
+// fragments come from a *heuristic* partitioner (greedy split on an estimated
+// compression-ratio gain, then merge of neighbouring fragments), in contrast
+// to NeaTS's error-bounded optimal fits and shortest-path partitioning.
+//
+// This implementation follows that recipe: least-squares linear fit per
+// fragment, residuals bit-packed with a per-fragment frame of reference,
+// greedy growth in steps while the marginal cost decreases, then a merge
+// pass. Random access reads one fragment header and one residual.
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+#include "succinct/bit_stream.hpp"
+#include "succinct/elias_fano.hpp"
+#include "succinct/packed_array.hpp"
+
+namespace neats {
+
+/// LeCo-style compressed sequence of signed 64-bit integers.
+class Leco {
+ public:
+  Leco() = default;
+
+  static Leco Compress(std::span<const int64_t> values) {
+    Leco out;
+    out.n_ = values.size();
+    if (values.empty()) return out;
+
+    // --- Phase 1: greedy growth in steps of kStep values. ---
+    std::vector<uint64_t> boundaries;  // fragment starts
+    uint64_t start = 0;
+    while (start < values.size()) {
+      boundaries.push_back(start);
+      uint64_t end = std::min<uint64_t>(start + kStep, values.size());
+      double best_bpv = CostOf(values, start, end) /
+                        static_cast<double>(end - start);
+      while (end < values.size() && end - start < kMaxFragment) {
+        uint64_t trial = std::min<uint64_t>(end + kStep, values.size());
+        double bpv = CostOf(values, start, trial) /
+                     static_cast<double>(trial - start);
+        if (bpv > best_bpv * 1.02) break;  // marginal cost grows: split here
+        best_bpv = std::min(best_bpv, bpv);
+        end = trial;
+      }
+      start = end;
+    }
+
+    // --- Phase 2: merge neighbouring fragments when it pays off. ---
+    bool merged = true;
+    int passes = 0;
+    while (merged && passes++ < 4) {
+      merged = false;
+      std::vector<uint64_t> next;
+      size_t i = 0;
+      while (i < boundaries.size()) {
+        uint64_t a = boundaries[i];
+        uint64_t a_end = i + 1 < boundaries.size() ? boundaries[i + 1]
+                                                   : values.size();
+        if (i + 1 < boundaries.size()) {
+          uint64_t b_end = i + 2 < boundaries.size() ? boundaries[i + 2]
+                                                     : values.size();
+          double separate = CostOf(values, a, a_end) + CostOf(values, a_end, b_end);
+          double joined = CostOf(values, a, b_end);
+          if (joined <= separate) {
+            next.push_back(a);
+            i += 2;
+            merged = true;
+            continue;
+          }
+        }
+        next.push_back(a);
+        ++i;
+      }
+      boundaries = std::move(next);
+    }
+
+    out.Build(values, boundaries);
+    return out;
+  }
+
+  size_t size() const { return n_; }
+  size_t num_fragments() const { return slopes_.size(); }
+
+  /// Random access: Elias-Fano rank to find the fragment, then one residual.
+  int64_t Access(size_t i) const {
+    size_t f = starts_.Rank(i) - 1;
+    uint64_t start = starts_.Access(f);
+    int bits = static_cast<int>(widths_[f]);
+    uint64_t o = offsets_.Access(f) +
+                 (i - start) * static_cast<uint64_t>(bits);
+    int64_t r = static_cast<int64_t>(ReadBits(residual_words_.data(), o, bits));
+    return PredictAt(f, i - start) + bases_[f] + r;
+  }
+
+  void Decompress(std::vector<int64_t>* out) const {
+    out->resize(n_);
+    size_t m = slopes_.size();
+    for (size_t f = 0; f < m; ++f) {
+      uint64_t start = starts_.Access(f);
+      uint64_t end = f + 1 < m ? starts_.Access(f + 1) : n_;
+      int bits = static_cast<int>(widths_[f]);
+      uint64_t o = offsets_.Access(f);
+      int64_t base = bases_[f];
+      double slope = slopes_[f], intercept = intercepts_[f];
+      for (uint64_t k = start; k < end; ++k, o += static_cast<uint64_t>(bits)) {
+        int64_t pred = static_cast<int64_t>(
+            std::floor(slope * static_cast<double>(k - start) + intercept));
+        int64_t r = static_cast<int64_t>(
+            ReadBits(residual_words_.data(), o, bits));
+        (*out)[k] = pred + base + r;
+      }
+    }
+  }
+
+  size_t SizeInBits() const {
+    return 2 * 64 + starts_.SizeInBits() + widths_.SizeInBits() +
+           offsets_.SizeInBits() + residual_words_.size() * 64 +
+           slopes_.size() * (64 + 64 + 64) + 64;
+  }
+
+ private:
+  static constexpr uint64_t kStep = 256;
+  static constexpr uint64_t kMaxFragment = 8192;  // caps the O(len^2) growth
+
+  struct Fit {
+    double slope, intercept;
+    int64_t min_r, max_r;
+  };
+
+  /// Least-squares fit plus residual range on [start, end).
+  static Fit FitRangeLs(std::span<const int64_t> values, uint64_t start,
+                        uint64_t end) {
+    const uint64_t len = end - start;
+    // Closed-form least squares over x = 0..len-1.
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (uint64_t k = start; k < end; ++k) {
+      double x = static_cast<double>(k - start);
+      double y = static_cast<double>(values[k]);
+      sx += x;
+      sy += y;
+      sxx += x * x;
+      sxy += x * y;
+    }
+    double nd = static_cast<double>(len);
+    double denom = nd * sxx - sx * sx;
+    Fit fit;
+    fit.slope = denom == 0 ? 0 : (nd * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / nd;
+    fit.min_r = INT64_MAX;
+    fit.max_r = INT64_MIN;
+    for (uint64_t k = start; k < end; ++k) {
+      int64_t pred = static_cast<int64_t>(std::floor(
+          fit.slope * static_cast<double>(k - start) + fit.intercept));
+      int64_t r = values[k] - pred;
+      fit.min_r = std::min(fit.min_r, r);
+      fit.max_r = std::max(fit.max_r, r);
+    }
+    return fit;
+  }
+
+  /// Estimated bit cost of one fragment (header + packed residuals).
+  static double CostOf(std::span<const int64_t> values, uint64_t start,
+                       uint64_t end) {
+    Fit fit = FitRangeLs(values, start, end);
+    int bits = BitWidth(static_cast<uint64_t>(fit.max_r - fit.min_r));
+    return kHeaderBitsPerFragment +
+           static_cast<double>(end - start) * static_cast<double>(bits);
+  }
+
+  static constexpr double kHeaderBitsPerFragment = 3 * 64 + 48;
+
+  void Build(std::span<const int64_t> values,
+             const std::vector<uint64_t>& boundaries) {
+    size_t m = boundaries.size();
+    std::vector<uint64_t> starts(boundaries), widths(m), offsets(m + 1);
+    BitWriter residuals;
+    slopes_.resize(m);
+    intercepts_.resize(m);
+    bases_.resize(m);
+    for (size_t f = 0; f < m; ++f) {
+      uint64_t start = boundaries[f];
+      uint64_t end = f + 1 < m ? boundaries[f + 1] : values.size();
+      Fit fit = FitRangeLs(values, start, end);
+      int bits = BitWidth(static_cast<uint64_t>(fit.max_r - fit.min_r));
+      slopes_[f] = fit.slope;
+      intercepts_[f] = fit.intercept;
+      bases_[f] = fit.min_r;
+      widths[f] = static_cast<uint64_t>(bits);
+      offsets[f] = residuals.bit_size();
+      for (uint64_t k = start; k < end; ++k) {
+        int64_t pred = static_cast<int64_t>(std::floor(
+            fit.slope * static_cast<double>(k - start) + fit.intercept));
+        residuals.Append(static_cast<uint64_t>(values[k] - pred - fit.min_r),
+                         bits);
+      }
+    }
+    offsets[m] = residuals.bit_size();
+    starts_ = EliasFano(starts, n_);
+    widths_ = PackedArray::FromValues(widths);
+    offsets_ = EliasFano(offsets, offsets[m] + 1);
+    residual_words_ = residuals.TakeWords();
+  }
+
+  int64_t PredictAt(size_t f, uint64_t local) const {
+    return static_cast<int64_t>(std::floor(
+        slopes_[f] * static_cast<double>(local) + intercepts_[f]));
+  }
+
+  size_t n_ = 0;
+  EliasFano starts_;
+  PackedArray widths_;
+  EliasFano offsets_;
+  std::vector<uint64_t> residual_words_;
+  std::vector<double> slopes_, intercepts_;
+  std::vector<int64_t> bases_;
+};
+
+}  // namespace neats

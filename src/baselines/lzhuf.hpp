@@ -1,0 +1,425 @@
+// LZ77 + canonical Huffman compressor (Xz/Brotli/Zstd class proxy).
+//
+// A deflate-style design with a larger window: hash-chain match finding over
+// a 1 MiB window, optional lazy matching, and two canonical Huffman codes —
+// one over literals/lengths (0..255 literals, 256 end-of-block, 257..285
+// length buckets with extra bits) and one over 30 distance buckets with
+// extra bits. The whole input is one block; code lengths are stored raw in
+// the header (6 bits each), which is negligible at these block sizes.
+//
+// Effort levels trade match-finder depth and lazy matching for speed,
+// reproducing the slow+strong (Xz/Brotli) and medium (Zstd) anchors of the
+// paper's general-purpose family.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+#include "succinct/bit_stream.hpp"
+
+namespace neats {
+
+namespace lzhuf_internal {
+
+// Deflate-style length buckets: base values and extra bits for lengths 3..258.
+inline constexpr int kLenBase[] = {3,  4,  5,  6,  7,  8,  9,  10, 11,  13,
+                                   15, 17, 19, 23, 27, 31, 35, 43, 51,  59,
+                                   67, 83, 99, 115, 131, 163, 195, 227, 258};
+inline constexpr int kLenExtra[] = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2,
+                                    2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0};
+
+// Distance buckets for distances 1..1048576 (deflate's 30 plus 10 more for
+// the larger window).
+inline constexpr int kNumDistSyms = 40;
+
+inline int LengthSymbol(int len) {
+  int s = 0;
+  while (s + 1 < 29 && kLenBase[s + 1] <= len) ++s;
+  return s;
+}
+
+inline int DistanceSymbol(size_t dist, int* extra_bits, uint64_t* extra_val) {
+  // Bucket d into [2^k, 2^(k+1)) pairs like deflate: symbols 0..3 are exact
+  // distances 1..4, then two buckets per power of two.
+  if (dist <= 4) {
+    *extra_bits = 0;
+    *extra_val = 0;
+    return static_cast<int>(dist) - 1;
+  }
+  int log = 63 - CountLeadingZeros(static_cast<uint64_t>(dist - 1));
+  size_t base = size_t{1} << log;
+  int half = (dist - 1 - base) >= (base >> 1) ? 1 : 0;
+  int sym = 4 + 2 * (log - 2) + half;
+  size_t bucket_base = base + 1 + static_cast<size_t>(half) * (base >> 1);
+  *extra_bits = log - 1;
+  *extra_val = dist - bucket_base;
+  return sym;
+}
+
+inline size_t DistanceBase(int sym, int* extra_bits) {
+  if (sym < 4) {
+    *extra_bits = 0;
+    return static_cast<size_t>(sym) + 1;
+  }
+  int log = (sym - 4) / 2 + 2;
+  int half = (sym - 4) % 2;
+  size_t base = size_t{1} << log;
+  *extra_bits = log - 1;
+  return base + 1 + static_cast<size_t>(half) * (base >> 1);
+}
+
+/// Builds Huffman code lengths from frequencies (no depth limit; canonical
+/// codes are assigned separately). Unused symbols get length 0.
+inline std::vector<int> HuffmanLengths(const std::vector<uint64_t>& freq) {
+  struct Node {
+    uint64_t weight;
+    int left, right;  // -1 for leaves
+    int symbol;
+  };
+  std::vector<Node> nodes;
+  std::vector<int> heap;  // indices into nodes, min-heap by weight
+  auto cmp = [&](int a, int b) { return nodes[a].weight > nodes[b].weight; };
+  for (size_t s = 0; s < freq.size(); ++s) {
+    if (freq[s] > 0) {
+      nodes.push_back({freq[s], -1, -1, static_cast<int>(s)});
+      heap.push_back(static_cast<int>(nodes.size()) - 1);
+    }
+  }
+  std::vector<int> lengths(freq.size(), 0);
+  if (heap.empty()) return lengths;
+  if (heap.size() == 1) {
+    lengths[static_cast<size_t>(nodes[heap[0]].symbol)] = 1;
+    return lengths;
+  }
+  std::make_heap(heap.begin(), heap.end(), cmp);
+  while (heap.size() > 1) {
+    std::pop_heap(heap.begin(), heap.end(), cmp);
+    int a = heap.back();
+    heap.pop_back();
+    std::pop_heap(heap.begin(), heap.end(), cmp);
+    int b = heap.back();
+    heap.pop_back();
+    nodes.push_back({nodes[a].weight + nodes[b].weight, a, b, -1});
+    heap.push_back(static_cast<int>(nodes.size()) - 1);
+    std::push_heap(heap.begin(), heap.end(), cmp);
+  }
+  // Depth-first traversal to assign lengths.
+  std::vector<std::pair<int, int>> stack = {{heap[0], 0}};
+  while (!stack.empty()) {
+    auto [idx, depth] = stack.back();
+    stack.pop_back();
+    const Node& node = nodes[static_cast<size_t>(idx)];
+    if (node.left < 0) {
+      lengths[static_cast<size_t>(node.symbol)] = std::max(1, depth);
+    } else {
+      stack.push_back({node.left, depth + 1});
+      stack.push_back({node.right, depth + 1});
+    }
+  }
+  return lengths;
+}
+
+/// Reverses the low `len` bits of `v` — the writer appends LSB-first while
+/// prefix codes must hit the stream MSB-first.
+inline uint64_t ReverseLowBits(uint64_t v, int len) {
+  uint64_t r = 0;
+  for (int i = 0; i < len; ++i) {
+    r = (r << 1) | (v & 1);
+    v >>= 1;
+  }
+  return r;
+}
+
+/// Canonical code assignment: codes sorted by (length, symbol).
+inline std::vector<uint64_t> CanonicalCodes(const std::vector<int>& lengths) {
+  int max_len = 0;
+  for (int l : lengths) max_len = std::max(max_len, l);
+  std::vector<int> count(static_cast<size_t>(max_len) + 1, 0);
+  for (int l : lengths) {
+    if (l > 0) ++count[static_cast<size_t>(l)];
+  }
+  std::vector<uint64_t> next(static_cast<size_t>(max_len) + 1, 0);
+  uint64_t code = 0;
+  for (int l = 1; l <= max_len; ++l) {
+    code = (code + static_cast<uint64_t>(count[static_cast<size_t>(l - 1)]))
+           << 1;
+    next[static_cast<size_t>(l)] = code;
+  }
+  std::vector<uint64_t> codes(lengths.size(), 0);
+  for (size_t s = 0; s < lengths.size(); ++s) {
+    if (lengths[s] > 0) codes[s] = next[static_cast<size_t>(lengths[s])]++;
+  }
+  return codes;
+}
+
+/// Canonical Huffman decoder (first-code/offset per length).
+class HuffmanDecoder {
+ public:
+  explicit HuffmanDecoder(const std::vector<int>& lengths) {
+    max_len_ = 0;
+    for (int l : lengths) max_len_ = std::max(max_len_, l);
+    first_code_.assign(static_cast<size_t>(max_len_) + 2, 0);
+    first_index_.assign(static_cast<size_t>(max_len_) + 2, 0);
+    std::vector<int> count(static_cast<size_t>(max_len_) + 1, 0);
+    for (int l : lengths) {
+      if (l > 0) ++count[static_cast<size_t>(l)];
+    }
+    symbols_.reserve(lengths.size());
+    uint64_t code = 0;
+    size_t index = 0;
+    for (int l = 1; l <= max_len_; ++l) {
+      code = (code + static_cast<uint64_t>(count[static_cast<size_t>(l - 1)]))
+             << 1;
+      first_code_[static_cast<size_t>(l)] = code;
+      first_index_[static_cast<size_t>(l)] = index;
+      for (size_t s = 0; s < lengths.size(); ++s) {
+        if (lengths[s] == l) {
+          symbols_.push_back(static_cast<int>(s));
+          ++index;
+        }
+      }
+    }
+  }
+
+  int Decode(BitReader* reader) const {
+    uint64_t code = 0;
+    for (int l = 1; l <= max_len_; ++l) {
+      code = (code << 1) | (reader->ReadBit() ? 1 : 0);
+      uint64_t first = first_code_[static_cast<size_t>(l)];
+      uint64_t range = (l < max_len_)
+                           ? first_code_[static_cast<size_t>(l + 1)] >> 1
+                           : first + symbols_.size() -
+                                 first_index_[static_cast<size_t>(l)];
+      // Count of codes at this length:
+      size_t cnt = (l < max_len_)
+                       ? first_index_[static_cast<size_t>(l + 1)] -
+                             first_index_[static_cast<size_t>(l)]
+                       : symbols_.size() - first_index_[static_cast<size_t>(l)];
+      (void)range;
+      if (cnt > 0 && code >= first && code < first + cnt) {
+        return symbols_[first_index_[static_cast<size_t>(l)] +
+                        static_cast<size_t>(code - first)];
+      }
+    }
+    NEATS_REQUIRE(false, "corrupt huffman stream");
+    return -1;
+  }
+
+ private:
+  int max_len_ = 0;
+  std::vector<uint64_t> first_code_;
+  std::vector<size_t> first_index_;
+  std::vector<int> symbols_;
+};
+
+}  // namespace lzhuf_internal
+
+/// Match-finder effort knobs for LzHuf.
+struct LzHufOptions {
+  int chain_depth = 32;  // match-finder effort
+  bool lazy = false;     // one-step lazy matching
+};
+
+/// LZ77 + Huffman codec over raw bytes.
+class LzHuf {
+ public:
+  using Options = LzHufOptions;
+
+  /// Preset mirroring the slow/strong general-purpose compressors.
+  static Options StrongOptions() { return {256, true}; }
+  /// Preset mirroring the balanced general-purpose compressors.
+  static Options FastOptions() { return {16, false}; }
+
+  static std::vector<uint8_t> CompressBytes(std::span<const uint8_t> in,
+                                            const Options& options = {}) {
+    using namespace lzhuf_internal;
+    // --- Tokenize. ---
+    struct Token {
+      bool is_match;
+      uint8_t literal;
+      int length;
+      size_t distance;
+    };
+    std::vector<Token> tokens;
+    tokens.reserve(in.size() / 3 + 8);
+
+    const size_t n = in.size();
+    std::vector<uint32_t> head(1u << kHashBits, kNoPos);
+    std::vector<uint32_t> prev(n, kNoPos);
+
+    auto find_match = [&](size_t pos, int* best_len, size_t* best_dist) {
+      *best_len = 0;
+      if (pos + kMinMatch > n) return;
+      uint32_t h = Hash(in.data() + pos);
+      uint32_t cand = head[h];
+      int depth = options.chain_depth;
+      size_t limit = std::min(n - pos, kMaxMatchLen);
+      while (cand != kNoPos && depth-- > 0 && pos - cand <= kWindow) {
+        size_t len = 0;
+        while (len < limit && in[cand + len] == in[pos + len]) ++len;
+        if (static_cast<int>(len) > *best_len) {
+          *best_len = static_cast<int>(len);
+          *best_dist = pos - cand;
+          if (len == limit) break;
+        }
+        cand = prev[cand];
+      }
+    };
+    auto insert = [&](size_t pos) {
+      if (pos + kMinMatch > n) return;
+      uint32_t h = Hash(in.data() + pos);
+      if (head[h] == static_cast<uint32_t>(pos)) return;  // no self-loops
+      prev[pos] = head[h];
+      head[h] = static_cast<uint32_t>(pos);
+    };
+
+    size_t pos = 0;
+    while (pos < n) {
+      int len;
+      size_t dist = 0;
+      find_match(pos, &len, &dist);
+      if (len >= static_cast<int>(kMinMatch)) {
+        if (options.lazy && pos + 1 < n) {
+          int len2;
+          size_t dist2 = 0;
+          insert(pos);
+          find_match(pos + 1, &len2, &dist2);
+          if (len2 > len + 1) {
+            tokens.push_back({false, in[pos], 0, 0});
+            ++pos;
+            continue;  // the better match will be taken next round
+          }
+          tokens.push_back({true, 0, len, dist});
+          for (size_t i = pos + 1; i < pos + static_cast<size_t>(len); ++i) {
+            insert(i);
+          }
+          pos += static_cast<size_t>(len);
+          continue;
+        }
+        tokens.push_back({true, 0, len, dist});
+        for (size_t i = pos; i < pos + static_cast<size_t>(len); ++i) {
+          insert(i);
+        }
+        pos += static_cast<size_t>(len);
+      } else {
+        tokens.push_back({false, in[pos], 0, 0});
+        insert(pos);
+        ++pos;
+      }
+    }
+
+    // --- Frequencies and Huffman codes. ---
+    std::vector<uint64_t> lit_freq(kNumLitLenSyms, 0);
+    std::vector<uint64_t> dist_freq(kNumDistSyms, 0);
+    lit_freq[256] = 1;  // EOB
+    for (const Token& t : tokens) {
+      if (t.is_match) {
+        ++lit_freq[static_cast<size_t>(257 + LengthSymbol(t.length))];
+        int eb;
+        uint64_t ev;
+        ++dist_freq[static_cast<size_t>(DistanceSymbol(t.distance, &eb, &ev))];
+      } else {
+        ++lit_freq[t.literal];
+      }
+    }
+    std::vector<int> lit_lengths = HuffmanLengths(lit_freq);
+    std::vector<int> dist_lengths = HuffmanLengths(dist_freq);
+    std::vector<uint64_t> lit_codes = CanonicalCodes(lit_lengths);
+    std::vector<uint64_t> dist_codes = CanonicalCodes(dist_lengths);
+
+    // --- Emit: header (original size + code lengths), then the stream. ---
+    BitWriter writer;
+    writer.Append(n, 64);
+    for (int l : lit_lengths) writer.Append(static_cast<uint64_t>(l), 6);
+    for (int l : dist_lengths) writer.Append(static_cast<uint64_t>(l), 6);
+    auto emit_code = [&writer](uint64_t code, int len) {
+      writer.Append(ReverseLowBits(code, len), len);
+    };
+    for (const Token& t : tokens) {
+      if (t.is_match) {
+        int ls = LengthSymbol(t.length);
+        size_t sym = static_cast<size_t>(257 + ls);
+        emit_code(lit_codes[sym], lit_lengths[sym]);
+        writer.Append(static_cast<uint64_t>(t.length - kLenBase[ls]),
+                      kLenExtra[ls]);
+        int eb;
+        uint64_t ev;
+        int ds = DistanceSymbol(t.distance, &eb, &ev);
+        emit_code(dist_codes[static_cast<size_t>(ds)],
+                  dist_lengths[static_cast<size_t>(ds)]);
+        writer.Append(ev, eb);
+      } else {
+        emit_code(lit_codes[t.literal], lit_lengths[t.literal]);
+      }
+    }
+    emit_code(lit_codes[256], lit_lengths[256]);  // EOB
+
+    // Pack to bytes.
+    size_t bits = writer.bit_size();
+    std::vector<uint64_t> words = writer.TakeWords();
+    std::vector<uint8_t> out(8 + CeilDiv(bits, 8));
+    std::memcpy(out.data(), &bits, 8);
+    std::memcpy(out.data() + 8, words.data(), out.size() - 8);
+    return out;
+  }
+
+  static void DecompressBytes(std::span<const uint8_t> in,
+                              std::span<uint8_t> out) {
+    using namespace lzhuf_internal;
+    size_t bits;
+    std::memcpy(&bits, in.data(), 8);
+    std::vector<uint64_t> words(CeilDiv(bits, 64));
+    std::memcpy(words.data(), in.data() + 8, in.size() - 8);
+    BitReader reader(words.data(), bits);
+
+    size_t n = reader.Read(64);
+    NEATS_REQUIRE(n == out.size(), "output size mismatch");
+    std::vector<int> lit_lengths(kNumLitLenSyms), dist_lengths(kNumDistSyms);
+    for (auto& l : lit_lengths) l = static_cast<int>(reader.Read(6));
+    for (auto& l : dist_lengths) l = static_cast<int>(reader.Read(6));
+    HuffmanDecoder lit_dec(lit_lengths);
+    HuffmanDecoder dist_dec(dist_lengths);
+
+    size_t op = 0;
+    while (true) {
+      int sym = lit_dec.Decode(&reader);
+      if (sym == 256) break;
+      if (sym < 256) {
+        out[op++] = static_cast<uint8_t>(sym);
+        continue;
+      }
+      int ls = sym - 257;
+      size_t len = static_cast<size_t>(kLenBase[ls]) +
+                   reader.Read(kLenExtra[ls]);
+      int ds = dist_dec.Decode(&reader);
+      int eb;
+      size_t dist = DistanceBase(ds, &eb) + reader.Read(eb);
+      for (size_t i = 0; i < len; ++i, ++op) {
+        out[op] = out[op - dist];
+      }
+    }
+    NEATS_REQUIRE(op == out.size(), "corrupt lzhuf stream");
+  }
+
+ private:
+  static constexpr int kHashBits = 17;
+  static constexpr size_t kMinMatch = 4;
+  static constexpr size_t kMaxMatchLen = 258;
+  static constexpr size_t kWindow = 1u << 20;
+  static constexpr uint32_t kNoPos = UINT32_MAX;
+  static constexpr size_t kNumLitLenSyms = 286;
+
+  static uint32_t Hash(const uint8_t* p) {
+    uint32_t v;
+    std::memcpy(&v, p, 4);
+    return (v * 2654435761u) >> (32 - kHashBits);
+  }
+};
+
+}  // namespace neats

@@ -1,0 +1,75 @@
+// Optimal Piecewise Linear Approximation (PLA) — the lossy baseline of
+// Sec. IV-B, i.e. O'Rourke's algorithm producing the minimum number of
+// linear segments under a given L-infinity error bound.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "functions/approximator.hpp"
+#include "functions/kinds.hpp"
+
+namespace neats {
+
+/// Lossy piecewise-linear representation with the minimum number of segments.
+class Pla {
+ public:
+  Pla() = default;
+
+  /// Builds the optimal PLA of `values` under error bound `eps`.
+  static Pla Compress(std::span<const int64_t> values, int64_t eps) {
+    Pla out;
+    out.n_ = values.size();
+    out.eps_ = eps;
+    if (values.empty()) return out;
+    out.fragments_ =
+        PiecewiseApproximation(values, FunctionKind::kLinear, eps);
+    return out;
+  }
+
+  uint64_t size() const { return n_; }
+  size_t num_segments() const { return fragments_.size(); }
+  int64_t epsilon() const { return eps_; }
+
+  /// Approximated value at index k (binary search over segments).
+  int64_t Access(uint64_t k) const {
+    size_t lo = 0, hi = fragments_.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi + 1) / 2;
+      if (fragments_[mid].start <= k) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    return fragments_[lo].Predict(k);
+  }
+
+  /// Reconstructs the whole approximated series.
+  void Decompress(std::vector<int64_t>* out) const {
+    out->resize(n_);
+    for (const Fragment& frag : fragments_) {
+      const double m = frag.params[0];
+      const double b = frag.params[1];
+      for (uint64_t k = frag.start; k < frag.end; ++k) {
+        double pred = m * static_cast<double>(k - frag.origin + 1) + b;
+        (*out)[k] = static_cast<int64_t>(std::floor(pred));
+      }
+    }
+  }
+
+  /// Storage: per segment a 64-bit start index and two 64-bit parameters
+  /// (the layout used by the paper's C++ PLA baseline).
+  size_t SizeInBits() const { return 2 * 64 + fragments_.size() * 3 * 64; }
+
+  const std::vector<Fragment>& fragments() const { return fragments_; }
+
+ private:
+  uint64_t n_ = 0;
+  int64_t eps_ = 0;
+  std::vector<Fragment> fragments_;
+};
+
+}  // namespace neats

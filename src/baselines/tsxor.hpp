@@ -1,0 +1,121 @@
+// TSXor (Bruno et al., SPIRE 2021): byte-oriented XOR compression with a
+// window of recent values.
+//
+// Each value is encoded as one of:
+//   control c in [0, 127]   — exact copy of window[c]
+//   control c in [128, 254] — XOR with window[c - 128]; one descriptor byte
+//                             (first nonzero byte << 4 | span length) and the
+//                             nonzero XOR bytes follow
+//   control 255             — literal: 8 raw bytes
+// The window holds the most recent 127 values.
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/bits.hpp"
+
+namespace neats {
+
+/// TSXor-compressed sequence of doubles.
+class TsXor {
+ public:
+  TsXor() = default;
+
+  static constexpr size_t kWindow = 127;
+
+  static TsXor Compress(std::span<const double> values) {
+    TsXor out;
+    out.n_ = values.size();
+    std::vector<uint64_t> window;
+    window.reserve(kWindow);
+    for (size_t i = 0; i < values.size(); ++i) {
+      uint64_t cur = std::bit_cast<uint64_t>(values[i]);
+      // Exact match?
+      size_t exact = SIZE_MAX;
+      size_t best = SIZE_MAX;
+      int best_cost = 9;  // literal cost: control + 8 bytes
+      int best_first = 0, best_span = 0;
+      for (size_t j = 0; j < window.size(); ++j) {
+        uint64_t x = cur ^ window[j];
+        if (x == 0) {
+          exact = j;
+          break;
+        }
+        int first = CountTrailingZeros(x) / 8;
+        int last = 7 - CountLeadingZeros(x) / 8;
+        int span = last - first + 1;
+        if (2 + span < best_cost) {
+          best_cost = 2 + span;
+          best = j;
+          best_first = first;
+          best_span = span;
+        }
+      }
+      if (exact != SIZE_MAX) {
+        out.bytes_.push_back(static_cast<uint8_t>(exact));
+      } else if (best != SIZE_MAX) {
+        uint64_t x = cur ^ window[best];
+        out.bytes_.push_back(static_cast<uint8_t>(128 + best));
+        out.bytes_.push_back(
+            static_cast<uint8_t>((best_first << 4) | (best_span - 1)));
+        for (int b = 0; b < best_span; ++b) {
+          out.bytes_.push_back(
+              static_cast<uint8_t>(x >> ((best_first + b) * 8)));
+        }
+      } else {
+        out.bytes_.push_back(255);
+        for (int b = 0; b < 8; ++b) {
+          out.bytes_.push_back(static_cast<uint8_t>(cur >> (b * 8)));
+        }
+      }
+      if (window.size() == kWindow) window.erase(window.begin());
+      window.push_back(cur);
+    }
+    return out;
+  }
+
+  void Decompress(std::vector<double>* out) const {
+    out->resize(n_);
+    std::vector<uint64_t> window;
+    window.reserve(kWindow);
+    size_t pos = 0;
+    for (size_t i = 0; i < n_; ++i) {
+      uint8_t control = bytes_[pos++];
+      uint64_t cur;
+      if (control < 128) {
+        cur = window[control];
+      } else if (control == 255) {
+        cur = 0;
+        for (int b = 0; b < 8; ++b) {
+          cur |= static_cast<uint64_t>(bytes_[pos++]) << (b * 8);
+        }
+      } else {
+        uint8_t desc = bytes_[pos++];
+        int first = desc >> 4;
+        int span = (desc & 0xF) + 1;
+        uint64_t x = 0;
+        for (int b = 0; b < span; ++b) {
+          x |= static_cast<uint64_t>(bytes_[pos++]) << ((first + b) * 8);
+        }
+        cur = window[control - 128] ^ x;
+      }
+      (*out)[i] = std::bit_cast<double>(cur);
+      if (window.size() == kWindow) window.erase(window.begin());
+      window.push_back(cur);
+    }
+  }
+
+  size_t size() const { return n_; }
+  size_t SizeInBits() const { return bytes_.size() * 8 + 64; }
+
+ private:
+  size_t n_ = 0;
+  std::vector<uint8_t> bytes_;
+};
+
+}  // namespace neats

@@ -1,0 +1,34 @@
+// Lightweight runtime checks.
+//
+// NEATS_REQUIRE guards public-API preconditions and stays active in release
+// builds (the cost is negligible next to the work the callers do).
+// NEATS_DCHECK guards internal invariants and compiles away under NDEBUG.
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace neats::internal {
+
+[[noreturn]] inline void FailRequire(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "NEATS_REQUIRE failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace neats::internal
+
+#define NEATS_REQUIRE(cond, msg)                                         \
+  do {                                                                   \
+    if (!(cond)) ::neats::internal::FailRequire(#cond, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define NEATS_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define NEATS_DCHECK(cond) NEATS_REQUIRE(cond, "internal invariant")
+#endif

@@ -1,0 +1,90 @@
+// Bit-manipulation primitives shared by the succinct data structures.
+//
+// Everything here is a thin, well-tested wrapper around <bit> plus the two
+// broadword routines that the standard library does not provide: select of
+// the i-th set bit inside a 64-bit word, and the bit width of value ranges.
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstddef>
+
+namespace neats {
+
+/// Number of set bits in `x`.
+inline constexpr int Popcount(uint64_t x) { return std::popcount(x); }
+
+/// Number of bits needed to represent `x` (0 -> 0, 1 -> 1, 255 -> 8, ...).
+inline constexpr int BitWidth(uint64_t x) { return std::bit_width(x); }
+
+/// Index (0-based, from LSB) of the lowest set bit. Precondition: x != 0.
+inline constexpr int CountTrailingZeros(uint64_t x) { return std::countr_zero(x); }
+
+/// Number of leading zero bits. Precondition behaviour: returns 64 for x == 0.
+inline constexpr int CountLeadingZeros(uint64_t x) {
+  return x == 0 ? 64 : std::countl_zero(x);
+}
+
+/// Ceiling of log2(x) for x >= 1; returns 0 for x in {0, 1}.
+inline constexpr int CeilLog2(uint64_t x) {
+  return x <= 1 ? 0 : 64 - CountLeadingZeros(x - 1);
+}
+
+/// Position (0-based from LSB) of the k-th (0-based) set bit of `x`.
+/// Precondition: Popcount(x) > k.
+///
+/// Broadword selection following Vigna's sux implementation: a parallel
+/// byte-wise popcount locates the byte containing the target bit, then an
+/// 8-entry lookup finishes inside the byte.
+inline int SelectInWord(uint64_t x, int k) {
+  constexpr uint64_t kOnesStep4 = 0x1111111111111111ULL;
+  constexpr uint64_t kOnesStep8 = 0x0101010101010101ULL;
+  constexpr uint64_t kMsbsStep8 = 0x80ULL * kOnesStep8;
+
+  uint64_t s = x;
+  s = s - ((s & (0xAULL * kOnesStep4)) >> 1);
+  s = (s & (0x3ULL * kOnesStep4)) + ((s >> 2) & (0x3ULL * kOnesStep4));
+  s = (s + (s >> 4)) & (0xFULL * kOnesStep8);
+  uint64_t byte_sums = s * kOnesStep8;  // prefix popcounts per byte, inclusive
+
+  uint64_t k_step8 = static_cast<uint64_t>(k) * kOnesStep8;
+  // For each byte: 1 if byte_sum <= k, via the classic LEQ broadword trick.
+  uint64_t geq_k_step8 =
+      (((k_step8 | kMsbsStep8) - byte_sums) & kMsbsStep8);
+  int place = Popcount(geq_k_step8) * 8;
+  int byte_rank = k - static_cast<int>((byte_sums << 8) >> place & 0xFF);
+
+  uint64_t byte = (x >> place) & 0xFF;
+  // Select inside the byte with a small loop (byte has <= 8 bits).
+  for (int i = 0; i < 8; ++i) {
+    if (byte & (1ULL << i)) {
+      if (byte_rank == 0) return place + i;
+      --byte_rank;
+    }
+  }
+  return -1;  // Unreachable if the precondition holds.
+}
+
+/// Mask with the lowest `n` bits set; `n` may be 0..64.
+inline constexpr uint64_t LowMask(int n) {
+  return n >= 64 ? ~0ULL : ((1ULL << n) - 1);
+}
+
+/// ZigZag encoding of a signed 64-bit integer into an unsigned one, so that
+/// small-magnitude values (of either sign) map to small unsigned codes.
+inline constexpr uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+/// Inverse of ZigZagEncode.
+inline constexpr int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+/// Integer ceiling division for non-negative operands.
+inline constexpr uint64_t CeilDiv(uint64_t a, uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace neats

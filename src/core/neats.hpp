@@ -1,0 +1,573 @@
+// The NeaTS lossless compressor (paper, Sec. III-C).
+//
+// Compressed layout — the tuple ⟨S, B, O, C, K, P⟩ of the paper, plus a small
+// displacement array D introduced by this implementation:
+//
+//   S  fragment start positions; Elias-Fano (O(1) access, O(log) rank) or,
+//      optionally, a plain bitvector with rank9 for O(1)-time random access
+//      (both variants are described in the paper).
+//   B  per-fragment correction bit widths, in a packed array.
+//   O  cumulative correction bit offsets, Elias-Fano.
+//   C  the corrections themselves, bit-packed back to back.
+//   K  per-fragment function kinds, a wavelet tree over the (dense) kind ids.
+//   P  per-kind concatenation of the function parameters; the parameters of
+//      fragment i live at index K.rank_{K[i]}(i) of its kind's array.
+//   D  per-fragment displacement start - origin (non-zero only for fragments
+//      born as suffix edges, whose parameters keep the original fit origin;
+//      width is 0 bits whenever no suffix fragment survives in the partition).
+//
+// Full decompression is Algorithm 2; random access is Algorithm 3; range
+// decompression combines one random access with a forward scan.
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+#include "core/partitioner.hpp"
+#include "functions/approximator.hpp"
+#include "functions/kinds.hpp"
+#include "succinct/bit_stream.hpp"
+#include "succinct/bit_vector.hpp"
+#include "succinct/elias_fano.hpp"
+#include "succinct/packed_array.hpp"
+#include "succinct/wavelet_tree.hpp"
+
+namespace neats {
+
+/// How the S array (fragment starts) is represented.
+enum class StartsIndex {
+  kEliasFano,  // compressed, rank in O(min(log m, log n/m))
+  kBitVector,  // plain n-bit vector with rank9, rank in O(1)
+};
+
+/// Compression options for Neats::Compress.
+struct NeatsOptions {
+  PartitionOptions partition;
+  StartsIndex starts_index = StartsIndex::kEliasFano;
+};
+
+/// Number of bits used to store one correction of a fragment whose residuals
+/// span [lo, hi] (two's-complement style, bias 2^(b-1)).
+inline int ResidualBits(int64_t lo, int64_t hi) {
+  int bits = 0;
+  if (lo < 0) bits = CeilLog2(static_cast<uint64_t>(-lo)) + 1;
+  if (hi > 0) bits = std::max(bits, CeilLog2(static_cast<uint64_t>(hi) + 1) + 1);
+  return bits;
+}
+
+/// A lossless, randomly-accessible compressed representation of an integer
+/// time series.
+class Neats {
+ public:
+  Neats() = default;
+
+  /// Compresses `values`. Values must lie within ±2^61 (see kMaxAbsValue).
+  static Neats Compress(std::span<const int64_t> values,
+                        const NeatsOptions& options = {}) {
+    std::vector<int64_t> eps = options.partition.epsilons;
+    if (eps.empty()) eps = DefaultEpsilons(ShiftView(values).shifted);
+    return CompressImpl(values, options, eps);
+  }
+
+  /// SNeaTS (paper, Sec. IV-C1): runs the partitioner on the first
+  /// `sample_fraction` of the series, keeps the `top_pairs` most used
+  /// (kind, eps) pairs, and compresses the whole series with only those.
+  static Neats CompressWithModelSelection(std::span<const int64_t> values,
+                                          const NeatsOptions& options = {},
+                                          double sample_fraction = 0.1,
+                                          size_t top_pairs = 5);
+
+  /// Number of values.
+  uint64_t size() const { return n_; }
+
+  /// Number of fragments in the partition.
+  size_t num_fragments() const { return m_; }
+
+  /// Algorithm 3: the value at index k, in O(rank) time.
+  int64_t Access(uint64_t k) const {
+    NEATS_DCHECK(k < n_);
+    size_t i = FragmentIndexOf(k);
+    return DecodeAt(i, FragmentStart(i), k);
+  }
+
+  /// Algorithm 2: appends all n values to `out` (cleared first).
+  void Decompress(std::vector<int64_t>* out) const {
+    out->resize(n_);
+    DecompressRange(0, n_, out->data());
+  }
+
+  /// Decompresses values[k, k + len) into out (random access + scan).
+  void DecompressRange(uint64_t k, uint64_t len, int64_t* out) const {
+    NEATS_DCHECK(k + len <= n_);
+    if (len == 0) return;
+    size_t i = FragmentIndexOf(k);
+    uint64_t produced = 0;
+    while (produced < len) {
+      uint64_t start = FragmentStart(i);
+      uint64_t end = FragmentEnd(i);
+      uint64_t from = std::max(k + produced, start);
+      uint64_t to = std::min(k + len, end);
+      DecodeFragmentRange(i, start, from, to, out + produced);
+      produced += to - from;
+      ++i;
+    }
+  }
+
+  /// Total size of the compressed representation, in bits.
+  size_t SizeInBits() const {
+    size_t s_bits = starts_mode_ == StartsIndex::kEliasFano
+                        ? starts_ef_.SizeInBits()
+                        : starts_bv_.SizeInBits();
+    size_t p_bits = 0;
+    for (const auto& p : params_) p_bits += p.size() * 64 + 64;
+    return kHeaderBits + s_bits + widths_.SizeInBits() + offsets_.SizeInBits() +
+           corrections_words_.size() * 64 + kinds_wt_.SizeInBits() +
+           displacement_.SizeInBits() + p_bits;
+  }
+
+  /// Result of an approximate aggregate: the estimate plus a hard bound on
+  /// its distance from the exact answer.
+  struct ApproximateAggregate {
+    double value;
+    double error_bound;
+  };
+
+  /// Approximate sum over values[from, from+len) computed from the learned
+  /// functions alone — the corrections (and hence most of the compressed
+  /// payload) are never touched, which is the aggregate-query direction the
+  /// paper suggests as future work (Sec. VI). Each skipped correction lies
+  /// in [-2^(B[i]-1), 2^(B[i]-1) - 1], so the result is off by at most
+  /// len_i * 2^(B[i]-1) per covered fragment; the bound returned is exact.
+  ApproximateAggregate ApproximateRangeSum(uint64_t from, uint64_t len) const {
+    NEATS_DCHECK(from + len <= n_);
+    ApproximateAggregate agg{0.0, 0.0};
+    if (len == 0) return agg;
+    size_t i = FragmentIndexOf(from);
+    uint64_t covered = 0;
+    while (covered < len) {
+      uint64_t start = FragmentStart(i);
+      uint64_t end = FragmentEnd(i);
+      uint64_t lo = std::max(from + covered, start);
+      uint64_t hi = std::min(from + len, end);
+      uint32_t dense = kinds_wt_.Access(i);
+      FunctionKind kind = kind_table_[dense];
+      const double* params = ParamsOf(i, dense);
+      uint64_t origin = start - displacement_[i];
+      for (uint64_t k = lo; k < hi; ++k) {
+        agg.value += static_cast<double>(
+            PredictFloor(kind, params, static_cast<int64_t>(k - origin) + 1));
+      }
+      int bits = static_cast<int>(widths_[i]);
+      double max_corr = bits == 0 ? 0.0
+                                  : static_cast<double>(uint64_t{1} << (bits - 1));
+      agg.error_bound += static_cast<double>(hi - lo) * max_corr;
+      covered += hi - lo;
+      ++i;
+    }
+    agg.value -= static_cast<double>(shift_) * static_cast<double>(len);
+    return agg;
+  }
+
+  /// Exact sum over values[from, from+len) (range decode + accumulate).
+  int64_t RangeSum(uint64_t from, uint64_t len) const {
+    std::vector<int64_t> buffer(len);
+    DecompressRange(from, len, buffer.data());
+    int64_t sum = 0;
+    for (int64_t v : buffer) sum += v;
+    return sum;
+  }
+
+  /// Serializes the compressed representation to bytes. The format stores
+  /// the logical content (fragment table, parameters, corrections); the
+  /// succinct indexes are rebuilt on load, which keeps the on-disk format
+  /// simple and close to the information-theoretic size.
+  void Serialize(std::vector<uint8_t>* out) const {
+    out->clear();
+    auto put64 = [out](uint64_t v) {
+      for (int b = 0; b < 8; ++b) out->push_back(static_cast<uint8_t>(v >> (8 * b)));
+    };
+    put64(kMagic);
+    put64(n_);
+    put64(static_cast<uint64_t>(m_));
+    put64(static_cast<uint64_t>(shift_));
+    put64(starts_mode_ == StartsIndex::kEliasFano ? 0 : 1);
+    put64(kind_table_.size());
+    for (FunctionKind kind : kind_table_) put64(static_cast<uint64_t>(kind));
+    for (size_t i = 0; i < m_; ++i) {
+      put64(FragmentStart(i));
+      put64(kinds_wt_.Access(i));
+      put64(widths_[i]);
+      put64(displacement_[i]);
+    }
+    for (const auto& p : params_) {
+      put64(p.size());
+      for (double v : p) put64(std::bit_cast<uint64_t>(v));
+    }
+    put64(offsets_.size() == 0 ? 0 : offsets_.Access(m_));  // total corr. bits
+    put64(corrections_words_.size());
+    for (uint64_t w : corrections_words_) put64(w);
+  }
+
+  /// Rebuilds a Neats object from Serialize output.
+  static Neats Deserialize(std::span<const uint8_t> bytes) {
+    size_t pos = 0;
+    auto get64 = [&bytes, &pos]() {
+      uint64_t v = 0;
+      for (int b = 0; b < 8; ++b) v |= static_cast<uint64_t>(bytes[pos++]) << (8 * b);
+      return v;
+    };
+    NEATS_REQUIRE(get64() == kMagic, "not a NeaTS blob");
+    Neats out;
+    out.n_ = get64();
+    out.m_ = get64();
+    out.shift_ = static_cast<int64_t>(get64());
+    out.starts_mode_ = get64() == 0 ? StartsIndex::kEliasFano
+                                    : StartsIndex::kBitVector;
+    size_t kinds = get64();
+    for (size_t i = 0; i < kinds; ++i) {
+      out.kind_table_.push_back(static_cast<FunctionKind>(get64()));
+    }
+    std::vector<uint64_t> starts(out.m_), widths(out.m_), disp(out.m_);
+    std::vector<uint32_t> kind_symbols(out.m_);
+    for (size_t i = 0; i < out.m_; ++i) {
+      starts[i] = get64();
+      kind_symbols[i] = static_cast<uint32_t>(get64());
+      widths[i] = get64();
+      disp[i] = get64();
+    }
+    out.params_.resize(kinds);
+    for (auto& p : out.params_) {
+      size_t len = get64();
+      p.reserve(len);
+      for (size_t i = 0; i < len; ++i) p.push_back(std::bit_cast<double>(get64()));
+    }
+    uint64_t total_bits = get64();
+    size_t words = get64();
+    out.corrections_words_.reserve(words);
+    for (size_t i = 0; i < words; ++i) out.corrections_words_.push_back(get64());
+
+    if (out.m_ > 0) {
+      // Rebuild the succinct indexes.
+      if (out.starts_mode_ == StartsIndex::kEliasFano) {
+        out.starts_ef_ = EliasFano(starts, out.n_);
+      } else {
+        BitVector bv(out.n_);
+        for (uint64_t s : starts) bv.Set(s);
+        out.starts_bv_ = RankSelect(std::move(bv));
+      }
+      std::vector<uint64_t> offsets(out.m_ + 1, 0);
+      for (size_t i = 0; i < out.m_; ++i) {
+        uint64_t end = i + 1 < out.m_ ? starts[i + 1] : out.n_;
+        offsets[i + 1] = offsets[i] + (end - starts[i]) * widths[i];
+      }
+      NEATS_REQUIRE(offsets[out.m_] == total_bits, "corrupt NeaTS blob");
+      out.widths_ = PackedArray::FromValues(widths);
+      out.displacement_ = PackedArray::FromValues(disp);
+      out.offsets_ = EliasFano(offsets, total_bits + 1);
+      out.kinds_wt_ = WaveletTree(kind_symbols, static_cast<uint32_t>(kinds));
+    }
+    return out;
+  }
+
+  /// Introspection: a decoded view of fragment i (for examples & benches).
+  struct FragmentInfo {
+    uint64_t start, end, origin;
+    FunctionKind kind;
+    int correction_bits;
+    double params[3];
+  };
+  FragmentInfo GetFragment(size_t i) const {
+    FragmentInfo info;
+    info.start = FragmentStart(i);
+    info.end = FragmentEnd(i);
+    info.origin = info.start - displacement_[i];
+    info.kind = kind_table_[kinds_wt_.Access(i)];
+    info.correction_bits = static_cast<int>(widths_[i]);
+    const double* p = ParamsOf(i, kinds_wt_.Access(i));
+    for (int j = 0; j < 3; ++j) {
+      info.params[j] = j < NumParams(info.kind) ? p[j] : 0.0;
+    }
+    return info;
+  }
+
+ private:
+  friend class NeatsTestPeer;
+
+  struct ShiftedValues {
+    std::vector<int64_t> storage;
+    std::span<const int64_t> shifted;
+    int64_t shift = 0;
+  };
+
+  /// Applies the positivity shift of footnote 2: y' = y + shift with
+  /// shift = 1 - min(y) when min(y) < 1, so log-domain kinds stay usable.
+  static ShiftedValues ShiftView(std::span<const int64_t> values) {
+    ShiftedValues sv;
+    int64_t lo = 0;
+    for (int64_t v : values) {
+      NEATS_REQUIRE(v >= -kMaxAbsValue && v <= kMaxAbsValue,
+                    "value outside ±2^61");
+      lo = std::min(lo, v);
+    }
+    if (values.empty() || lo >= 1) {
+      sv.shifted = values;
+      return sv;
+    }
+    sv.shift = 1 - lo;
+    sv.storage.reserve(values.size());
+    for (int64_t v : values) sv.storage.push_back(v + sv.shift);
+    sv.shifted = sv.storage;
+    return sv;
+  }
+
+  static Neats CompressImpl(std::span<const int64_t> values,
+                            const NeatsOptions& options,
+                            const std::vector<int64_t>& epsilons) {
+    Neats out;
+    out.n_ = values.size();
+    out.starts_mode_ = options.starts_index;
+    if (values.empty()) return out;
+
+    ShiftedValues sv = ShiftView(values);
+    out.shift_ = sv.shift;
+
+    PartitionOptions popts = options.partition;
+    popts.epsilons = epsilons;
+    std::vector<Fragment> fragments = PartitionLossless(sv.shifted, popts);
+    out.BuildLayout(sv.shifted, fragments, options);
+    return out;
+  }
+
+  void BuildLayout(std::span<const int64_t> shifted,
+                   const std::vector<Fragment>& fragments,
+                   const NeatsOptions& options) {
+    const size_t m = fragments.size();
+
+    // Dense kind table: only kinds actually used get an id.
+    std::vector<int> kind_to_dense(kNumFunctionKinds, -1);
+    std::vector<uint32_t> kind_symbols(m);
+    for (size_t i = 0; i < m; ++i) {
+      int raw = static_cast<int>(fragments[i].kind);
+      if (kind_to_dense[raw] < 0) {
+        kind_to_dense[raw] = static_cast<int>(kind_table_.size());
+        kind_table_.push_back(fragments[i].kind);
+      }
+      kind_symbols[i] = static_cast<uint32_t>(kind_to_dense[raw]);
+    }
+    kinds_wt_ = WaveletTree(kind_symbols,
+                            static_cast<uint32_t>(kind_table_.size()));
+    params_.resize(kind_table_.size());
+
+    m_ = m;
+    std::vector<uint64_t> starts(m);
+    std::vector<uint64_t> widths(m), displacement(m), offsets(m + 1);
+    BitWriter corrections;
+
+    for (size_t i = 0; i < m; ++i) {
+      const Fragment& frag = fragments[i];
+      starts[i] = frag.start;
+      displacement[i] = frag.start - frag.origin;
+      for (int j = 0; j < NumParams(frag.kind); ++j) {
+        params_[kind_symbols[i]].push_back(frag.params[j]);
+      }
+      // Residual pass 1: actual range (floating-point-safe width).
+      int64_t lo = 0, hi = 0;
+      for (uint64_t k = frag.start; k < frag.end; ++k) {
+        int64_t r = shifted[k] - frag.Predict(k);
+        lo = std::min(lo, r);
+        hi = std::max(hi, r);
+      }
+      int bits = ResidualBits(lo, hi);
+      widths[i] = static_cast<uint64_t>(bits);
+      offsets[i] = corrections.bit_size();
+      // Residual pass 2: emit with bias 2^(bits-1).
+      int64_t bias = bits == 0 ? 0 : (int64_t{1} << (bits - 1));
+      for (uint64_t k = frag.start; k < frag.end; ++k) {
+        int64_t r = shifted[k] - frag.Predict(k);
+        corrections.Append(static_cast<uint64_t>(r + bias), bits);
+      }
+    }
+    offsets[m] = corrections.bit_size();
+
+    if (starts_mode_ == StartsIndex::kEliasFano) {
+      starts_ef_ = EliasFano(starts, n_);
+    } else {
+      BitVector bv(n_);
+      for (uint64_t s : starts) bv.Set(s);
+      starts_bv_ = RankSelect(std::move(bv));
+    }
+    widths_ = PackedArray::FromValues(widths);
+    displacement_ = PackedArray::FromValues(displacement);
+    offsets_ = EliasFano(offsets, offsets[m] + 1);
+    corrections_words_ = corrections.TakeWords();
+    (void)options;
+  }
+
+  /// Index of the fragment covering position k (S.rank(k) - 1).
+  size_t FragmentIndexOf(uint64_t k) const {
+    if (starts_mode_ == StartsIndex::kEliasFano) {
+      return starts_ef_.Rank(k) - 1;
+    }
+    return static_cast<size_t>(starts_bv_.Rank1(k + 1)) - 1;
+  }
+
+  uint64_t FragmentStart(size_t i) const {
+    return starts_mode_ == StartsIndex::kEliasFano
+               ? starts_ef_.Access(i)
+               : starts_bv_.Select1(i);
+  }
+  uint64_t FragmentEnd(size_t i) const {
+    return i + 1 < m_ ? FragmentStart(i + 1) : n_;
+  }
+
+  const double* ParamsOf(size_t i, uint32_t dense_kind) const {
+    size_t idx = kinds_wt_.Rank(dense_kind, i);
+    return params_[dense_kind].data() +
+           idx * static_cast<size_t>(NumParams(kind_table_[dense_kind]));
+  }
+
+  int64_t DecodeAt(size_t i, uint64_t start, uint64_t k) const {
+    uint32_t dense = kinds_wt_.Access(i);
+    FunctionKind kind = kind_table_[dense];
+    const double* params = ParamsOf(i, dense);
+    int bits = static_cast<int>(widths_[i]);
+    uint64_t origin = start - displacement_[i];
+    int64_t pred = PredictFloor(kind, params, static_cast<int64_t>(k - origin) + 1);
+    int64_t bias = bits == 0 ? 0 : (int64_t{1} << (bits - 1));
+    uint64_t o = offsets_.Access(i) + (k - start) * static_cast<uint64_t>(bits);
+    int64_t c = static_cast<int64_t>(ReadBits(corrections_words_.data(), o, bits)) - bias;
+    return pred + c - shift_;
+  }
+
+  // Tight per-kind decode loop; KIND is a compile-time constant so the
+  // dispatch inside PredictFloor folds away and the loop vectorises.
+  template <FunctionKind KIND>
+  void DecodeLoop(const double* params, uint64_t origin, uint64_t from,
+                  uint64_t to, int bits, uint64_t bit_offset,
+                  int64_t* out) const {
+    int64_t bias = bits == 0 ? 0 : (int64_t{1} << (bits - 1));
+    const uint64_t* words = corrections_words_.data();
+    uint64_t o = bit_offset;
+    for (uint64_t k = from; k < to; ++k, o += static_cast<uint64_t>(bits)) {
+      int64_t pred = PredictFloor(KIND, params, static_cast<int64_t>(k - origin) + 1);
+      int64_t c = static_cast<int64_t>(ReadBits(words, o, bits)) - bias;
+      out[k - from] = pred + c - shift_;
+    }
+  }
+
+  void DecodeFragmentRange(size_t i, uint64_t start, uint64_t from,
+                           uint64_t to, int64_t* out) const {
+    uint32_t dense = kinds_wt_.Access(i);
+    FunctionKind kind = kind_table_[dense];
+    const double* params = ParamsOf(i, dense);
+    int bits = static_cast<int>(widths_[i]);
+    uint64_t origin = start - displacement_[i];
+    uint64_t o = offsets_.Access(i) + (from - start) * static_cast<uint64_t>(bits);
+    switch (kind) {
+      case FunctionKind::kLinear:
+        return DecodeLoop<FunctionKind::kLinear>(params, origin, from, to, bits, o, out);
+      case FunctionKind::kQuadratic:
+        return DecodeLoop<FunctionKind::kQuadratic>(params, origin, from, to, bits, o, out);
+      case FunctionKind::kRadical:
+        return DecodeLoop<FunctionKind::kRadical>(params, origin, from, to, bits, o, out);
+      case FunctionKind::kExponential:
+        return DecodeLoop<FunctionKind::kExponential>(params, origin, from, to, bits, o, out);
+      case FunctionKind::kPower:
+        return DecodeLoop<FunctionKind::kPower>(params, origin, from, to, bits, o, out);
+      case FunctionKind::kLogarithm:
+        return DecodeLoop<FunctionKind::kLogarithm>(params, origin, from, to, bits, o, out);
+      case FunctionKind::kQuadMixed:
+        return DecodeLoop<FunctionKind::kQuadMixed>(params, origin, from, to, bits, o, out);
+      case FunctionKind::kCubicOdd:
+        return DecodeLoop<FunctionKind::kCubicOdd>(params, origin, from, to, bits, o, out);
+      case FunctionKind::kCubicMixed:
+        return DecodeLoop<FunctionKind::kCubicMixed>(params, origin, from, to, bits, o, out);
+      case FunctionKind::kQuadraticFull:
+        return DecodeLoop<FunctionKind::kQuadraticFull>(params, origin, from, to, bits, o, out);
+      case FunctionKind::kGaussian:
+        return DecodeLoop<FunctionKind::kGaussian>(params, origin, from, to, bits, o, out);
+    }
+  }
+
+  static constexpr size_t kHeaderBits = 4 * 64;  // n, shift, m, mode/kind table
+  static constexpr uint64_t kMagic = 0x5354414554414E45ULL;  // "ENATAETS"
+
+  uint64_t n_ = 0;
+  size_t m_ = 0;
+  int64_t shift_ = 0;
+  StartsIndex starts_mode_ = StartsIndex::kEliasFano;
+
+  EliasFano starts_ef_;   // S (Elias-Fano variant)
+  RankSelect starts_bv_;  // S (plain bitvector variant)
+
+  PackedArray widths_;        // B
+  EliasFano offsets_;         // O
+  std::vector<uint64_t> corrections_words_;  // C
+  WaveletTree kinds_wt_;      // K
+  PackedArray displacement_;  // D
+  std::vector<FunctionKind> kind_table_;
+  std::vector<std::vector<double>> params_;  // P, one vector per dense kind
+};
+
+inline Neats Neats::CompressWithModelSelection(std::span<const int64_t> values,
+                                               const NeatsOptions& options,
+                                               double sample_fraction,
+                                               size_t top_pairs) {
+  if (values.size() < 1000) return Compress(values, options);
+  ShiftedValues sv = ShiftView(values);
+
+  size_t sample_n = std::max<size_t>(1000, static_cast<size_t>(
+      static_cast<double>(values.size()) * sample_fraction));
+  sample_n = std::min(sample_n, values.size());
+
+  PartitionOptions popts = options.partition;
+  if (popts.epsilons.empty()) popts.epsilons = DefaultEpsilons(sv.shifted);
+  std::vector<Fragment> sample_frags =
+      PartitionLossless(sv.shifted.subspan(0, sample_n), popts);
+
+  // Vote: total covered length per (kind, eps) pair.
+  struct PairUse {
+    FunctionKind kind;
+    int64_t eps;
+    uint64_t covered = 0;
+  };
+  std::vector<PairUse> uses;
+  for (const Fragment& f : sample_frags) {
+    bool found = false;
+    for (PairUse& u : uses) {
+      if (u.kind == f.kind && u.eps == f.epsilon) {
+        u.covered += f.length();
+        found = true;
+        break;
+      }
+    }
+    if (!found) uses.push_back({f.kind, f.epsilon, f.length()});
+  }
+  std::sort(uses.begin(), uses.end(),
+            [](const PairUse& a, const PairUse& b) { return a.covered > b.covered; });
+  if (uses.size() > top_pairs) uses.resize(top_pairs);
+
+  NeatsOptions pruned = options;
+  pruned.partition.kinds.clear();
+  pruned.partition.epsilons.clear();
+  for (const PairUse& u : uses) {
+    if (std::find(pruned.partition.kinds.begin(), pruned.partition.kinds.end(),
+                  u.kind) == pruned.partition.kinds.end()) {
+      pruned.partition.kinds.push_back(u.kind);
+    }
+    if (std::find(pruned.partition.epsilons.begin(),
+                  pruned.partition.epsilons.end(),
+                  u.eps) == pruned.partition.epsilons.end()) {
+      pruned.partition.epsilons.push_back(u.eps);
+    }
+  }
+  if (pruned.partition.kinds.empty()) return Compress(values, options);
+  return CompressImpl(values, pruned, pruned.partition.epsilons);
+}
+
+}  // namespace neats

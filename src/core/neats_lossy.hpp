@@ -1,0 +1,174 @@
+// NeaTS-L: the lossy variant of NeaTS (paper, Sec. III-B, "Partitioning for
+// lossy compression", evaluated in Sec. IV-B).
+//
+// A single error bound eps is used, corrections are dropped, and the
+// partitioner minimises the storage of the function parameters alone. The
+// result is a piecewise nonlinear eps-approximation with a maximum-error
+// guarantee: |decoded[k] - original[k]| <= eps + 1 for every k (the +1
+// accounts for the floor applied to predictions; the un-floored function is
+// within eps).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+#include "core/partitioner.hpp"
+#include "functions/approximator.hpp"
+#include "functions/kinds.hpp"
+#include "succinct/elias_fano.hpp"
+#include "succinct/packed_array.hpp"
+#include "succinct/wavelet_tree.hpp"
+
+namespace neats {
+
+/// Lossy compressed representation: fragments + functions, no corrections.
+class NeatsLossy {
+ public:
+  NeatsLossy() = default;
+
+  /// Compresses `values` under the error bound `eps` (>= 0).
+  static NeatsLossy Compress(std::span<const int64_t> values, int64_t eps,
+                             const PartitionOptions& options = {}) {
+    NeatsLossy out;
+    out.n_ = values.size();
+    out.eps_ = eps;
+    if (values.empty()) return out;
+
+    int64_t lo = values[0];
+    for (int64_t v : values) {
+      NEATS_REQUIRE(v >= -kMaxAbsValue && v <= kMaxAbsValue,
+                    "value outside ±2^61");
+      lo = std::min(lo, v);
+    }
+    if (lo < 1) out.shift_ = 1 - lo;
+
+    std::vector<int64_t> shifted;
+    std::span<const int64_t> view = values;
+    if (out.shift_ != 0) {
+      shifted.reserve(values.size());
+      for (int64_t v : values) shifted.push_back(v + out.shift_);
+      view = shifted;
+    }
+
+    std::vector<Fragment> fragments = PartitionLossy(view, eps, options);
+    out.Build(fragments);
+    return out;
+  }
+
+  uint64_t size() const { return n_; }
+  size_t num_fragments() const { return m_; }
+  int64_t epsilon() const { return eps_; }
+
+  /// The approximated value at index k.
+  int64_t Access(uint64_t k) const {
+    NEATS_DCHECK(k < n_);
+    size_t i = starts_.Rank(k) - 1;
+    uint64_t start = starts_.Access(i);
+    uint32_t dense = kinds_wt_.Access(i);
+    FunctionKind kind = kind_table_[dense];
+    size_t idx = kinds_wt_.Rank(dense, i);
+    const double* params =
+        params_[dense].data() + idx * static_cast<size_t>(NumParams(kind));
+    uint64_t origin = start - displacement_[i];
+    return PredictFloor(kind, params, static_cast<int64_t>(k - origin) + 1) -
+           shift_;
+  }
+
+  /// Reconstructs the whole approximated series.
+  void Decompress(std::vector<int64_t>* out) const {
+    out->resize(n_);
+    for (size_t i = 0; i < m_; ++i) {
+      uint64_t start = starts_.Access(i);
+      uint64_t end = i + 1 < m_ ? starts_.Access(i + 1) : n_;
+      uint32_t dense = kinds_wt_.Access(i);
+      FunctionKind kind = kind_table_[dense];
+      size_t idx = kinds_wt_.Rank(dense, i);
+      const double* params =
+          params_[dense].data() + idx * static_cast<size_t>(NumParams(kind));
+      uint64_t origin = start - displacement_[i];
+      int64_t* dst = out->data() + start;
+      switch (kind) {
+#define NEATS_LOSSY_CASE(K)                                          \
+  case FunctionKind::K:                                              \
+    PredictLoop<FunctionKind::K>(params, origin, start, end, dst);   \
+    break;
+        NEATS_LOSSY_CASE(kLinear)
+        NEATS_LOSSY_CASE(kQuadratic)
+        NEATS_LOSSY_CASE(kRadical)
+        NEATS_LOSSY_CASE(kExponential)
+        NEATS_LOSSY_CASE(kPower)
+        NEATS_LOSSY_CASE(kLogarithm)
+        NEATS_LOSSY_CASE(kQuadMixed)
+        NEATS_LOSSY_CASE(kCubicOdd)
+        NEATS_LOSSY_CASE(kCubicMixed)
+        NEATS_LOSSY_CASE(kQuadraticFull)
+        NEATS_LOSSY_CASE(kGaussian)
+#undef NEATS_LOSSY_CASE
+      }
+    }
+  }
+
+  /// Size of the lossy representation in bits.
+  size_t SizeInBits() const {
+    size_t p_bits = 0;
+    for (const auto& p : params_) p_bits += p.size() * 64 + 64;
+    return 3 * 64 + starts_.SizeInBits() + kinds_wt_.SizeInBits() +
+           displacement_.SizeInBits() + p_bits;
+  }
+
+ private:
+  // Tight per-kind loop; KIND is compile-time so the dispatch inside
+  // PredictFloor folds away and polynomial kinds vectorise.
+  template <FunctionKind KIND>
+  void PredictLoop(const double* params, uint64_t origin, uint64_t from,
+                   uint64_t to, int64_t* dst) const {
+    for (uint64_t k = from; k < to; ++k) {
+      dst[k - from] =
+          PredictFloor(KIND, params, static_cast<int64_t>(k - origin) + 1) -
+          shift_;
+    }
+  }
+
+  void Build(const std::vector<Fragment>& fragments) {
+    m_ = fragments.size();
+    std::vector<int> kind_to_dense(kNumFunctionKinds, -1);
+    std::vector<uint32_t> kind_symbols(m_);
+    std::vector<uint64_t> starts(m_), displacement(m_);
+    for (size_t i = 0; i < m_; ++i) {
+      const Fragment& frag = fragments[i];
+      int raw = static_cast<int>(frag.kind);
+      if (kind_to_dense[raw] < 0) {
+        kind_to_dense[raw] = static_cast<int>(kind_table_.size());
+        kind_table_.push_back(frag.kind);
+      }
+      kind_symbols[i] = static_cast<uint32_t>(kind_to_dense[raw]);
+      starts[i] = frag.start;
+      displacement[i] = frag.start - frag.origin;
+    }
+    params_.resize(kind_table_.size());
+    for (size_t i = 0; i < m_; ++i) {
+      for (int j = 0; j < NumParams(fragments[i].kind); ++j) {
+        params_[kind_symbols[i]].push_back(fragments[i].params[j]);
+      }
+    }
+    starts_ = EliasFano(starts, n_);
+    kinds_wt_ = WaveletTree(kind_symbols, static_cast<uint32_t>(kind_table_.size()));
+    displacement_ = PackedArray::FromValues(displacement);
+  }
+
+  uint64_t n_ = 0;
+  size_t m_ = 0;
+  int64_t eps_ = 0;
+  int64_t shift_ = 0;
+  EliasFano starts_;
+  WaveletTree kinds_wt_;
+  PackedArray displacement_;
+  std::vector<FunctionKind> kind_table_;
+  std::vector<std::vector<double>> params_;
+};
+
+}  // namespace neats

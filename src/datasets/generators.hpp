@@ -1,0 +1,292 @@
+// Synthetic stand-ins for the paper's 16 real-world datasets (Sec. IV-A1).
+//
+// The originals (NEON sensor feeds, INFORE stock ticks, a 12-lead ECG
+// archive, Geolife GPS traces, meteoblue exports, ...) are not available
+// offline, so each dataset code gets a seeded generator reproducing the two
+// properties that drive every compressor in this study: the local trend /
+// noise structure of the signal, and the decimal precision of its values
+// (values are fixed-precision decimals scaled to integers by 10^digits,
+// exactly like the paper's preprocessing). Dataset sizes default to a
+// laptop-scale fraction of the originals, preserving their relative order.
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace neats {
+
+/// A generated dataset: scaled integer values plus the double view that a
+/// decimal parser would produce for the same fixed-precision text.
+struct Dataset {
+  std::string code;
+  std::string name;
+  int fractional_digits = 0;
+  std::vector<int64_t> values;   // decimal value * 10^digits
+  std::vector<double> doubles;   // values[i] / 10^digits (correctly rounded)
+};
+
+/// Descriptors of the paper's 16 datasets, in Table III order (by size).
+struct DatasetSpec {
+  const char* code;
+  const char* name;
+  int digits;
+  size_t default_n;  // paper size / ~1000, min 4096
+};
+
+inline constexpr DatasetSpec kDatasetSpecs[] = {
+    {"IT", "IR-bio-temp", 2, 477000},
+    {"US", "Stocks-USA", 2, 282000},
+    {"ECG", "Electrocardiogram", 3, 226000},
+    {"WD", "Wind-direction", 2, 199000},
+    {"AP", "Air-pressure", 5, 138000},
+    {"UK", "Stocks-UK", 1, 59000},
+    {"GE", "Stocks-DE", 3, 43000},
+    {"LAT", "Geolife-latitude", 4, 25000},
+    {"LON", "Geolife-longitude", 4, 25000},
+    {"DP", "Dewpoint-temp", 3, 5000},
+    {"CT", "City-temp", 1, 4096},
+    {"DU", "PM10-dust", 3, 4096},
+    {"BT", "Basel-temp", 9, 4096},
+    {"BW", "Basel-wind", 7, 4096},
+    {"BM", "Bird-migration", 5, 4096},
+    {"BP", "Bitcoin-price", 4, 4096},
+};
+
+inline constexpr size_t kNumDatasets = std::size(kDatasetSpecs);
+
+namespace datasets_internal {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : gen_(seed) {}
+  double Uniform() { return dist_(gen_); }
+  double Normal() {
+    return norm_(gen_);
+  }
+  uint64_t Next() { return gen_(); }
+
+ private:
+  std::mt19937_64 gen_;
+  std::uniform_real_distribution<double> dist_{0.0, 1.0};
+  std::normal_distribution<double> norm_{0.0, 1.0};
+};
+
+/// Diurnal + seasonal sensor signal with AR(1) noise and flat dropouts.
+inline double SensorTemp(Rng& rng, size_t i, double* ar_state, double daily,
+                         double seasonal_amp, double noise_scale) {
+  double t = static_cast<double>(i);
+  double seasonal = seasonal_amp * std::sin(2 * M_PI * t / (daily * 365));
+  double diurnal = 8.0 * std::sin(2 * M_PI * t / daily - 1.3);
+  *ar_state = 0.98 * *ar_state + noise_scale * rng.Normal();
+  return 15.0 + seasonal + diurnal + *ar_state;
+}
+
+}  // namespace datasets_internal
+
+/// Generates the dataset with the given code. `n` = 0 uses the spec default.
+inline Dataset MakeDataset(std::string_view code, size_t n = 0,
+                           uint64_t seed = 42) {
+  using datasets_internal::Rng;
+  const DatasetSpec* spec = nullptr;
+  for (const auto& s : kDatasetSpecs) {
+    if (code == s.code) spec = &s;
+  }
+  NEATS_REQUIRE(spec != nullptr, "unknown dataset code");
+  if (n == 0) n = spec->default_n;
+
+  Dataset ds;
+  ds.code = spec->code;
+  ds.name = spec->name;
+  ds.fractional_digits = spec->digits;
+  ds.values.reserve(n);
+
+  Rng rng(seed ^ std::hash<std::string_view>{}(code));
+  const double scale = std::pow(10.0, spec->digits);
+  std::vector<double> raw(n);
+
+  if (code == "IT") {  // infrared biological temperature, 1-minute cadence
+    double ar = 0;
+    size_t dropout_left = 0;
+    double held = 0;
+    for (size_t i = 0; i < n; ++i) {
+      double v = datasets_internal::SensorTemp(rng, i, &ar, 1440, 12.0, 0.05);
+      if (dropout_left > 0) {
+        --dropout_left;
+        v = held;
+      } else if (rng.Uniform() < 0.0005) {
+        dropout_left = 20 + rng.Next() % 200;
+        held = v;
+      }
+      raw[i] = v;
+    }
+  } else if (code == "US" || code == "UK" || code == "GE") {
+    // Stock ticks: geometric random walk with volatility clustering, jumps,
+    // and runs of unchanged prices (quiet market).
+    double price = code == "US" ? 150.0 : (code == "UK" ? 65.0 : 92.0);
+    double vol = 0.0004;
+    for (size_t i = 0; i < n; ++i) {
+      vol = 0.97 * vol + 0.03 * 0.0004 + 0.00015 * std::abs(rng.Normal());
+      if (rng.Uniform() < 0.35) {
+        // no trade: price unchanged
+      } else {
+        price *= std::exp(vol * rng.Normal());
+        if (rng.Uniform() < 0.0008) price *= std::exp(0.01 * rng.Normal());
+      }
+      raw[i] = price;
+    }
+  } else if (code == "ECG") {
+    // PQRST-like cycles with RR variability and baseline wander (millivolts).
+    double phase = 0;
+    double rr = 280;
+    for (size_t i = 0; i < n; ++i) {
+      phase += 1.0;
+      if (phase >= rr) {
+        phase -= rr;
+        rr = 260 + 40 * rng.Uniform();
+      }
+      double p = phase / rr;  // 0..1 within the beat
+      double v = 0;
+      auto bump = [&](double center, double width, double amp) {
+        double d = (p - center) / width;
+        v += amp * std::exp(-d * d);
+      };
+      bump(0.18, 0.025, 0.15);   // P
+      bump(0.405, 0.008, -0.12); // Q
+      bump(0.42, 0.010, 1.1);    // R
+      bump(0.44, 0.010, -0.25);  // S
+      bump(0.62, 0.045, 0.3);    // T
+      v += 0.05 * std::sin(2 * M_PI * static_cast<double>(i) / 2400.0);
+      v += 0.004 * rng.Normal();
+      raw[i] = v;
+    }
+  } else if (code == "WD") {
+    // Wind direction in degrees: a slow prevailing direction with large
+    // per-sample gust jitter and wrap-around — notoriously noisy.
+    double dir = 200;
+    for (size_t i = 0; i < n; ++i) {
+      dir += 2.5 * rng.Normal();
+      if (rng.Uniform() < 0.002) dir += 90 * (rng.Uniform() - 0.5);
+      double sample = dir + 25.0 * rng.Normal();
+      sample = std::fmod(std::fmod(sample, 360.0) + 360.0, 360.0);
+      raw[i] = sample;
+    }
+  } else if (code == "AP") {
+    // Sea-level barometric pressure in hPa, extremely smooth, 5 decimals.
+    double p = 1013.25;
+    double trend = 0;
+    for (size_t i = 0; i < n; ++i) {
+      trend = 0.999 * trend + 0.00002 * rng.Normal();
+      p += trend + 0.00008 * rng.Normal();
+      raw[i] = p;
+    }
+  } else if (code == "LAT" || code == "LON") {
+    // GPS trajectories near Beijing: stops and smooth movement legs.
+    double coord = code == "LAT" ? 39.9042 : 116.4074;
+    double velocity = 0;
+    size_t leg_left = 0;
+    bool moving = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (leg_left == 0) {
+        moving = rng.Uniform() < 0.6;
+        leg_left = 100 + rng.Next() % 2000;
+        velocity = moving ? 3e-4 * rng.Normal() : 0.0;
+      }
+      --leg_left;
+      coord += velocity + (moving ? 4e-5 : 6e-6) * rng.Normal();
+      raw[i] = coord;
+    }
+  } else if (code == "DP") {
+    double ar = 0;
+    for (size_t i = 0; i < n; ++i) {
+      raw[i] = datasets_internal::SensorTemp(rng, i, &ar, 48, 9.0, 0.12) - 8.0;
+    }
+  } else if (code == "CT") {
+    // Daily city temperatures, many cities concatenated (level jumps).
+    double base = 15;
+    size_t city_left = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (city_left == 0) {
+        city_left = 365 * (1 + rng.Next() % 3);
+        base = -5 + 35 * rng.Uniform();
+      }
+      --city_left;
+      double t = static_cast<double>(i % 365);
+      raw[i] = base + 12 * std::sin(2 * M_PI * t / 365) + 3.5 * rng.Normal();
+    }
+  } else if (code == "DU") {
+    // PM10: low baseline with lognormal pollution episodes.
+    double level = 12;
+    double episode = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.Uniform() < 0.003) episode += std::exp(1.5 + rng.Normal());
+      episode *= 0.97;
+      level = 0.995 * level + 0.005 * 12 + 0.4 * rng.Normal();
+      raw[i] = std::max(0.5, level + episode);
+    }
+  } else if (code == "BT") {
+    // Basel temperature with 9 (!) fractional digits: the precision itself
+    // is the compression challenge.
+    double ar = 0;
+    for (size_t i = 0; i < n; ++i) {
+      raw[i] = datasets_internal::SensorTemp(rng, i, &ar, 24, 10.0, 0.35);
+    }
+  } else if (code == "BW") {
+    // Basel wind speed, 7 digits: Weibull-like gusts.
+    double g = 4;
+    for (size_t i = 0; i < n; ++i) {
+      g = 0.9 * g + 0.1 * 4.0 + 1.1 * std::abs(rng.Normal());
+      raw[i] = g * (0.8 + 0.4 * rng.Uniform());
+    }
+  } else if (code == "BM") {
+    // Bird migration: long smooth arcs with stopovers.
+    double pos = 12.5;
+    double v = 0;
+    size_t phase_left = 0;
+    bool flying = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (phase_left == 0) {
+        flying = !flying;
+        phase_left = flying ? 300 + rng.Next() % 600 : 100 + rng.Next() % 400;
+        v = flying ? 0.001 * (0.5 + rng.Uniform()) : 0.0;
+      }
+      --phase_left;
+      pos += v + (flying ? 1e-4 : 2e-5) * rng.Normal();
+      raw[i] = pos;
+    }
+  } else {  // BP: bitcoin price, jumpy geometric walk
+    double price = 30000;
+    double vol = 0.002;
+    for (size_t i = 0; i < n; ++i) {
+      vol = 0.95 * vol + 0.05 * 0.002 + 0.0008 * std::abs(rng.Normal());
+      price *= std::exp(vol * rng.Normal());
+      if (rng.Uniform() < 0.004) price *= std::exp(0.02 * rng.Normal());
+      raw[i] = price;
+    }
+  }
+
+  ds.doubles.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    int64_t scaled = static_cast<int64_t>(std::llround(raw[i] * scale));
+    ds.values.push_back(scaled);
+    // The double a decimal parser would produce for this fixed-precision
+    // value (correctly rounded quotient).
+    ds.doubles[i] = static_cast<double>(scaled) / scale;
+  }
+  return ds;
+}
+
+/// All dataset codes in Table III order.
+inline std::vector<std::string> AllDatasetCodes() {
+  std::vector<std::string> codes;
+  for (const auto& s : kDatasetSpecs) codes.push_back(s.code);
+  return codes;
+}
+
+}  // namespace neats

@@ -1,0 +1,94 @@
+// Text/file I/O helpers: loading one-value-per-line decimal time series
+// (the format the paper's datasets ship in) with automatic detection of the
+// number of fractional digits, and raw byte file round trips.
+
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace neats {
+
+/// A decimal time series parsed from text.
+struct ParsedSeries {
+  std::vector<int64_t> values;  // scaled by 10^digits
+  int digits = 0;               // detected fractional digits
+};
+
+/// Parses one decimal value per line, scaling all values to integers by the
+/// maximum number of fractional digits seen (paper, Sec. IV-A1).
+inline ParsedSeries ParseDecimalLines(std::istream& in) {
+  std::vector<std::pair<int64_t, int>> raw;  // (digits-scaled value, digits)
+  std::string line;
+  int max_digits = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    size_t i = 0;
+    bool negative = false;
+    if (line[i] == '+' || line[i] == '-') negative = line[i++] == '-';
+    int64_t mantissa = 0;
+    int digits = 0;
+    bool after_point = false, any = false;
+    for (; i < line.size(); ++i) {
+      char ch = line[i];
+      if (ch == '.') {
+        NEATS_REQUIRE(!after_point, "malformed number");
+        after_point = true;
+      } else if (std::isdigit(static_cast<unsigned char>(ch))) {
+        mantissa = mantissa * 10 + (ch - '0');
+        if (after_point) ++digits;
+        any = true;
+      } else if (ch == '\r' || ch == ' ') {
+        break;
+      } else {
+        NEATS_REQUIRE(false, "malformed number");
+      }
+    }
+    NEATS_REQUIRE(any, "empty number");
+    raw.push_back({negative ? -mantissa : mantissa, digits});
+    max_digits = std::max(max_digits, digits);
+  }
+  ParsedSeries out;
+  out.digits = max_digits;
+  out.values.reserve(raw.size());
+  for (auto [v, d] : raw) {
+    int64_t scale = 1;
+    for (int j = d; j < max_digits; ++j) scale *= 10;
+    out.values.push_back(v * scale);
+  }
+  return out;
+}
+
+/// Loads a one-value-per-line decimal file.
+inline ParsedSeries LoadDecimalFile(const std::string& path) {
+  std::ifstream in(path);
+  NEATS_REQUIRE(in.good(), "cannot open input file");
+  return ParseDecimalLines(in);
+}
+
+/// Writes bytes to a file.
+inline void WriteFile(const std::string& path,
+                      const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  NEATS_REQUIRE(out.good(), "cannot open output file");
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Reads a whole file as bytes.
+inline std::vector<uint8_t> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  NEATS_REQUIRE(in.good(), "cannot open input file");
+  std::vector<uint8_t> bytes(static_cast<size_t>(in.tellg()));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  return bytes;
+}
+
+}  // namespace neats

@@ -1,0 +1,103 @@
+// Append-only bit stream writer and positional bit reader.
+//
+// The writer packs fields of arbitrary width (0..64 bits) back to back into a
+// word array; the reader extracts a field given its absolute bit offset. Both
+// are branch-light and used as the storage primitive for corrections (the C
+// array of the NeaTS layout) and for all packed structures built on top.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace neats {
+
+/// Append-only writer of variable-width bit fields.
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  /// Appends the lowest `width` bits of `value`. `width` must be in [0, 64].
+  void Append(uint64_t value, int width) {
+    NEATS_REQUIRE(width >= 0 && width <= 64, "field width out of range");
+    if (width == 0) return;
+    value &= LowMask(width);
+    size_t word = bit_size_ >> 6;
+    int offset = static_cast<int>(bit_size_ & 63);
+    if (word + 1 >= words_.size()) words_.resize(words_.size() * 2 + 2, 0);
+    words_[word] |= value << offset;
+    if (offset + width > 64) {
+      words_[word + 1] = value >> (64 - offset);
+    }
+    bit_size_ += static_cast<size_t>(width);
+  }
+
+  /// Appends a single bit.
+  void AppendBit(bool bit) { Append(bit ? 1 : 0, 1); }
+
+  /// Number of bits written so far.
+  size_t bit_size() const { return bit_size_; }
+
+  /// Finalizes the stream and returns the backing words (trimmed).
+  std::vector<uint64_t> TakeWords() {
+    words_.resize(CeilDiv(bit_size_, 64));
+    return std::move(words_);
+  }
+
+  /// Read-only view of the words written so far (includes trailing slack).
+  const std::vector<uint64_t>& words() const { return words_; }
+
+ private:
+  std::vector<uint64_t> words_;
+  size_t bit_size_ = 0;
+};
+
+/// Reads a `width`-bit field starting at absolute bit offset `pos`.
+/// `width` must be in [0, 64]; the field must lie within the array.
+inline uint64_t ReadBits(const uint64_t* words, size_t pos, int width) {
+  if (width == 0) return 0;
+  size_t word = pos >> 6;
+  int offset = static_cast<int>(pos & 63);
+  uint64_t value = words[word] >> offset;
+  if (offset + width > 64) {
+    value |= words[word + 1] << (64 - offset);
+  }
+  return value & LowMask(width);
+}
+
+/// Positional reader over a bit stream; convenience wrapper around ReadBits.
+class BitReader {
+ public:
+  BitReader(const uint64_t* words, size_t bit_size)
+      : words_(words), bit_size_(bit_size) {}
+
+  /// Reads the next `width` bits and advances the cursor.
+  uint64_t Read(int width) {
+    NEATS_DCHECK(pos_ + static_cast<size_t>(width) <= bit_size_);
+    uint64_t v = ReadBits(words_, pos_, width);
+    pos_ += static_cast<size_t>(width);
+    return v;
+  }
+
+  /// Reads one bit and advances.
+  bool ReadBit() { return Read(1) != 0; }
+
+  /// Moves the cursor to an absolute bit offset.
+  void Seek(size_t pos) {
+    NEATS_DCHECK(pos <= bit_size_);
+    pos_ = pos;
+  }
+
+  size_t position() const { return pos_; }
+  size_t bit_size() const { return bit_size_; }
+
+ private:
+  const uint64_t* words_;
+  size_t bit_size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace neats

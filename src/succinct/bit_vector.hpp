@@ -1,0 +1,165 @@
+// Plain bitvector plus a rank/select index.
+//
+// The rank index follows the rank9 layout idea: absolute counts every 512-bit
+// superblock plus per-word relative counts, giving O(1) Rank1. Select1/Select0
+// binary-search the superblock counts and finish with a broadword in-word
+// select, giving O(log n) worst case, which is plenty for the places NeaTS
+// uses them (Elias-Fano buckets and the optional O(1)-access S bitvector).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace neats {
+
+/// Mutable bitvector; freeze it by building a RankSelect index over it.
+class BitVector {
+ public:
+  BitVector() = default;
+
+  /// Creates an all-zero bitvector of `n` bits.
+  explicit BitVector(size_t n) : size_(n), words_(CeilDiv(n, 64), 0) {}
+
+  /// Sets bit `i` to 1.
+  void Set(size_t i) {
+    NEATS_DCHECK(i < size_);
+    words_[i >> 6] |= 1ULL << (i & 63);
+  }
+
+  /// Returns bit `i`.
+  bool Get(size_t i) const {
+    NEATS_DCHECK(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Appends a bit at the end.
+  void PushBack(bool bit) {
+    if ((size_ & 63) == 0) words_.push_back(0);
+    if (bit) words_.back() |= 1ULL << (size_ & 63);
+    ++size_;
+  }
+
+  size_t size() const { return size_; }
+  const std::vector<uint64_t>& words() const { return words_; }
+
+  /// Payload size in bits.
+  size_t SizeInBits() const { return words_.size() * 64 + 64; }
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+/// Immutable rank/select index over a BitVector (which it stores by value).
+class RankSelect {
+ public:
+  RankSelect() = default;
+
+  explicit RankSelect(BitVector bits) : bits_(std::move(bits)) {
+    const auto& words = bits_.words();
+    size_t n_words = words.size();
+    size_t n_super = CeilDiv(n_words, kWordsPerSuper) + 1;
+    super_.assign(n_super, 0);
+    rel_.assign(n_words + 1, 0);
+    uint64_t total = 0;
+    for (size_t w = 0; w < n_words; ++w) {
+      if (w % kWordsPerSuper == 0) super_[w / kWordsPerSuper] = total;
+      rel_[w] = static_cast<uint16_t>(total - super_[w / kWordsPerSuper]);
+      total += static_cast<uint64_t>(Popcount(words[w]));
+    }
+    for (size_t s = CeilDiv(n_words, kWordsPerSuper); s < n_super; ++s) {
+      super_[s] = total;
+    }
+    rel_[n_words] = static_cast<uint16_t>(
+        total - super_[n_words / kWordsPerSuper]);
+    ones_ = total;
+  }
+
+  /// Number of 1 bits in positions [0, i). `i` may equal size().
+  uint64_t Rank1(size_t i) const {
+    NEATS_DCHECK(i <= bits_.size());
+    size_t w = i >> 6;
+    uint64_t r = super_[w / kWordsPerSuper] + rel_[w];
+    if (i & 63) r += Popcount(bits_.words()[w] & LowMask(static_cast<int>(i & 63)));
+    return r;
+  }
+
+  /// Number of 0 bits in positions [0, i).
+  uint64_t Rank0(size_t i) const { return i - Rank1(i); }
+
+  /// Position of the k-th (0-based) 1 bit. Precondition: k < ones().
+  size_t Select1(uint64_t k) const {
+    NEATS_DCHECK(k < ones_);
+    // Binary search the last superblock with count <= k.
+    size_t lo = 0, hi = super_.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi + 1) / 2;
+      if (super_[mid] <= k) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    uint64_t rem = k - super_[lo];
+    size_t w = lo * kWordsPerSuper;
+    const auto& words = bits_.words();
+    // Scan at most kWordsPerSuper words.
+    while (true) {
+      int pc = Popcount(words[w]);
+      if (rem < static_cast<uint64_t>(pc)) break;
+      rem -= static_cast<uint64_t>(pc);
+      ++w;
+    }
+    return (w << 6) + static_cast<size_t>(SelectInWord(words[w], static_cast<int>(rem)));
+  }
+
+  /// Position of the k-th (0-based) 0 bit. Precondition: k < size() - ones().
+  size_t Select0(uint64_t k) const {
+    NEATS_DCHECK(k < bits_.size() - ones_);
+    size_t lo = 0, hi = super_.size() - 1;
+    // Zeros before superblock s start: s*512 - super_[s].
+    auto zeros_before = [&](size_t s) { return s * kSuperBits - super_[s]; };
+    while (lo < hi) {
+      size_t mid = (lo + hi + 1) / 2;
+      if (zeros_before(mid) <= k) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    uint64_t rem = k - zeros_before(lo);
+    size_t w = lo * kWordsPerSuper;
+    const auto& words = bits_.words();
+    while (true) {
+      int zc = 64 - Popcount(words[w]);
+      if (rem < static_cast<uint64_t>(zc)) break;
+      rem -= static_cast<uint64_t>(zc);
+      ++w;
+    }
+    return (w << 6) + static_cast<size_t>(SelectInWord(~words[w], static_cast<int>(rem)));
+  }
+
+  bool Get(size_t i) const { return bits_.Get(i); }
+  size_t size() const { return bits_.size(); }
+  uint64_t ones() const { return ones_; }
+
+  /// Payload size in bits: bits + rank directories.
+  size_t SizeInBits() const {
+    return bits_.SizeInBits() + super_.size() * 64 + rel_.size() * 16 + 64;
+  }
+
+ private:
+  static constexpr size_t kWordsPerSuper = 8;   // 512-bit superblocks
+  static constexpr size_t kSuperBits = 512;
+
+  BitVector bits_;
+  std::vector<uint64_t> super_;  // absolute rank at each superblock start
+  std::vector<uint16_t> rel_;    // per-word rank relative to superblock
+  uint64_t ones_ = 0;
+};
+
+}  // namespace neats

@@ -1,0 +1,102 @@
+// Elias-Fano encoding of monotone (non-decreasing) integer sequences.
+//
+// A sequence of m values in [0, u) takes m*ceil(log(u/m)) + 2m + o(m) bits and
+// supports Access in O(1) (one Select1) and Rank — the number of elements
+// <= x — in O(log) plus an O(1)-amortised in-bucket scan. These are exactly
+// the operations the NeaTS layout needs on the S (fragment starts) and O
+// (cumulative correction offsets) arrays (paper, Sec. III-C).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+#include "succinct/bit_vector.hpp"
+#include "succinct/packed_array.hpp"
+
+namespace neats {
+
+/// Immutable Elias-Fano-coded monotone sequence.
+class EliasFano {
+ public:
+  EliasFano() = default;
+
+  /// Builds from a non-decreasing sequence of values.
+  /// `universe` must be strictly greater than the last (largest) value;
+  /// pass 0 to derive it from the data.
+  explicit EliasFano(const std::vector<uint64_t>& values, uint64_t universe = 0)
+      : size_(values.size()) {
+    if (values.empty()) return;
+    if (universe == 0) universe = values.back() + 1;
+    NEATS_REQUIRE(universe > values.back(), "universe too small");
+    uint64_t m = values.size();
+    low_bits_ = (universe / m <= 1) ? 0 : BitWidth(universe / m) - 1;
+
+    std::vector<uint64_t> lows;
+    lows.reserve(values.size());
+    uint64_t prev = 0;
+    for (uint64_t v : values) {
+      NEATS_REQUIRE(v >= prev, "sequence must be non-decreasing");
+      prev = v;
+      lows.push_back(v & LowMask(low_bits_));
+    }
+    low_ = PackedArray(lows, low_bits_);
+
+    size_t high_len = m + (values.back() >> low_bits_) + 1;
+    BitVector high(high_len);
+    for (size_t i = 0; i < values.size(); ++i) {
+      high.Set((values[i] >> low_bits_) + i);
+    }
+    high_ = RankSelect(std::move(high));
+  }
+
+  /// Value at index `i`, in O(1).
+  uint64_t Access(size_t i) const {
+    NEATS_DCHECK(i < size_);
+    uint64_t hi = high_.Select1(i) - i;
+    return (hi << low_bits_) | low_[i];
+  }
+
+  /// Number of elements <= x (the S.rank(k) operation of the paper).
+  size_t Rank(uint64_t x) const {
+    if (size_ == 0) return 0;
+    uint64_t hb = x >> low_bits_;
+    // Index of the first element whose high part is >= hb.
+    size_t start;
+    size_t high_zeros = high_.size() - high_.ones();
+    if (hb == 0) {
+      start = 0;
+    } else if (hb > high_zeros) {
+      return size_;  // all high parts are < hb
+    } else {
+      start = high_.Select0(hb - 1) - (hb - 1);
+    }
+    // Scan the bucket of elements with high part == hb.
+    uint64_t xl = x & LowMask(low_bits_);
+    size_t i = start;
+    size_t pos = (start < size_) ? high_.Select1(start) : 0;
+    while (i < size_ && high_.Get(pos) && (pos - i) == hb) {
+      if (low_bits_ > 0 && low_[i] > xl) break;
+      ++i;
+      ++pos;
+    }
+    return i;
+  }
+
+  size_t size() const { return size_; }
+
+  /// Payload size in bits.
+  size_t SizeInBits() const {
+    return low_.SizeInBits() + high_.SizeInBits() + 2 * 64;
+  }
+
+ private:
+  size_t size_ = 0;
+  int low_bits_ = 0;
+  PackedArray low_;
+  RankSelect high_;
+};
+
+}  // namespace neats

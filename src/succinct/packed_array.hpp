@@ -1,0 +1,61 @@
+// Fixed-width packed integer array.
+//
+// Stores n unsigned integers of a common bit width w (0..64) contiguously,
+// using exactly ceil(n*w/64) words. Used for the B array (correction widths),
+// the low parts of Elias-Fano, and any place the NeaTS layout needs an array
+// whose cells are "just enough bits for the largest value" (paper, Sec III-C).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+#include "succinct/bit_stream.hpp"
+
+namespace neats {
+
+/// Immutable fixed-width array of unsigned integers.
+class PackedArray {
+ public:
+  PackedArray() = default;
+
+  /// Builds from `values`, choosing the minimal width that fits max(values).
+  static PackedArray FromValues(const std::vector<uint64_t>& values) {
+    uint64_t max_v = 0;
+    for (uint64_t v : values) max_v = std::max(max_v, v);
+    return PackedArray(values, BitWidth(max_v));
+  }
+
+  /// Builds from `values` with an explicit width (each value must fit).
+  PackedArray(const std::vector<uint64_t>& values, int width)
+      : size_(values.size()), width_(width) {
+    NEATS_REQUIRE(width >= 0 && width <= 64, "width out of range");
+    BitWriter writer;
+    for (uint64_t v : values) {
+      NEATS_DCHECK(width == 64 || v <= LowMask(width));
+      writer.Append(v, width);
+    }
+    words_ = writer.TakeWords();
+  }
+
+  /// Value at index `i`.
+  uint64_t operator[](size_t i) const {
+    NEATS_DCHECK(i < size_);
+    return ReadBits(words_.data(), i * static_cast<size_t>(width_), width_);
+  }
+
+  size_t size() const { return size_; }
+  int width() const { return width_; }
+
+  /// Total size in bits, including nothing but the payload words.
+  size_t SizeInBits() const { return words_.size() * 64 + 2 * 64; }
+
+ private:
+  std::vector<uint64_t> words_;
+  size_t size_ = 0;
+  int width_ = 0;
+};
+
+}  // namespace neats

@@ -1,0 +1,119 @@
+// Wavelet matrix over a small integer alphabet.
+//
+// NeaTS stores the per-fragment function kinds K[1..m] as a string over the
+// alphabet {0, ..., |F|-1} and needs K.rank_f(i) — the number of occurrences
+// of kind f among the first i fragments — to locate a fragment's parameters
+// inside the per-kind parameter array P_f (paper, Sec. III-C). The wavelet
+// matrix (Claude, Navarro & Ordonez) gives Access and Rank in O(log sigma)
+// with one rank-enabled bitvector per bit level.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+#include "succinct/bit_vector.hpp"
+
+namespace neats {
+
+/// Immutable wavelet matrix supporting Access(i) and Rank(symbol, i).
+class WaveletTree {
+ public:
+  WaveletTree() = default;
+
+  /// Builds from a sequence of symbols drawn from [0, alphabet_size).
+  /// Pass alphabet_size = 0 to derive it from the data.
+  explicit WaveletTree(const std::vector<uint32_t>& symbols,
+                       uint32_t alphabet_size = 0)
+      : size_(symbols.size()) {
+    uint32_t max_sym = 0;
+    for (uint32_t s : symbols) max_sym = std::max(max_sym, s);
+    if (alphabet_size == 0) alphabet_size = max_sym + 1;
+    NEATS_REQUIRE(max_sym < alphabet_size, "symbol out of range");
+    levels_count_ = std::max(1, CeilLog2(alphabet_size));
+
+    std::vector<uint32_t> cur = symbols;
+    std::vector<uint32_t> next(cur.size());
+    levels_.reserve(static_cast<size_t>(levels_count_));
+    zeros_.reserve(static_cast<size_t>(levels_count_));
+    for (int level = 0; level < levels_count_; ++level) {
+      int bit = levels_count_ - 1 - level;
+      BitVector bv(cur.size());
+      size_t zero_count = 0;
+      for (size_t i = 0; i < cur.size(); ++i) {
+        if ((cur[i] >> bit) & 1) {
+          bv.Set(i);
+        } else {
+          ++zero_count;
+        }
+      }
+      // Stable partition: zeros first, then ones.
+      size_t z = 0, o = zero_count;
+      for (size_t i = 0; i < cur.size(); ++i) {
+        if ((cur[i] >> bit) & 1) {
+          next[o++] = cur[i];
+        } else {
+          next[z++] = cur[i];
+        }
+      }
+      std::swap(cur, next);
+      zeros_.push_back(zero_count);
+      levels_.emplace_back(std::move(bv));
+    }
+  }
+
+  /// Symbol at position `i`.
+  uint32_t Access(size_t i) const {
+    NEATS_DCHECK(i < size_);
+    uint32_t sym = 0;
+    size_t pos = i;
+    for (int level = 0; level < levels_count_; ++level) {
+      const RankSelect& bv = levels_[static_cast<size_t>(level)];
+      sym <<= 1;
+      if (bv.Get(pos)) {
+        sym |= 1;
+        pos = zeros_[static_cast<size_t>(level)] + bv.Rank1(pos);
+      } else {
+        pos = bv.Rank0(pos);
+      }
+    }
+    return sym;
+  }
+
+  /// Number of occurrences of `symbol` in the prefix [0, i). `i` may be size().
+  size_t Rank(uint32_t symbol, size_t i) const {
+    NEATS_DCHECK(i <= size_);
+    size_t lo = 0, hi = i;
+    for (int level = 0; level < levels_count_; ++level) {
+      const RankSelect& bv = levels_[static_cast<size_t>(level)];
+      int bit = levels_count_ - 1 - level;
+      if ((symbol >> bit) & 1) {
+        lo = zeros_[static_cast<size_t>(level)] + bv.Rank1(lo);
+        hi = zeros_[static_cast<size_t>(level)] + bv.Rank1(hi);
+      } else {
+        lo = bv.Rank0(lo);
+        hi = bv.Rank0(hi);
+      }
+    }
+    return hi - lo;
+  }
+
+  size_t size() const { return size_; }
+
+  /// Payload size in bits across all levels.
+  size_t SizeInBits() const {
+    size_t bits = 64;
+    for (const auto& level : levels_) bits += level.SizeInBits();
+    return bits + zeros_.size() * 64;
+  }
+
+ private:
+  size_t size_ = 0;
+  int levels_count_ = 0;
+  std::vector<RankSelect> levels_;
+  std::vector<size_t> zeros_;
+};
+
+}  // namespace neats

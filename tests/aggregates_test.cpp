@@ -1,0 +1,94 @@
+// Tests for aggregate queries on compressed data (the paper's future-work
+// direction, Sec. VI): the exact range sum must match a naive scan, and the
+// function-only approximate sum must honour its reported error bound.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "core/neats.hpp"
+#include "datasets/generators.hpp"
+
+namespace neats {
+namespace {
+
+int64_t NaiveSum(const std::vector<int64_t>& values, size_t from, size_t len) {
+  int64_t sum = 0;
+  for (size_t i = from; i < from + len; ++i) sum += values[i];
+  return sum;
+}
+
+class AggregateTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AggregateTest, ExactRangeSumMatchesNaive) {
+  Dataset ds = MakeDataset(GetParam(), 8000);
+  Neats blob = Neats::Compress(ds.values);
+  std::mt19937_64 rng(1);
+  for (int t = 0; t < 50; ++t) {
+    size_t from = rng() % (ds.values.size() - 1);
+    size_t len = 1 + rng() % std::min<size_t>(3000, ds.values.size() - from);
+    ASSERT_EQ(blob.RangeSum(from, len), NaiveSum(ds.values, from, len));
+  }
+}
+
+TEST_P(AggregateTest, ApproximateSumHonoursItsBound) {
+  Dataset ds = MakeDataset(GetParam(), 8000);
+  Neats blob = Neats::Compress(ds.values);
+  std::mt19937_64 rng(2);
+  for (int t = 0; t < 50; ++t) {
+    size_t from = rng() % (ds.values.size() - 1);
+    size_t len = 1 + rng() % std::min<size_t>(3000, ds.values.size() - from);
+    auto approx = blob.ApproximateRangeSum(from, len);
+    double exact = static_cast<double>(NaiveSum(ds.values, from, len));
+    ASSERT_LE(std::abs(approx.value - exact), approx.error_bound + 1e-6)
+        << GetParam() << " from=" << from << " len=" << len;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SomeDatasets, AggregateTest,
+                         ::testing::Values("IT", "US", "ECG", "AP", "BT",
+                                           "WD"));
+
+TEST(Aggregates, PerfectLineHasZeroErrorBound) {
+  std::vector<int64_t> values;
+  for (int i = 0; i < 5000; ++i) values.push_back(3 * i + 11);
+  Neats blob = Neats::Compress(values);
+  auto approx = blob.ApproximateRangeSum(100, 1000);
+  EXPECT_EQ(approx.error_bound, 0.0);
+  EXPECT_EQ(static_cast<int64_t>(approx.value), NaiveSum(values, 100, 1000));
+}
+
+TEST(Aggregates, WholeSeriesSum) {
+  std::mt19937_64 rng(3);
+  std::vector<int64_t> values;
+  int64_t cur = -1000;
+  for (int i = 0; i < 10000; ++i) {
+    cur += static_cast<int64_t>(rng() % 21) - 10;
+    values.push_back(cur);
+  }
+  Neats blob = Neats::Compress(values);
+  EXPECT_EQ(blob.RangeSum(0, values.size()),
+            NaiveSum(values, 0, values.size()));
+  auto approx = blob.ApproximateRangeSum(0, values.size());
+  EXPECT_LE(std::abs(approx.value -
+                     static_cast<double>(NaiveSum(values, 0, values.size()))),
+            approx.error_bound + 1e-6);
+}
+
+TEST(Aggregates, NegativeShiftedSeries) {
+  std::vector<int64_t> values;
+  for (int i = 0; i < 3000; ++i) values.push_back(-500000 + 7 * i + (i % 5));
+  Neats blob = Neats::Compress(values);
+  for (size_t from : {size_t{0}, size_t{1234}}) {
+    ASSERT_EQ(blob.RangeSum(from, 1500), NaiveSum(values, from, 1500));
+    auto approx = blob.ApproximateRangeSum(from, 1500);
+    ASSERT_LE(std::abs(approx.value -
+                       static_cast<double>(NaiveSum(values, from, 1500))),
+              approx.error_bound + 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace neats

@@ -1,0 +1,95 @@
+#include "succinct/bit_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace neats {
+namespace {
+
+TEST(BitStream, EmptyStream) {
+  BitWriter w;
+  EXPECT_EQ(w.bit_size(), 0u);
+  auto words = w.TakeWords();
+  EXPECT_TRUE(words.empty());
+}
+
+TEST(BitStream, SingleFullWord) {
+  BitWriter w;
+  w.Append(0xDEADBEEFCAFEBABEULL, 64);
+  EXPECT_EQ(w.bit_size(), 64u);
+  auto words = w.TakeWords();
+  ASSERT_EQ(words.size(), 1u);
+  EXPECT_EQ(ReadBits(words.data(), 0, 64), 0xDEADBEEFCAFEBABEULL);
+}
+
+TEST(BitStream, ZeroWidthFieldsAreNoOps) {
+  BitWriter w;
+  w.Append(123, 0);
+  w.Append(1, 1);
+  w.Append(456, 0);
+  EXPECT_EQ(w.bit_size(), 1u);
+  auto words = w.TakeWords();
+  EXPECT_EQ(ReadBits(words.data(), 0, 1), 1u);
+}
+
+TEST(BitStream, CrossWordBoundary) {
+  BitWriter w;
+  w.Append(0, 60);
+  w.Append(0x1FF, 9);  // straddles the 64-bit boundary
+  auto words = w.TakeWords();
+  EXPECT_EQ(ReadBits(words.data(), 60, 9), 0x1FFu);
+}
+
+TEST(BitStream, ValueMaskedToWidth) {
+  BitWriter w;
+  w.Append(~0ULL, 5);  // only the low 5 bits must be stored
+  w.Append(0, 5);
+  auto words = w.TakeWords();
+  EXPECT_EQ(ReadBits(words.data(), 0, 5), 31u);
+  EXPECT_EQ(ReadBits(words.data(), 5, 5), 0u);
+}
+
+struct Field {
+  uint64_t value;
+  int width;
+};
+
+TEST(BitStream, RandomRoundTripAllWidths) {
+  std::mt19937_64 rng(42);
+  std::vector<Field> fields;
+  BitWriter w;
+  for (int i = 0; i < 20000; ++i) {
+    int width = static_cast<int>(rng() % 65);
+    uint64_t value = rng() & LowMask(width);
+    fields.push_back({value, width});
+    w.Append(value, width);
+  }
+  auto words = w.TakeWords();
+  size_t pos = 0;
+  for (const Field& f : fields) {
+    ASSERT_EQ(ReadBits(words.data(), pos, f.width), f.value);
+    pos += static_cast<size_t>(f.width);
+  }
+  EXPECT_EQ(pos, w.bit_size());
+}
+
+TEST(BitStream, ReaderSequentialAndSeek) {
+  BitWriter w;
+  for (uint64_t i = 0; i < 100; ++i) w.Append(i, 7);
+  auto words = w.TakeWords();
+  BitReader r(words.data(), 100 * 7);
+  for (uint64_t i = 0; i < 100; ++i) EXPECT_EQ(r.Read(7), i);
+  r.Seek(7 * 50);
+  EXPECT_EQ(r.Read(7), 50u);
+  EXPECT_EQ(r.position(), 7u * 51);
+}
+
+TEST(BitStream, ReadBitsWidthZero) {
+  uint64_t word = 0xFF;
+  EXPECT_EQ(ReadBits(&word, 3, 0), 0u);
+}
+
+}  // namespace
+}  // namespace neats

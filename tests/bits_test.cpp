@@ -1,0 +1,98 @@
+#include "common/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace neats {
+namespace {
+
+TEST(Bits, PopcountMatchesNaive) {
+  std::mt19937_64 rng(1);
+  for (int trial = 0; trial < 1000; ++trial) {
+    uint64_t x = rng();
+    int naive = 0;
+    for (int i = 0; i < 64; ++i) naive += (x >> i) & 1;
+    EXPECT_EQ(Popcount(x), naive);
+  }
+}
+
+TEST(Bits, BitWidthBasics) {
+  EXPECT_EQ(BitWidth(0), 0);
+  EXPECT_EQ(BitWidth(1), 1);
+  EXPECT_EQ(BitWidth(2), 2);
+  EXPECT_EQ(BitWidth(3), 2);
+  EXPECT_EQ(BitWidth(255), 8);
+  EXPECT_EQ(BitWidth(256), 9);
+  EXPECT_EQ(BitWidth(~0ULL), 64);
+}
+
+TEST(Bits, CeilLog2Basics) {
+  EXPECT_EQ(CeilLog2(0), 0);
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(2), 1);
+  EXPECT_EQ(CeilLog2(3), 2);
+  EXPECT_EQ(CeilLog2(4), 2);
+  EXPECT_EQ(CeilLog2(5), 3);
+  EXPECT_EQ(CeilLog2(1ULL << 40), 40);
+  EXPECT_EQ(CeilLog2((1ULL << 40) + 1), 41);
+}
+
+TEST(Bits, SelectInWordExhaustiveSmall) {
+  // Every 16-bit pattern, every rank: compare against a naive scan.
+  for (uint32_t x = 1; x < (1u << 16); ++x) {
+    uint64_t word = x;
+    int rank = 0;
+    for (int i = 0; i < 16; ++i) {
+      if ((word >> i) & 1) {
+        EXPECT_EQ(SelectInWord(word, rank), i) << "x=" << x << " rank=" << rank;
+        ++rank;
+      }
+    }
+  }
+}
+
+TEST(Bits, SelectInWordRandom64) {
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 2000; ++trial) {
+    uint64_t x = rng();
+    int rank = 0;
+    for (int i = 0; i < 64; ++i) {
+      if ((x >> i) & 1) {
+        ASSERT_EQ(SelectInWord(x, rank), i);
+        ++rank;
+      }
+    }
+  }
+}
+
+TEST(Bits, LowMask) {
+  EXPECT_EQ(LowMask(0), 0ULL);
+  EXPECT_EQ(LowMask(1), 1ULL);
+  EXPECT_EQ(LowMask(63), (1ULL << 63) - 1);
+  EXPECT_EQ(LowMask(64), ~0ULL);
+}
+
+TEST(Bits, ZigZagRoundTrip) {
+  std::mt19937_64 rng(3);
+  for (int trial = 0; trial < 1000; ++trial) {
+    int64_t v = static_cast<int64_t>(rng());
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+  }
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+  EXPECT_EQ(ZigZagEncode(-2), 3u);
+  EXPECT_EQ(ZigZagDecode(ZigZagEncode(INT64_MIN)), INT64_MIN);
+  EXPECT_EQ(ZigZagDecode(ZigZagEncode(INT64_MAX)), INT64_MAX);
+}
+
+TEST(Bits, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 64), 0u);
+  EXPECT_EQ(CeilDiv(1, 64), 1u);
+  EXPECT_EQ(CeilDiv(64, 64), 1u);
+  EXPECT_EQ(CeilDiv(65, 64), 2u);
+}
+
+}  // namespace
+}  // namespace neats

@@ -1,0 +1,94 @@
+#include "datasets/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <set>
+
+#include "core/neats.hpp"
+
+namespace neats {
+namespace {
+
+TEST(Datasets, AllCodesGenerate) {
+  for (const auto& code : AllDatasetCodes()) {
+    Dataset ds = MakeDataset(code, 2000);
+    EXPECT_EQ(ds.values.size(), 2000u) << code;
+    EXPECT_EQ(ds.doubles.size(), 2000u) << code;
+    EXPECT_EQ(ds.code, code);
+  }
+  EXPECT_EQ(AllDatasetCodes().size(), kNumDatasets);
+}
+
+TEST(Datasets, DeterministicForSameSeed) {
+  Dataset a = MakeDataset("US", 5000, 7);
+  Dataset b = MakeDataset("US", 5000, 7);
+  EXPECT_EQ(a.values, b.values);
+  Dataset c = MakeDataset("US", 5000, 8);
+  EXPECT_NE(a.values, c.values);
+}
+
+TEST(Datasets, DoublesMatchScaledIntegers) {
+  for (const auto& code : AllDatasetCodes()) {
+    Dataset ds = MakeDataset(code, 1000);
+    double scale = std::pow(10.0, ds.fractional_digits);
+    for (size_t i = 0; i < ds.values.size(); ++i) {
+      double expected = static_cast<double>(ds.values[i]) / scale;
+      ASSERT_EQ(std::bit_cast<uint64_t>(ds.doubles[i]),
+                std::bit_cast<uint64_t>(expected))
+          << code << " at " << i;
+    }
+  }
+}
+
+TEST(Datasets, ValuesAreNotDegenerate) {
+  for (const auto& code : AllDatasetCodes()) {
+    Dataset ds = MakeDataset(code, 5000);
+    std::set<int64_t> distinct(ds.values.begin(), ds.values.end());
+    EXPECT_GT(distinct.size(), 50u) << code << " looks constant";
+  }
+}
+
+TEST(Datasets, WindDirectionStaysInRange) {
+  Dataset ds = MakeDataset("WD", 20000);
+  for (int64_t v : ds.values) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 36000);  // 360 degrees at 2 digits
+  }
+}
+
+TEST(Datasets, PrecisionDigitsMatchSpec) {
+  EXPECT_EQ(MakeDataset("IT", 100).fractional_digits, 2);
+  EXPECT_EQ(MakeDataset("BT", 100).fractional_digits, 9);
+  EXPECT_EQ(MakeDataset("BW", 100).fractional_digits, 7);
+  EXPECT_EQ(MakeDataset("UK", 100).fractional_digits, 1);
+}
+
+TEST(Datasets, DefaultSizesFollowSpec) {
+  Dataset ds = MakeDataset("BP");
+  EXPECT_EQ(ds.values.size(), 4096u);
+}
+
+// Integration: every dataset round-trips through NeaTS losslessly.
+class DatasetRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DatasetRoundTripTest, NeatsLossless) {
+  Dataset ds = MakeDataset(GetParam(), 20000);
+  Neats compressed = Neats::Compress(ds.values);
+  std::vector<int64_t> decoded;
+  compressed.Decompress(&decoded);
+  ASSERT_EQ(decoded, ds.values) << GetParam();
+  // Spot-check random access too.
+  for (size_t k = 0; k < ds.values.size(); k += 997) {
+    ASSERT_EQ(compressed.Access(k), ds.values[k]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetRoundTripTest,
+                         ::testing::Values("IT", "US", "ECG", "WD", "AP", "UK",
+                                           "GE", "LAT", "LON", "DP", "CT",
+                                           "DU", "BT", "BW", "BM", "BP"));
+
+}  // namespace
+}  // namespace neats

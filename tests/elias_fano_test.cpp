@@ -1,0 +1,105 @@
+#include "succinct/elias_fano.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+namespace neats {
+namespace {
+
+size_t NaiveRank(const std::vector<uint64_t>& values, uint64_t x) {
+  return static_cast<size_t>(
+      std::upper_bound(values.begin(), values.end(), x) - values.begin());
+}
+
+void CheckSequence(const std::vector<uint64_t>& values) {
+  EliasFano ef(values);
+  ASSERT_EQ(ef.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    ASSERT_EQ(ef.Access(i), values[i]) << "access at " << i;
+  }
+  // Rank probes: all values, their neighbours, and extremes.
+  std::vector<uint64_t> probes = {0, 1};
+  for (uint64_t v : values) {
+    if (v > 0) probes.push_back(v - 1);
+    probes.push_back(v);
+    probes.push_back(v + 1);
+  }
+  if (!values.empty()) probes.push_back(values.back() + 100);
+  for (uint64_t x : probes) {
+    ASSERT_EQ(ef.Rank(x), NaiveRank(values, x)) << "rank of " << x;
+  }
+}
+
+TEST(EliasFano, Empty) {
+  EliasFano ef{std::vector<uint64_t>{}};
+  EXPECT_EQ(ef.size(), 0u);
+  EXPECT_EQ(ef.Rank(42), 0u);
+}
+
+TEST(EliasFano, SingleElement) {
+  CheckSequence({0});
+  CheckSequence({5});
+  CheckSequence({1ULL << 40});
+}
+
+TEST(EliasFano, DenseConsecutive) {
+  std::vector<uint64_t> values(2000);
+  for (size_t i = 0; i < values.size(); ++i) values[i] = i;
+  CheckSequence(values);
+}
+
+TEST(EliasFano, WithDuplicates) {
+  CheckSequence({3, 3, 3, 3});
+  CheckSequence({0, 0, 1, 1, 1, 7, 7, 100, 100});
+}
+
+TEST(EliasFano, AllZeros) { CheckSequence(std::vector<uint64_t>(100, 0)); }
+
+class EliasFanoRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EliasFanoRandomTest, RandomMonotoneWithGapScale) {
+  uint64_t gap_scale = GetParam();
+  std::mt19937_64 rng(gap_scale * 31 + 7);
+  std::vector<uint64_t> values;
+  uint64_t cur = 0;
+  for (int i = 0; i < 3000; ++i) {
+    cur += rng() % (gap_scale + 1);
+    values.push_back(cur);
+  }
+  CheckSequence(values);
+}
+
+INSTANTIATE_TEST_SUITE_P(GapScales, EliasFanoRandomTest,
+                         ::testing::Values(1, 2, 10, 1000, 1000000,
+                                           1ULL << 40));
+
+TEST(EliasFano, ExplicitUniverse) {
+  std::vector<uint64_t> values = {1, 5, 9};
+  EliasFano ef(values, 1000);
+  for (size_t i = 0; i < values.size(); ++i) EXPECT_EQ(ef.Access(i), values[i]);
+  EXPECT_EQ(ef.Rank(0), 0u);
+  EXPECT_EQ(ef.Rank(5), 2u);
+  EXPECT_EQ(ef.Rank(999), 3u);
+}
+
+TEST(EliasFano, SpaceIsNearOptimal) {
+  // m values over universe u should take about m*(2 + log(u/m)) bits.
+  const size_t m = 100000;
+  const uint64_t u = 1ULL << 30;
+  std::mt19937_64 rng(11);
+  std::vector<uint64_t> values(m);
+  for (auto& v : values) v = rng() % u;
+  std::sort(values.begin(), values.end());
+  EliasFano ef(values);
+  double bits_per_element =
+      static_cast<double>(ef.SizeInBits()) / static_cast<double>(m);
+  // Theory: 2 + log2(u/m) ~ 2 + 13.4 = 15.4; allow generous slack for the
+  // rank directories.
+  EXPECT_LT(bits_per_element, 22.0);
+}
+
+}  // namespace
+}  // namespace neats

@@ -1,0 +1,132 @@
+// Cross-module integration tests: every compressor in the benchmark roster
+// must agree with the ground truth on full decompression, point access, and
+// range queries, over every dataset generator — the end-to-end contract the
+// benchmark harness relies on.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <random>
+#include <vector>
+
+#include "baselines/alp.hpp"
+#include "baselines/blockwise.hpp"
+#include "baselines/chimp.hpp"
+#include "baselines/dac.hpp"
+#include "baselines/general_purpose.hpp"
+#include "baselines/gorilla.hpp"
+#include "baselines/leco.hpp"
+#include "baselines/tsxor.hpp"
+#include "core/neats.hpp"
+#include "core/variants.hpp"
+#include "datasets/generators.hpp"
+
+namespace neats {
+namespace {
+
+constexpr size_t kN = 6000;
+
+class IntegrationTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  Dataset ds_ = MakeDataset(GetParam(), kN);
+};
+
+template <typename C>
+void CheckIntCompressor(const C& blob, const std::vector<int64_t>& truth) {
+  std::vector<int64_t> out;
+  blob.Decompress(&out);
+  ASSERT_EQ(out, truth);
+  std::mt19937_64 rng(1);
+  for (int t = 0; t < 100; ++t) {
+    size_t i = rng() % truth.size();
+    ASSERT_EQ(blob.Access(i), truth[i]);
+  }
+}
+
+template <typename C>
+void CheckDoubleCompressor(const C& blob, const std::vector<double>& truth) {
+  std::vector<double> out;
+  blob.Decompress(&out);
+  ASSERT_EQ(out.size(), truth.size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<uint64_t>(out[i]), std::bit_cast<uint64_t>(truth[i]));
+  }
+  std::mt19937_64 rng(2);
+  for (int t = 0; t < 50; ++t) {
+    size_t i = rng() % truth.size();
+    ASSERT_EQ(std::bit_cast<uint64_t>(blob.Access(i)),
+              std::bit_cast<uint64_t>(truth[i]));
+  }
+}
+
+TEST_P(IntegrationTest, NeatsContract) {
+  Neats blob = Neats::Compress(ds_.values);
+  CheckIntCompressor(blob, ds_.values);
+  // Range queries crossing fragment boundaries.
+  std::mt19937_64 rng(3);
+  std::vector<int64_t> out;
+  for (int t = 0; t < 50; ++t) {
+    size_t from = rng() % (ds_.values.size() - 1);
+    size_t len = 1 + rng() % std::min<size_t>(2000, ds_.values.size() - from);
+    out.resize(len);
+    blob.DecompressRange(from, len, out.data());
+    for (size_t j = 0; j < len; ++j) {
+      ASSERT_EQ(out[j], ds_.values[from + j]);
+    }
+  }
+}
+
+TEST_P(IntegrationTest, VariantsContract) {
+  CheckIntCompressor(CompressLeaTS(ds_.values), ds_.values);
+  CheckIntCompressor(CompressSNeaTS(ds_.values), ds_.values);
+}
+
+TEST_P(IntegrationTest, DacLecoContract) {
+  CheckIntCompressor(Dac::Compress(ds_.values), ds_.values);
+  CheckIntCompressor(Leco::Compress(ds_.values), ds_.values);
+}
+
+TEST_P(IntegrationTest, GeneralPurposeContract) {
+  CheckIntCompressor(BlockwiseBytes<FastLzPolicy>::Compress(ds_.values),
+                     ds_.values);
+  CheckIntCompressor(BlockwiseBytes<LzHufFastPolicy>::Compress(ds_.values),
+                     ds_.values);
+  CheckIntCompressor(BlockwiseBytes<LzHufStrongPolicy>::Compress(ds_.values),
+                     ds_.values);
+}
+
+TEST_P(IntegrationTest, XorFamilyContract) {
+  CheckDoubleCompressor(Blockwise<Gorilla>::Compress(ds_.doubles), ds_.doubles);
+  CheckDoubleCompressor(Blockwise<Chimp>::Compress(ds_.doubles), ds_.doubles);
+  CheckDoubleCompressor(Blockwise<Chimp128>::Compress(ds_.doubles),
+                        ds_.doubles);
+  CheckDoubleCompressor(Blockwise<TsXor>::Compress(ds_.doubles), ds_.doubles);
+}
+
+TEST_P(IntegrationTest, AlpContract) {
+  Alp blob = Alp::Compress(ds_.doubles);
+  CheckDoubleCompressor(blob, ds_.doubles);
+  std::vector<double> out(1500);
+  size_t from = ds_.doubles.size() / 3;
+  blob.DecompressRange(from, out.size(), out.data());
+  for (size_t j = 0; j < out.size(); ++j) {
+    ASSERT_EQ(std::bit_cast<uint64_t>(out[j]),
+              std::bit_cast<uint64_t>(ds_.doubles[from + j]));
+  }
+}
+
+TEST_P(IntegrationTest, SerializedNeatsContract) {
+  Neats original = Neats::Compress(ds_.values);
+  std::vector<uint8_t> bytes;
+  original.Serialize(&bytes);
+  Neats loaded = Neats::Deserialize(bytes);
+  CheckIntCompressor(loaded, ds_.values);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, IntegrationTest,
+                         ::testing::Values("IT", "US", "ECG", "WD", "AP", "UK",
+                                           "GE", "LAT", "LON", "DP", "CT",
+                                           "DU", "BT", "BW", "BM", "BP"));
+
+}  // namespace
+}  // namespace neats

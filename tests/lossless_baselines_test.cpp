@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "baselines/alp.hpp"
+#include "baselines/blockwise.hpp"
+#include "baselines/dac.hpp"
+#include "baselines/general_purpose.hpp"
+#include "baselines/leco.hpp"
+
+namespace neats {
+namespace {
+
+std::vector<int64_t> ScaledWalk(size_t n, uint64_t seed, int64_t step) {
+  std::mt19937_64 rng(seed);
+  std::vector<int64_t> values;
+  int64_t cur = 100000;
+  for (size_t i = 0; i < n; ++i) {
+    cur += static_cast<int64_t>(rng() % (2 * step + 1)) - step;
+    values.push_back(cur);
+  }
+  return values;
+}
+
+// ---- DAC ----
+
+TEST(Dac, RoundTripAndAccess) {
+  auto values = ScaledWalk(20000, 3, 500);
+  values[0] = -77;  // exercise negatives through zigzag
+  values[100] = INT64_MAX / 4;
+  values[200] = INT64_MIN / 4;
+  Dac dac = Dac::Compress(values);
+  std::vector<int64_t> decoded;
+  dac.Decompress(&decoded);
+  EXPECT_EQ(decoded, values);
+  std::mt19937_64 rng(1);
+  for (int trial = 0; trial < 500; ++trial) {
+    size_t i = rng() % values.size();
+    ASSERT_EQ(dac.Access(i), values[i]);
+  }
+}
+
+TEST(Dac, EmptyAndSingle) {
+  Dac empty = Dac::Compress(std::vector<int64_t>{});
+  EXPECT_EQ(empty.size(), 0u);
+  Dac one = Dac::Compress(std::vector<int64_t>{{-123456}});
+  EXPECT_EQ(one.Access(0), -123456);
+}
+
+class DacChunkTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DacChunkTest, RoundTripAtChunkWidth) {
+  auto values = ScaledWalk(5000, 7, 100);
+  Dac dac = Dac::Compress(values, GetParam());
+  std::vector<int64_t> decoded;
+  dac.Decompress(&decoded);
+  EXPECT_EQ(decoded, values);
+  for (size_t i = 0; i < values.size(); i += 131) {
+    ASSERT_EQ(dac.Access(i), values[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Chunks, DacChunkTest, ::testing::Values(4, 8, 16, 32));
+
+TEST(Dac, SmallValuesCompressWell) {
+  std::mt19937_64 rng(11);
+  std::vector<int64_t> values(50000);
+  for (auto& v : values) v = static_cast<int64_t>(rng() % 100);
+  Dac dac = Dac::Compress(values);
+  double bits_per_value =
+      static_cast<double>(dac.SizeInBits()) / static_cast<double>(values.size());
+  EXPECT_LT(bits_per_value, 12.0);  // ~1 byte + continuation bit + rank
+}
+
+// ---- LeCo ----
+
+TEST(Leco, RoundTripAndAccess) {
+  auto values = ScaledWalk(30000, 13, 50);
+  Leco leco = Leco::Compress(values);
+  std::vector<int64_t> decoded;
+  leco.Decompress(&decoded);
+  EXPECT_EQ(decoded, values);
+  std::mt19937_64 rng(2);
+  for (int trial = 0; trial < 500; ++trial) {
+    size_t i = rng() % values.size();
+    ASSERT_EQ(leco.Access(i), values[i]);
+  }
+}
+
+TEST(Leco, LinearDataCompressesExtremelyWell) {
+  std::vector<int64_t> values;
+  for (int i = 0; i < 100000; ++i) values.push_back(7 * i + 3);
+  Leco leco = Leco::Compress(values);
+  double bits_per_value =
+      static_cast<double>(leco.SizeInBits()) / static_cast<double>(values.size());
+  EXPECT_LT(bits_per_value, 1.0);
+}
+
+TEST(Leco, EmptyAndTiny) {
+  Leco empty = Leco::Compress(std::vector<int64_t>{});
+  EXPECT_EQ(empty.size(), 0u);
+  std::vector<int64_t> tiny = {5, -9, 100};
+  Leco leco = Leco::Compress(tiny);
+  std::vector<int64_t> decoded;
+  leco.Decompress(&decoded);
+  EXPECT_EQ(decoded, tiny);
+}
+
+TEST(Leco, StepsForcePartitioning) {
+  std::vector<int64_t> values;
+  for (int s = 0; s < 20; ++s) {
+    for (int i = 0; i < 2000; ++i) values.push_back(s * 1000000);
+  }
+  Leco leco = Leco::Compress(values);
+  std::vector<int64_t> decoded;
+  leco.Decompress(&decoded);
+  EXPECT_EQ(decoded, values);
+  EXPECT_GE(leco.num_fragments(), 10u);
+}
+
+// ---- ALP ----
+
+std::vector<double> DecimalDoubles(size_t n, uint64_t seed, int digits) {
+  std::mt19937_64 rng(seed);
+  double scale = std::pow(10.0, digits);
+  std::vector<double> values;
+  double cur = 500.0;
+  for (size_t i = 0; i < n; ++i) {
+    cur += static_cast<double>(static_cast<int>(rng() % 2001) - 1000) / scale;
+    values.push_back(std::round(cur * scale) / scale);
+  }
+  return values;
+}
+
+TEST(Alp, RoundTripDecimalData) {
+  for (int digits : {1, 2, 5, 7}) {
+    auto values = DecimalDoubles(10000, static_cast<uint64_t>(digits), digits);
+    Alp alp = Alp::Compress(values);
+    std::vector<double> decoded;
+    alp.Decompress(&decoded);
+    ASSERT_EQ(decoded.size(), values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      ASSERT_EQ(std::bit_cast<uint64_t>(decoded[i]),
+                std::bit_cast<uint64_t>(values[i]))
+          << "digits=" << digits << " i=" << i;
+    }
+  }
+}
+
+TEST(Alp, RoundTripNonDecimalFallsBackToExceptions) {
+  std::mt19937_64 rng(31);
+  std::vector<double> values(5000);
+  for (auto& v : values) {
+    v = std::bit_cast<double>(rng());
+    if (std::isnan(v)) v = 1.0;
+  }
+  Alp alp = Alp::Compress(values);
+  std::vector<double> decoded;
+  alp.Decompress(&decoded);
+  for (size_t i = 0; i < values.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<uint64_t>(decoded[i]),
+              std::bit_cast<uint64_t>(values[i]));
+  }
+}
+
+TEST(Alp, AccessMatchesDecompress) {
+  auto values = DecimalDoubles(8000, 41, 3);
+  Alp alp = Alp::Compress(values);
+  std::vector<double> decoded;
+  alp.Decompress(&decoded);
+  std::mt19937_64 rng(3);
+  for (int trial = 0; trial < 300; ++trial) {
+    size_t i = rng() % values.size();
+    ASSERT_EQ(std::bit_cast<uint64_t>(alp.Access(i)),
+              std::bit_cast<uint64_t>(decoded[i]));
+  }
+}
+
+TEST(Alp, DecimalDataCompressesWell) {
+  auto values = DecimalDoubles(50000, 43, 2);
+  Alp alp = Alp::Compress(values);
+  double ratio = static_cast<double>(alp.SizeInBits()) /
+                 (64.0 * static_cast<double>(values.size()));
+  EXPECT_LT(ratio, 0.45) << "2-decimal data should pack well below raw";
+}
+
+TEST(Alp, EmptyInput) {
+  Alp alp = Alp::Compress(std::vector<double>{});
+  EXPECT_EQ(alp.size(), 0u);
+  std::vector<double> decoded;
+  alp.Decompress(&decoded);
+  EXPECT_TRUE(decoded.empty());
+}
+
+// ---- General-purpose LZ ----
+
+template <typename Policy>
+class GeneralPurposeTest : public ::testing::Test {};
+
+using Policies =
+    ::testing::Types<FastLzPolicy, LzHufFastPolicy, LzHufStrongPolicy>;
+TYPED_TEST_SUITE(GeneralPurposeTest, Policies);
+
+TYPED_TEST(GeneralPurposeTest, RawBytesRoundTrip) {
+  std::mt19937_64 rng(51);
+  for (size_t n : {0u, 1u, 7u, 100u, 10000u}) {
+    std::vector<uint8_t> input(n);
+    for (auto& b : input) b = static_cast<uint8_t>(rng() % 7);  // repetitive
+    auto compressed = TypeParam::CompressBytes(input);
+    std::vector<uint8_t> output(n);
+    TypeParam::DecompressBytes(compressed, output);
+    ASSERT_EQ(output, input) << "n=" << n;
+  }
+}
+
+TYPED_TEST(GeneralPurposeTest, IncompressibleBytesRoundTrip) {
+  std::mt19937_64 rng(53);
+  std::vector<uint8_t> input(20000);
+  for (auto& b : input) b = static_cast<uint8_t>(rng());
+  auto compressed = TypeParam::CompressBytes(input);
+  std::vector<uint8_t> output(input.size());
+  TypeParam::DecompressBytes(compressed, output);
+  ASSERT_EQ(output, input);
+}
+
+TYPED_TEST(GeneralPurposeTest, BlockwiseValuesRoundTrip) {
+  auto values = ScaledWalk(12345, 57, 30);
+  auto wrapped = BlockwiseBytes<TypeParam>::Compress(values);
+  std::vector<int64_t> decoded;
+  wrapped.Decompress(&decoded);
+  EXPECT_EQ(decoded, values);
+  std::mt19937_64 rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t i = rng() % values.size();
+    ASSERT_EQ(wrapped.Access(i), values[i]);
+  }
+  std::vector<int64_t> out(999);
+  wrapped.DecompressRange(2000, out.size(), out.data());
+  for (size_t j = 0; j < out.size(); ++j) {
+    ASSERT_EQ(out[j], values[2000 + j]);
+  }
+}
+
+TEST(GeneralPurposeComparison, StrongBeatsFastOnText) {
+  // Repetitive structured bytes: the entropy-coded LZ must win clearly.
+  std::vector<uint8_t> input;
+  std::mt19937_64 rng(61);
+  const char* words[] = {"sensor", "reading", "temp", "2024-01-0", "value="};
+  for (int i = 0; i < 3000; ++i) {
+    const char* w = words[rng() % 5];
+    input.insert(input.end(), w, w + std::strlen(w));
+  }
+  auto strong = LzHufStrongPolicy::CompressBytes(input);
+  auto fast = FastLzPolicy::CompressBytes(input);
+  EXPECT_LT(strong.size(), fast.size());
+  std::vector<uint8_t> out(input.size());
+  LzHufStrongPolicy::DecompressBytes(strong, out);
+  EXPECT_EQ(out, input);
+}
+
+}  // namespace
+}  // namespace neats

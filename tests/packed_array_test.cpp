@@ -1,0 +1,53 @@
+#include "succinct/packed_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace neats {
+namespace {
+
+TEST(PackedArray, Empty) {
+  PackedArray a;
+  EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(PackedArray, FromValuesPicksMinimalWidth) {
+  PackedArray a = PackedArray::FromValues({0, 1, 2, 3});
+  EXPECT_EQ(a.width(), 2);
+  PackedArray b = PackedArray::FromValues({0, 0, 0});
+  EXPECT_EQ(b.width(), 0);
+  EXPECT_EQ(b[1], 0u);
+  PackedArray c = PackedArray::FromValues({1ULL << 63});
+  EXPECT_EQ(c.width(), 64);
+  EXPECT_EQ(c[0], 1ULL << 63);
+}
+
+class PackedArrayWidthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PackedArrayWidthTest, RoundTripAtWidth) {
+  int width = GetParam();
+  std::mt19937_64 rng(static_cast<uint64_t>(width) + 1);
+  std::vector<uint64_t> values(997);
+  for (auto& v : values) v = rng() & LowMask(width);
+  PackedArray a(values, width);
+  ASSERT_EQ(a.size(), values.size());
+  ASSERT_EQ(a.width(), width);
+  for (size_t i = 0; i < values.size(); ++i) {
+    ASSERT_EQ(a[i], values[i]) << "width=" << width << " i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, PackedArrayWidthTest,
+                         ::testing::Range(0, 65));
+
+TEST(PackedArray, SizeInBitsIsTight) {
+  std::vector<uint64_t> values(1000, 7);
+  PackedArray a(values, 3);
+  // 3000 payload bits rounded up to words, plus bounded metadata.
+  EXPECT_LE(a.SizeInBits(), 3000u + 64u + 2 * 64u);
+}
+
+}  // namespace
+}  // namespace neats

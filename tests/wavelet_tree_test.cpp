@@ -1,0 +1,90 @@
+#include "succinct/wavelet_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+namespace neats {
+namespace {
+
+void CheckAgainstNaive(const std::vector<uint32_t>& symbols,
+                       uint32_t alphabet_size) {
+  WaveletTree wt(symbols, alphabet_size);
+  ASSERT_EQ(wt.size(), symbols.size());
+  for (size_t i = 0; i < symbols.size(); ++i) {
+    ASSERT_EQ(wt.Access(i), symbols[i]) << "access at " << i;
+  }
+  uint32_t max_sym = 0;
+  for (uint32_t s : symbols) max_sym = std::max(max_sym, s);
+  std::vector<size_t> counts(max_sym + 1, 0);
+  for (size_t i = 0; i <= symbols.size(); ++i) {
+    for (uint32_t c = 0; c <= max_sym; ++c) {
+      ASSERT_EQ(wt.Rank(c, i), counts[c]) << "rank of " << c << " at " << i;
+    }
+    if (i < symbols.size()) ++counts[symbols[i]];
+  }
+}
+
+TEST(WaveletTree, SingleSymbolAlphabet) {
+  CheckAgainstNaive(std::vector<uint32_t>(50, 0), 1);
+}
+
+TEST(WaveletTree, BinaryAlphabet) {
+  std::mt19937 rng(3);
+  std::vector<uint32_t> symbols(501);
+  for (auto& s : symbols) s = rng() % 2;
+  CheckAgainstNaive(symbols, 2);
+}
+
+TEST(WaveletTree, FourFunctionKinds) {
+  // The exact shape NeaTS uses: |F| = 4 kinds.
+  std::mt19937 rng(4);
+  std::vector<uint32_t> symbols(1000);
+  for (auto& s : symbols) s = rng() % 4;
+  CheckAgainstNaive(symbols, 4);
+}
+
+TEST(WaveletTree, NonPowerOfTwoAlphabet) {
+  std::mt19937 rng(5);
+  std::vector<uint32_t> symbols(800);
+  for (auto& s : symbols) s = rng() % 5;
+  CheckAgainstNaive(symbols, 5);
+}
+
+TEST(WaveletTree, SkewedDistribution) {
+  std::mt19937 rng(6);
+  std::vector<uint32_t> symbols(700);
+  for (auto& s : symbols) {
+    uint32_t r = rng() % 100;
+    s = r < 90 ? 0 : (r < 99 ? 1 : 7);
+  }
+  CheckAgainstNaive(symbols, 8);
+}
+
+TEST(WaveletTree, SingleElement) { CheckAgainstNaive({3}, 6); }
+
+TEST(WaveletTree, DerivedAlphabetSize) {
+  std::vector<uint32_t> symbols = {0, 3, 1, 3, 2};
+  WaveletTree wt(symbols);
+  for (size_t i = 0; i < symbols.size(); ++i) {
+    EXPECT_EQ(wt.Access(i), symbols[i]);
+  }
+  EXPECT_EQ(wt.Rank(3, 5), 2u);
+}
+
+class WaveletTreeAlphabetTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(WaveletTreeAlphabetTest, RandomAtAlphabetSize) {
+  uint32_t sigma = GetParam();
+  std::mt19937 rng(sigma * 13 + 1);
+  std::vector<uint32_t> symbols(603);
+  for (auto& s : symbols) s = rng() % sigma;
+  CheckAgainstNaive(symbols, sigma);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphabets, WaveletTreeAlphabetTest,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 9, 16, 33));
+
+}  // namespace
+}  // namespace neats

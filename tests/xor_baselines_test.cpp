@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "baselines/blockwise.hpp"
+#include "baselines/chimp.hpp"
+#include "baselines/gorilla.hpp"
+#include "baselines/tsxor.hpp"
+
+namespace neats {
+namespace {
+
+// Doubles must round-trip bit-exactly (including -0.0, subnormals, NaN bit
+// patterns are excluded by the generators but +-inf is exercised).
+void ExpectBitExact(const std::vector<double>& a, const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<uint64_t>(a[i]), std::bit_cast<uint64_t>(b[i]))
+        << "index " << i;
+  }
+}
+
+std::vector<double> SensorLike(size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<double> values;
+  double cur = 20.0;
+  for (size_t i = 0; i < n; ++i) {
+    cur += static_cast<double>(static_cast<int>(rng() % 200) - 100) / 100.0;
+    // Two fixed decimals, like most of the paper's datasets.
+    values.push_back(std::round(cur * 100.0) / 100.0);
+  }
+  return values;
+}
+
+std::vector<double> AdversarialDoubles(size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<double> values;
+  for (size_t i = 0; i < n; ++i) {
+    switch (rng() % 6) {
+      case 0: values.push_back(0.0); break;
+      case 1: values.push_back(-0.0); break;
+      case 2: values.push_back(std::bit_cast<double>(rng())); break;  // random bits
+      case 3: values.push_back(1e300); break;
+      case 4: values.push_back(-5e-324); break;  // subnormal
+      default: values.push_back(static_cast<double>(rng() % 1000)); break;
+    }
+    if (std::isnan(values.back())) values.back() = 42.0;  // keep comparable
+  }
+  return values;
+}
+
+template <typename Codec>
+void CheckCodec(const std::vector<double>& values) {
+  Codec compressed = Codec::Compress(values);
+  std::vector<double> decoded;
+  compressed.Decompress(&decoded);
+  ExpectBitExact(values, decoded);
+}
+
+template <typename Codec>
+class XorCodecTest : public ::testing::Test {};
+
+using XorCodecs = ::testing::Types<Gorilla, Chimp, Chimp128, TsXor>;
+TYPED_TEST_SUITE(XorCodecTest, XorCodecs);
+
+TYPED_TEST(XorCodecTest, EmptyInput) {
+  CheckCodec<TypeParam>({});
+}
+
+TYPED_TEST(XorCodecTest, SingleValue) {
+  CheckCodec<TypeParam>({3.14159});
+  CheckCodec<TypeParam>({0.0});
+  CheckCodec<TypeParam>({-1e308});
+}
+
+TYPED_TEST(XorCodecTest, ConstantRun) {
+  CheckCodec<TypeParam>(std::vector<double>(5000, 42.5));
+}
+
+TYPED_TEST(XorCodecTest, SensorLikeRoundTrip) {
+  CheckCodec<TypeParam>(SensorLike(20000, 7));
+}
+
+TYPED_TEST(XorCodecTest, AdversarialRoundTrip) {
+  CheckCodec<TypeParam>(AdversarialDoubles(5000, 9));
+}
+
+TYPED_TEST(XorCodecTest, AlternatingValues) {
+  std::vector<double> values;
+  for (int i = 0; i < 3000; ++i) values.push_back(i % 2 ? 1.5 : -7.25);
+  CheckCodec<TypeParam>(values);
+}
+
+TYPED_TEST(XorCodecTest, CompressesConstantsWell) {
+  std::vector<double> values(10000, 123.456);
+  TypeParam compressed = TypeParam::Compress(values);
+  // A constant series costs a handful of bits per value (Gorilla/Chimp pay
+  // 1-2 bits, Chimp128/TSXor also pay their window reference index) — in any
+  // case far below the raw 64.
+  EXPECT_LT(compressed.SizeInBits(), values.size() * 10);
+}
+
+TYPED_TEST(XorCodecTest, BlockwiseWrapperAccess) {
+  auto values = SensorLike(5500, 13);
+  auto wrapped = Blockwise<TypeParam>::Compress(values);
+  ASSERT_EQ(wrapped.size(), values.size());
+  std::mt19937_64 rng(5);
+  for (int trial = 0; trial < 300; ++trial) {
+    size_t i = rng() % values.size();
+    EXPECT_EQ(std::bit_cast<uint64_t>(wrapped.Access(i)),
+              std::bit_cast<uint64_t>(values[i]));
+  }
+  std::vector<double> decoded;
+  wrapped.Decompress(&decoded);
+  ExpectBitExact(values, decoded);
+}
+
+TYPED_TEST(XorCodecTest, BlockwiseRangeDecode) {
+  auto values = SensorLike(4321, 17);
+  auto wrapped = Blockwise<TypeParam>::Compress(values);
+  std::vector<double> out(777);
+  wrapped.DecompressRange(1500, out.size(), out.data());
+  for (size_t j = 0; j < out.size(); ++j) {
+    ASSERT_EQ(std::bit_cast<uint64_t>(out[j]),
+              std::bit_cast<uint64_t>(values[1500 + j]));
+  }
+}
+
+TEST(XorFamilyComparison, ChimpBeatsGorillaOnDecimals) {
+  // The Chimp paper's headline: on decimal sensor data Chimp compresses
+  // better than Gorilla.
+  auto values = SensorLike(50000, 23);
+  Gorilla g = Gorilla::Compress(values);
+  Chimp c = Chimp::Compress(values);
+  EXPECT_LT(c.SizeInBits(), g.SizeInBits());
+}
+
+TEST(XorFamilyComparison, Chimp128NoWorseOnRepetitiveData) {
+  // A window of references pays off when values recur.
+  std::vector<double> values;
+  std::mt19937_64 rng(29);
+  std::vector<double> dictionary;
+  for (int i = 0; i < 40; ++i) {
+    dictionary.push_back(static_cast<double>(rng() % 100000) / 100.0);
+  }
+  for (int i = 0; i < 30000; ++i) {
+    values.push_back(dictionary[rng() % dictionary.size()]);
+  }
+  Chimp c = Chimp::Compress(values);
+  Chimp128 c128 = Chimp128::Compress(values);
+  EXPECT_LT(c128.SizeInBits(), c.SizeInBits());
+}
+
+}  // namespace
+}  // namespace neats
