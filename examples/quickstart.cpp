@@ -60,10 +60,37 @@ int main() {
   for (int64_t v : window) std::printf("%lld ", static_cast<long long>(v));
   std::printf("\n");
 
-  // --- Verify the lossless round trip. ---
+  // --- Sequential access: a cursor skips the per-call fragment rank. ---
+  // Cursor::Next()/Seek() cache the current fragment and advance in O(1),
+  // so scanning (or monotone skipping) is much cheaper than calling
+  // Access(k) in a loop. Read() bulk-decodes into a buffer.
+  neats::Neats::Cursor cursor(compressed, 390);
+  int64_t sum = 0;
+  for (int i = 0; i < 20; ++i) sum += cursor.Next();
+  std::printf("cursor sum over [390, 410) = %lld\n",
+              static_cast<long long>(sum));
+
+  // --- Scaling knobs (NeatsOptions). ---
+  // num_threads parallelizes the partitioner's edge rebuilds across the
+  // (kind, eps) pairs — output stays bit-identical to a serial run.
+  // chunk_size additionally cuts the series into blocks partitioned
+  // concurrently: deterministic output, near-linear compression scaling,
+  // at a tiny ratio cost (fragments cannot span block boundaries).
+  neats::NeatsOptions scaled;
+  scaled.num_threads = 4;   // 0 = one thread per hardware core
+  scaled.chunk_size = 400;  // 0 = one global partition (best ratio)
+  neats::Neats chunked = neats::Neats::Compress(values, scaled);
+  double chunked_ratio = 100.0 * static_cast<double>(chunked.SizeInBits()) /
+                         (64.0 * static_cast<double>(values.size()));
+  std::printf("chunked (4 threads, 400/block): %zu fragments, %.2f%% of raw\n",
+              chunked.num_fragments(), chunked_ratio);
+
+  // --- Verify the lossless round trip (both compression modes). ---
   std::vector<int64_t> decoded;
   compressed.Decompress(&decoded);
   bool ok = decoded == values;
+  chunked.Decompress(&decoded);
+  ok = ok && decoded == values;
   std::printf("\nlossless round trip: %s\n", ok ? "OK" : "FAILED");
   return ok ? 0 : 1;
 }

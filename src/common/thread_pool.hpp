@@ -1,0 +1,135 @@
+// A small fixed-size worker pool with a blocking parallel-for.
+//
+// Built for the compressor's hot loops: the partitioner fires a ParallelFor
+// per rebuild event (up to one per node), so dispatch must be cheap — one
+// mutex round-trip to publish the job, lock-free index claiming while it
+// runs, and one notification round when the job drains. The calling thread
+// participates in the work, so a pool constructed with `num_threads` spawns
+// `num_threads - 1` workers and ParallelFor never deadlocks even on a pool
+// of one.
+//
+// Indices are claimed one at a time from an atomic counter (work stealing),
+// which load-balances the heterogeneous fragment-rebuild costs without any
+// up-front splitting. Bodies must not throw.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace neats {
+
+/// Resolves a num_threads option: values >= 1 are taken as-is, 0 means "one
+/// per hardware thread" (at least 1).
+inline int ResolveNumThreads(int num_threads) {
+  if (num_threads >= 1) return num_threads;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// Fixed pool of worker threads executing ParallelFor jobs.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads) {
+    int n = ResolveNumThreads(num_threads);
+    workers_.reserve(static_cast<size_t>(n - 1));
+    for (int i = 1; i < n; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  /// Total threads working on a job (workers + the calling thread).
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs body(i) for every i in [0, count). Blocks until all indices are
+  /// done; the calling thread works too. Not reentrant from inside a body.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& body) {
+    if (count == 0) return;
+    if (workers_.empty() || count == 1) {
+      for (size_t i = 0; i < count; ++i) body(i);
+      return;
+    }
+    Job job;
+    job.body = &body;
+    job.count = count;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_ = &job;
+      ++job_seq_;
+    }
+    wake_cv_.notify_all();
+    RunJob(&job);
+    // The job (a stack object) may only die once every worker that grabbed
+    // its pointer has left RunJob: workers_inside is mutated under the mutex
+    // exactly for this lifetime handshake.
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] {
+      return job.workers_inside == 0 &&
+             job.done.load(std::memory_order_acquire) == job.count;
+    });
+    job_ = nullptr;
+  }
+
+ private:
+  struct Job {
+    const std::function<void(size_t)>* body = nullptr;
+    size_t count = 0;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    int workers_inside = 0;  // guarded by ThreadPool::mutex_
+  };
+
+  void RunJob(Job* job) {
+    size_t i;
+    while ((i = job->next.fetch_add(1, std::memory_order_relaxed)) <
+           job->count) {
+      (*job->body)(i);
+      job->done.fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+
+  void WorkerLoop() {
+    uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+      wake_cv_.wait(lock, [&] { return stop_ || job_seq_ != seen; });
+      if (stop_) return;
+      seen = job_seq_;
+      Job* job = job_;
+      if (job == nullptr) continue;  // raced with job completion
+      ++job->workers_inside;
+      lock.unlock();
+      RunJob(job);
+      lock.lock();
+      if (--job->workers_inside == 0) done_cv_.notify_all();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  Job* job_ = nullptr;
+  uint64_t job_seq_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace neats

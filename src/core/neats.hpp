@@ -49,6 +49,20 @@ enum class StartsIndex {
 struct NeatsOptions {
   PartitionOptions partition;
   StartsIndex starts_index = StartsIndex::kEliasFano;
+
+  /// Threads used during compression. 1 = serial, 0 = all hardware threads.
+  /// Without chunking this parallelizes the partitioner's Phase-1 edge
+  /// rebuilds (bit-identical output for every thread count); with
+  /// `chunk_size` set it additionally partitions the chunks concurrently.
+  int num_threads = 1;
+
+  /// When non-zero, the series is cut into disjoint blocks of this many
+  /// values, each block is partitioned independently (concurrently on
+  /// `num_threads` threads) and the fragment lists are stitched. The output
+  /// is deterministic — identical bytes for every thread count — but may be
+  /// slightly larger than the global partition, since fragments never span
+  /// a block boundary. 0 = single global partition.
+  uint64_t chunk_size = 0;
 };
 
 /// Number of bits used to store one correction of a fragment whose residuals
@@ -95,28 +109,19 @@ class Neats {
     return DecodeAt(i, FragmentStart(i), k);
   }
 
+  /// Sequential-access cursor over the decompressed values; see the class
+  /// definition below. Iteration and monotone seeks skip the per-call
+  /// FragmentIndexOf rank that Access pays.
+  class Cursor;
+
   /// Algorithm 2: appends all n values to `out` (cleared first).
   void Decompress(std::vector<int64_t>* out) const {
     out->resize(n_);
     DecompressRange(0, n_, out->data());
   }
 
-  /// Decompresses values[k, k + len) into out (random access + scan).
-  void DecompressRange(uint64_t k, uint64_t len, int64_t* out) const {
-    NEATS_DCHECK(k + len <= n_);
-    if (len == 0) return;
-    size_t i = FragmentIndexOf(k);
-    uint64_t produced = 0;
-    while (produced < len) {
-      uint64_t start = FragmentStart(i);
-      uint64_t end = FragmentEnd(i);
-      uint64_t from = std::max(k + produced, start);
-      uint64_t to = std::min(k + len, end);
-      DecodeFragmentRange(i, start, from, to, out + produced);
-      produced += to - from;
-      ++i;
-    }
-  }
+  /// Decompresses values[k, k + len) into out (one cursor seek + scan).
+  void DecompressRange(uint64_t k, uint64_t len, int64_t* out) const;
 
   /// Total size of the compressed representation, in bits.
   size_t SizeInBits() const {
@@ -125,9 +130,9 @@ class Neats {
                         : starts_bv_.SizeInBits();
     size_t p_bits = 0;
     for (const auto& p : params_) p_bits += p.size() * 64 + 64;
-    return kHeaderBits + s_bits + widths_.SizeInBits() + offsets_.SizeInBits() +
-           corrections_words_.size() * 64 + kinds_wt_.SizeInBits() +
-           displacement_.SizeInBits() + p_bits;
+    return HeaderSizeInBits() + s_bits + widths_.SizeInBits() +
+           offsets_.SizeInBits() + corrections_words_.size() * 64 +
+           kinds_wt_.SizeInBits() + displacement_.SizeInBits() + p_bits;
   }
 
   /// Result of an approximate aggregate: the estimate plus a hard bound on
@@ -173,14 +178,9 @@ class Neats {
     return agg;
   }
 
-  /// Exact sum over values[from, from+len) (range decode + accumulate).
-  int64_t RangeSum(uint64_t from, uint64_t len) const {
-    std::vector<int64_t> buffer(len);
-    DecompressRange(from, len, buffer.data());
-    int64_t sum = 0;
-    for (int64_t v : buffer) sum += v;
-    return sum;
-  }
+  /// Exact sum over values[from, from+len), streamed through a cursor in
+  /// fixed-size chunks — no O(len) allocation.
+  int64_t RangeSum(uint64_t from, uint64_t len) const;
 
   /// Serializes the compressed representation to bytes. The format stores
   /// the logical content (fragment table, parameters, corrections); the
@@ -338,7 +338,12 @@ class Neats {
 
     PartitionOptions popts = options.partition;
     popts.epsilons = epsilons;
-    std::vector<Fragment> fragments = PartitionLossless(sv.shifted, popts);
+    if (popts.num_threads == 1) popts.num_threads = options.num_threads;
+    std::vector<Fragment> fragments =
+        options.chunk_size > 0
+            ? PartitionLosslessChunked(sv.shifted, options.chunk_size,
+                                       options.num_threads, popts)
+            : PartitionLossless(sv.shifted, popts);
     out.BuildLayout(sv.shifted, fragments, options);
     return out;
   }
@@ -444,57 +449,109 @@ class Neats {
     return pred + c - shift_;
   }
 
+  /// Decoded per-fragment state, loaded once per fragment and carried by
+  /// cursors: everything needed to decode any value of the fragment without
+  /// touching the succinct indexes again.
+  struct FragState {
+    uint64_t start = 0, end = 0, origin = 0;
+    uint64_t corr_base = 0;  // absolute bit offset of the first correction
+    const double* params = nullptr;
+    FunctionKind kind = FunctionKind::kLinear;
+    int bits = 0;
+    int64_t bias = 0;
+  };
+
+  /// Loads fragment i given its start and correction base (both already
+  /// known to sequential callers — no Elias-Fano offset access needed).
+  FragState LoadFragment(size_t i, uint64_t start, uint64_t corr_base) const {
+    FragState s;
+    s.start = start;
+    s.end = FragmentEnd(i);
+    uint32_t dense = kinds_wt_.Access(i);
+    s.kind = kind_table_[dense];
+    s.params = ParamsOf(i, dense);
+    s.bits = static_cast<int>(widths_[i]);
+    s.bias = s.bits == 0 ? 0 : (int64_t{1} << (s.bits - 1));
+    s.origin = start - displacement_[i];
+    s.corr_base = corr_base;
+    return s;
+  }
+
+  /// Loads fragment i from scratch (one starts access + one offsets access).
+  FragState LoadFragment(size_t i) const {
+    return LoadFragment(i, FragmentStart(i), offsets_.Access(i));
+  }
+
   // Tight per-kind decode loop; KIND is a compile-time constant so the
-  // dispatch inside PredictFloor folds away and the loop vectorises.
+  // dispatch inside PredictFloor folds away. Corrections are unpacked in
+  // bulk (UnpackBitsRun) into a small stack buffer instead of paying an
+  // unaligned ReadBits per element.
   template <FunctionKind KIND>
   void DecodeLoop(const double* params, uint64_t origin, uint64_t from,
                   uint64_t to, int bits, uint64_t bit_offset,
                   int64_t* out) const {
-    int64_t bias = bits == 0 ? 0 : (int64_t{1} << (bits - 1));
+    if (bits == 0) {  // pure function: no corrections stored at all
+      for (uint64_t k = from; k < to; ++k) {
+        out[k - from] =
+            PredictFloor(KIND, params, static_cast<int64_t>(k - origin) + 1) -
+            shift_;
+      }
+      return;
+    }
+    const int64_t base = (int64_t{1} << (bits - 1)) + shift_;
     const uint64_t* words = corrections_words_.data();
+    constexpr uint64_t kRun = 128;
+    uint64_t corr[kRun];
+    uint64_t k = from;
     uint64_t o = bit_offset;
-    for (uint64_t k = from; k < to; ++k, o += static_cast<uint64_t>(bits)) {
-      int64_t pred = PredictFloor(KIND, params, static_cast<int64_t>(k - origin) + 1);
-      int64_t c = static_cast<int64_t>(ReadBits(words, o, bits)) - bias;
-      out[k - from] = pred + c - shift_;
+    while (k < to) {
+      const uint64_t run = std::min<uint64_t>(kRun, to - k);
+      UnpackBitsRun(words, o, bits, run, corr);
+      for (uint64_t j = 0; j < run; ++j) {
+        int64_t pred =
+            PredictFloor(KIND, params, static_cast<int64_t>(k + j - origin) + 1);
+        out[k + j - from] = pred + static_cast<int64_t>(corr[j]) - base;
+      }
+      k += run;
+      o += run * static_cast<uint64_t>(bits);
     }
   }
 
-  void DecodeFragmentRange(size_t i, uint64_t start, uint64_t from,
-                           uint64_t to, int64_t* out) const {
-    uint32_t dense = kinds_wt_.Access(i);
-    FunctionKind kind = kind_table_[dense];
-    const double* params = ParamsOf(i, dense);
-    int bits = static_cast<int>(widths_[i]);
-    uint64_t origin = start - displacement_[i];
-    uint64_t o = offsets_.Access(i) + (from - start) * static_cast<uint64_t>(bits);
-    switch (kind) {
+  /// Decodes values[from, to) of a loaded fragment (kind-dispatched loop).
+  void DecodeRun(const FragState& s, uint64_t from, uint64_t to,
+                 int64_t* out) const {
+    uint64_t o = s.corr_base + (from - s.start) * static_cast<uint64_t>(s.bits);
+    switch (s.kind) {
       case FunctionKind::kLinear:
-        return DecodeLoop<FunctionKind::kLinear>(params, origin, from, to, bits, o, out);
+        return DecodeLoop<FunctionKind::kLinear>(s.params, s.origin, from, to, s.bits, o, out);
       case FunctionKind::kQuadratic:
-        return DecodeLoop<FunctionKind::kQuadratic>(params, origin, from, to, bits, o, out);
+        return DecodeLoop<FunctionKind::kQuadratic>(s.params, s.origin, from, to, s.bits, o, out);
       case FunctionKind::kRadical:
-        return DecodeLoop<FunctionKind::kRadical>(params, origin, from, to, bits, o, out);
+        return DecodeLoop<FunctionKind::kRadical>(s.params, s.origin, from, to, s.bits, o, out);
       case FunctionKind::kExponential:
-        return DecodeLoop<FunctionKind::kExponential>(params, origin, from, to, bits, o, out);
+        return DecodeLoop<FunctionKind::kExponential>(s.params, s.origin, from, to, s.bits, o, out);
       case FunctionKind::kPower:
-        return DecodeLoop<FunctionKind::kPower>(params, origin, from, to, bits, o, out);
+        return DecodeLoop<FunctionKind::kPower>(s.params, s.origin, from, to, s.bits, o, out);
       case FunctionKind::kLogarithm:
-        return DecodeLoop<FunctionKind::kLogarithm>(params, origin, from, to, bits, o, out);
+        return DecodeLoop<FunctionKind::kLogarithm>(s.params, s.origin, from, to, s.bits, o, out);
       case FunctionKind::kQuadMixed:
-        return DecodeLoop<FunctionKind::kQuadMixed>(params, origin, from, to, bits, o, out);
+        return DecodeLoop<FunctionKind::kQuadMixed>(s.params, s.origin, from, to, s.bits, o, out);
       case FunctionKind::kCubicOdd:
-        return DecodeLoop<FunctionKind::kCubicOdd>(params, origin, from, to, bits, o, out);
+        return DecodeLoop<FunctionKind::kCubicOdd>(s.params, s.origin, from, to, s.bits, o, out);
       case FunctionKind::kCubicMixed:
-        return DecodeLoop<FunctionKind::kCubicMixed>(params, origin, from, to, bits, o, out);
+        return DecodeLoop<FunctionKind::kCubicMixed>(s.params, s.origin, from, to, s.bits, o, out);
       case FunctionKind::kQuadraticFull:
-        return DecodeLoop<FunctionKind::kQuadraticFull>(params, origin, from, to, bits, o, out);
+        return DecodeLoop<FunctionKind::kQuadraticFull>(s.params, s.origin, from, to, s.bits, o, out);
       case FunctionKind::kGaussian:
-        return DecodeLoop<FunctionKind::kGaussian>(params, origin, from, to, bits, o, out);
+        return DecodeLoop<FunctionKind::kGaussian>(s.params, s.origin, from, to, s.bits, o, out);
     }
   }
 
-  static constexpr size_t kHeaderBits = 4 * 64;  // n, shift, m, mode/kind table
+  /// Bits of the serialized header: magic, n, m, shift, starts mode,
+  /// kind-table length, and one word per kind-table entry (matches the
+  /// fixed-size prefix Serialize emits before the fragment table).
+  size_t HeaderSizeInBits() const { return (6 + kind_table_.size()) * 64; }
+
   static constexpr uint64_t kMagic = 0x5354414554414E45ULL;  // "ENATAETS"
 
   uint64_t n_ = 0;
@@ -513,6 +570,141 @@ class Neats {
   std::vector<FunctionKind> kind_table_;
   std::vector<std::vector<double>> params_;  // P, one vector per dense kind
 };
+
+/// Sequential-access cursor: caches the current fragment's decoded state
+/// (kind, params, correction width, bit offsets) plus the fragment index as
+/// an Elias-Fano position hint. next()/Read() advance fragment-to-fragment
+/// in O(1) — the next start is the current end and the next correction base
+/// is current base + len*width, so neither the S rank nor the O access of
+/// Algorithm 3 is paid. Monotone Seek() hops forward the same way and only
+/// falls back to a full rank for long jumps.
+class Neats::Cursor {
+ public:
+  /// Positions the cursor at `position` (clamped to n = end-of-series).
+  /// A non-zero start pays one FragmentIndexOf rank, like Access would —
+  /// the hop heuristic of Seek only helps once the cursor is warm.
+  explicit Cursor(const Neats& neats, uint64_t position = 0) : neats_(&neats) {
+    if (neats_->m_ == 0) return;
+    if (position >= neats_->n_) position = neats_->n_;
+    if (position == neats_->n_ || position == 0) {
+      // The first fragment starts at value 0 and correction bit 0.
+      st_ = neats_->LoadFragment(0, neats_->FragmentStart(0), 0);
+      pos_ = position;
+      return;
+    }
+    frag_ = neats_->FragmentIndexOf(position);
+    st_ = neats_->LoadFragment(frag_);
+    pos_ = position;
+  }
+
+  /// Current position in [0, n]; n means exhausted.
+  uint64_t position() const { return pos_; }
+
+  /// True once the cursor has moved past the last value.
+  bool done() const { return pos_ >= neats_->n_; }
+
+  /// The value at the current position (the cursor does not advance).
+  int64_t Value() const {
+    NEATS_DCHECK(!done());
+    int64_t pred = PredictFloor(st_.kind, st_.params,
+                                static_cast<int64_t>(pos_ - st_.origin) + 1);
+    uint64_t o =
+        st_.corr_base + (pos_ - st_.start) * static_cast<uint64_t>(st_.bits);
+    int64_t c = static_cast<int64_t>(
+                    ReadBits(neats_->corrections_words_.data(), o, st_.bits)) -
+                st_.bias;
+    return pred + c - neats_->shift_;
+  }
+
+  /// The value at the current position, then advances by one.
+  int64_t Next() {
+    int64_t v = Value();
+    ++pos_;
+    if (pos_ == st_.end && pos_ < neats_->n_) AdvanceFragment();
+    return v;
+  }
+
+  /// Moves to position k (<= n). Monotone seeks ride the cached fragment
+  /// chain; a seek further than kMaxSeekHops fragments ahead — or any
+  /// backward seek — falls back to the full FragmentIndexOf rank.
+  void Seek(uint64_t k) {
+    NEATS_DCHECK(k <= neats_->n_);
+    if (k >= neats_->n_) {
+      pos_ = neats_->n_;
+      return;
+    }
+    if (k >= st_.start && k < st_.end) {
+      pos_ = k;
+      return;
+    }
+    if (k >= st_.end) {
+      for (int hops = 0; hops < kMaxSeekHops && k >= st_.end; ++hops) {
+        AdvanceFragment();
+      }
+      if (k < st_.end) {
+        pos_ = k;
+        return;
+      }
+    }
+    frag_ = neats_->FragmentIndexOf(k);
+    st_ = neats_->LoadFragment(frag_);
+    pos_ = k;
+  }
+
+  /// Bulk-decodes up to `len` values starting at the current position into
+  /// `out` (fragment-at-a-time, vectorised inner loops) and advances past
+  /// them. Returns the number produced (less than `len` only at the end).
+  uint64_t Read(uint64_t len, int64_t* out) {
+    uint64_t want = std::min(len, neats_->n_ - pos_);
+    uint64_t produced = 0;
+    while (produced < want) {
+      uint64_t to = std::min(pos_ + (want - produced), st_.end);
+      neats_->DecodeRun(st_, pos_, to, out + produced);
+      produced += to - pos_;
+      pos_ = to;
+      if (pos_ == st_.end && pos_ < neats_->n_) AdvanceFragment();
+    }
+    return want;
+  }
+
+ private:
+  static constexpr int kMaxSeekHops = 8;
+
+  void AdvanceFragment() {
+    uint64_t corr_base =
+        st_.corr_base + (st_.end - st_.start) * static_cast<uint64_t>(st_.bits);
+    ++frag_;
+    st_ = neats_->LoadFragment(frag_, st_.end, corr_base);
+  }
+
+  const Neats* neats_;
+  size_t frag_ = 0;
+  uint64_t pos_ = 0;
+  FragState st_;
+};
+
+inline void Neats::DecompressRange(uint64_t k, uint64_t len,
+                                   int64_t* out) const {
+  NEATS_DCHECK(k + len <= n_);
+  if (len == 0) return;
+  Cursor cursor(*this, k);
+  cursor.Read(len, out);
+}
+
+inline int64_t Neats::RangeSum(uint64_t from, uint64_t len) const {
+  NEATS_DCHECK(from + len <= n_);
+  constexpr uint64_t kChunk = 1024;
+  int64_t buffer[kChunk];
+  Cursor cursor(*this, from);
+  int64_t sum = 0;
+  uint64_t remaining = len;
+  while (remaining > 0) {
+    uint64_t got = cursor.Read(std::min(remaining, kChunk), buffer);
+    for (uint64_t j = 0; j < got; ++j) sum += buffer[j];
+    remaining -= got;
+  }
+  return sum;
+}
 
 inline Neats Neats::CompressWithModelSelection(std::span<const int64_t> values,
                                                const NeatsOptions& options,

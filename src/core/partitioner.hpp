@@ -21,11 +21,14 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "common/bits.hpp"
+#include "common/thread_pool.hpp"
 #include "functions/approximator.hpp"
 #include "functions/kinds.hpp"
 
@@ -63,6 +66,11 @@ struct PartitionOptions {
   /// Whether to emit suffix edges (disabling them is an ablation; the result
   /// is still a valid partition, just possibly larger).
   bool use_suffix_edges = true;
+
+  /// Threads used for Phase-1 edge rebuilds, which are independent across
+  /// the (kind, eps) active pairs. 1 = serial, 0 = all hardware threads.
+  /// The partition produced is bit-identical for every thread count.
+  int num_threads = 1;
 };
 
 /// Derives the default E set from the data: {0} ∪ {2^i : i <= ⌈log Δ⌉}.
@@ -152,17 +160,53 @@ std::vector<Fragment> PartitionImpl(std::span<const int64_t> values,
     }
   };
 
+  // Pool for Phase-1 rebuilds; rebuilds of distinct (kind, eps) pairs touch
+  // disjoint Active entries and only read `values`, so running them
+  // concurrently is safe and the result is bit-identical to the serial
+  // sweep (relaxation order below is unchanged).
+  std::unique_ptr<ThreadPool> pool;
+  if (ResolveNumThreads(options.num_threads) > 1 && active.size() > 1) {
+    pool = std::make_unique<ThreadPool>(
+        std::min<int>(ResolveNumThreads(options.num_threads),
+                      static_cast<int>(active.size())));
+  }
+  std::vector<uint32_t> rebuild;  // indices of pairs exhausted at node k
+  rebuild.reserve(active.size());
+  // Hoisted out of the k loop so the per-dispatch std::function conversion
+  // (a heap allocation) is paid once, not per rebuild event.
+  uint64_t rebuild_k = 0;
+  const std::function<void(size_t)> rebuild_one = [&](size_t j) {
+    Active& a = active[rebuild[j]];
+    a.frag = LongestFragment(values, rebuild_k, a.kind, a.eps);
+    a.next_k = (a.frag.length() == 0) ? rebuild_k + 1 : a.frag.end;
+  };
+
   for (uint64_t k = 0; k < n; ++k) {
     // Phase 1 (paper lines 8-15): rebuild exhausted edges; relax prefix
     // edges of the still-active ones into node k.
-    for (Active& a : active) {
-      if (a.next_k <= k) {
-        a.frag = LongestFragment(values, k, a.kind, a.eps);
-        a.next_k = (a.frag.length() == 0) ? k + 1 : a.frag.end;
-      } else if (a.frag.length() > 0 && a.frag.start < k) {
-        Fragment prefix = a.frag;
-        prefix.end = k;
-        relax(prefix.start, k, prefix);
+    rebuild.clear();
+    for (uint32_t idx = 0; idx < active.size(); ++idx) {
+      if (active[idx].next_k <= k) rebuild.push_back(idx);
+    }
+    rebuild_k = k;
+    if (pool != nullptr && rebuild.size() > 1) {
+      pool->ParallelFor(rebuild.size(), rebuild_one);
+    } else {
+      for (size_t j = 0; j < rebuild.size(); ++j) rebuild_one(j);
+    }
+    {
+      size_t next_rebuilt = 0;  // rebuild[] is sorted by construction
+      for (uint32_t idx = 0; idx < active.size(); ++idx) {
+        if (next_rebuilt < rebuild.size() && rebuild[next_rebuilt] == idx) {
+          ++next_rebuilt;  // just rebuilt at k: no prefix edge into k
+          continue;
+        }
+        Active& a = active[idx];
+        if (a.frag.length() > 0 && a.frag.start < k) {
+          Fragment prefix = a.frag;
+          prefix.end = k;
+          relax(prefix.start, k, prefix);
+        }
       }
     }
     // Phase 2 (paper lines 16-20): relax suffix edges leaving node k. The
@@ -205,6 +249,59 @@ inline std::vector<Fragment> PartitionLossless(std::span<const int64_t> values,
                                  [&](const Fragment& f) {
                                    return internal::LosslessWeight(f, options);
                                  });
+}
+
+/// Chunked variant of PartitionLossless: cuts the series into disjoint
+/// blocks of `chunk_size` values, partitions each block independently (the
+/// blocks run concurrently on `num_threads` threads), and concatenates the
+/// per-block fragment lists. The result is a valid partition of the whole
+/// series and is deterministic — identical for every thread count — because
+/// the block boundaries are fixed and each block's partition is
+/// deterministic. It can differ from the global partition (fragments never
+/// span a block boundary), trading a sliver of compression ratio for
+/// near-linear compression scaling.
+///
+/// When `options.epsilons` is empty the E set is derived once from the whole
+/// series, not per block, so every block searches the same (kind, eps) grid.
+inline std::vector<Fragment> PartitionLosslessChunked(
+    std::span<const int64_t> values, uint64_t chunk_size, int num_threads,
+    const PartitionOptions& options = {}) {
+  const uint64_t n = values.size();
+  if (chunk_size == 0 || chunk_size >= n) {
+    return PartitionLossless(values, options);
+  }
+  PartitionOptions chunk_options = options;
+  if (chunk_options.epsilons.empty()) {
+    chunk_options.epsilons = DefaultEpsilons(values);
+  }
+  chunk_options.num_threads = 1;  // parallelism lives across blocks here
+
+  const size_t num_chunks = static_cast<size_t>(CeilDiv(n, chunk_size));
+  std::vector<std::vector<Fragment>> per_chunk(num_chunks);
+  auto run_chunk = [&](size_t c) {
+    uint64_t begin = static_cast<uint64_t>(c) * chunk_size;
+    uint64_t end = std::min<uint64_t>(n, begin + chunk_size);
+    per_chunk[c] = PartitionLossless(values.subspan(begin, end - begin),
+                                     chunk_options);
+    for (Fragment& frag : per_chunk[c]) {
+      frag.start += begin;
+      frag.end += begin;
+      frag.origin += begin;
+    }
+  };
+  if (ResolveNumThreads(num_threads) > 1 && num_chunks > 1) {
+    ThreadPool pool(std::min<int>(ResolveNumThreads(num_threads),
+                                  static_cast<int>(num_chunks)));
+    pool.ParallelFor(num_chunks, run_chunk);
+  } else {
+    for (size_t c = 0; c < num_chunks; ++c) run_chunk(c);
+  }
+
+  std::vector<Fragment> result;
+  for (std::vector<Fragment>& frags : per_chunk) {
+    result.insert(result.end(), frags.begin(), frags.end());
+  }
+  return result;
 }
 
 /// Partitions `values` for lossy compression under the single error bound

@@ -68,6 +68,45 @@ inline uint64_t ReadBits(const uint64_t* words, size_t pos, int width) {
   return value & LowMask(width);
 }
 
+/// Unpacks `count` consecutive `width`-bit fields starting at absolute bit
+/// offset `pos` into `out` — equivalent to `count` ReadBits calls at
+/// pos, pos + width, ..., but word-at-a-time: each backing word is loaded
+/// once and the in-word cursor is carried across fields instead of being
+/// re-derived (word index, shift, mask) per element. This is the bulk path
+/// under every fragment decode loop.
+inline void UnpackBitsRun(const uint64_t* words, size_t pos, int width,
+                          size_t count, uint64_t* out) {
+  NEATS_DCHECK(width >= 0 && width <= 64);
+  if (count == 0) return;
+  if (width == 0) {
+    for (size_t i = 0; i < count; ++i) out[i] = 0;
+    return;
+  }
+  if (width == 64) {  // every field spans exactly 64 bits; shifts below
+                      // would be UB, and ReadBits is already optimal here
+    for (size_t i = 0; i < count; ++i) out[i] = ReadBits(words, pos + i * 64, 64);
+    return;
+  }
+  const uint64_t mask = LowMask(width);
+  size_t word = pos >> 6;
+  uint64_t cur = words[word] >> (pos & 63);  // valid low bits of the word
+  int avail = 64 - static_cast<int>(pos & 63);
+  for (size_t i = 0; i < count; ++i) {
+    if (avail >= width) {
+      out[i] = cur & mask;
+      cur >>= width;
+      avail -= width;
+    } else {
+      // Field i straddles into the next word; `cur` holds exactly `avail`
+      // valid low bits (upper bits are zero from the logical shifts).
+      uint64_t next = words[++word];
+      out[i] = (cur | (next << avail)) & mask;
+      cur = next >> (width - avail);
+      avail = 64 - (width - avail);
+    }
+  }
+}
+
 /// Positional reader over a bit stream; convenience wrapper around ReadBits.
 class BitReader {
  public:
