@@ -9,9 +9,11 @@
 // Environment: NEATS_BENCH_N caps dataset sizes (default 120000, 0 = full).
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <random>
 #include <string>
 #include <thread>
@@ -21,6 +23,10 @@
 #include "core/neats.hpp"
 #include "datasets/generators.hpp"
 #include "harness.hpp"
+#include "io/mmap_file.hpp"
+#include "io/text_io.hpp"
+#include "succinct/bit_vector.hpp"
+#include "succinct/elias_fano.hpp"
 
 namespace neats::bench {
 namespace {
@@ -44,7 +50,10 @@ struct Row {
   double scan_mbps = 0;                // full decompression
   double cursor_scan_mbps = 0;         // cursor chunked scan (0 if absent)
   double access_ns = 0;                // random single-value access
+  double access_ns_mmap = 0;           // same, against a zero-copy mmap view
   double range_sum_mbps = 0;           // 1000-value exact range sums
+  double select1_ns = 0;               // RankSelect::Select1 microbenchmark
+  double ef_rank_ns = 0;               // EliasFano::Rank microbenchmark
 };
 
 double RawMegabytes(size_t n) {
@@ -93,6 +102,75 @@ void MeasureChunked(const Dataset& ds, double mb, Row* row) {
   }
 }
 
+/// ns/op of `op` over the 4096-probe index list `idx`.
+template <typename Op>
+double AccessNs(const std::vector<uint64_t>& idx, Op&& op) {
+  uint64_t sink = 0;
+  double ops = OpsPerSecond([&](size_t rep) {
+    uint64_t s = 0;
+    for (uint64_t i : idx) s += op(i);
+    sink += s + rep;
+    return s;
+  });
+  if (sink == 0xDEADBEEFCAFEBABEULL) std::fprintf(stderr, "!");
+  return 1e9 / (ops * static_cast<double>(idx.size()));
+}
+
+// Template guard: against builds without the v2 format there is no View and
+// the mmap column stays 0.
+template <typename N>
+void MeasureMmapAccess(const N& compressed, const std::vector<uint64_t>& idx,
+                       Row* row) {
+  if constexpr (requires(std::span<const uint8_t> b) { N::View(b); }) {
+    std::vector<uint8_t> blob;
+    compressed.Serialize(&blob);
+    // Timestamp-suffixed so concurrent bench runs cannot clobber each
+    // other's mapped file.
+    std::string tag = std::to_string(static_cast<unsigned long long>(
+        std::chrono::steady_clock::now().time_since_epoch().count()));
+    std::string path = (std::filesystem::temp_directory_path() /
+                        ("neats_bench_" + row->code + "_" + tag + ".v2"))
+                           .string();
+    WriteFile(path, blob);
+    MmapFile map = MmapFile::Open(path);
+    N view = N::View(map.bytes());
+    row->access_ns_mmap = AccessNs(
+        idx, [&](uint64_t i) { return static_cast<uint64_t>(view.Access(i)); });
+    std::filesystem::remove(path);
+  } else {
+    (void)compressed;
+    (void)idx;
+    (void)row;
+  }
+}
+
+/// Succinct-substrate microbenchmarks tied to the access path: Select1 on a
+/// half-density bitvector of n bits, and Elias-Fano rank over an n/32-element
+/// monotone sequence (the shape of the S fragment-starts array).
+void MeasureSelectMicro(size_t n, uint64_t seed, Row* row) {
+  std::mt19937_64 rng(seed);
+  BitVector bv(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng() & 1) bv.Set(i);
+  }
+  RankSelect rs{std::move(bv)};
+  std::vector<uint64_t> probes(1 << 12);
+  for (auto& p : probes) p = rng() % rs.ones();
+  row->select1_ns =
+      AccessNs(probes, [&](uint64_t k) { return static_cast<uint64_t>(rs.Select1(k)); });
+
+  std::vector<uint64_t> values(std::max<size_t>(1, n / 32));
+  uint64_t cur = 0;
+  for (auto& v : values) {
+    cur += rng() % 64;
+    v = cur;
+  }
+  EliasFano ef(values);
+  for (auto& p : probes) p = rng() % (values.back() + 1);
+  row->ef_rank_ns =
+      AccessNs(probes, [&](uint64_t x) { return static_cast<uint64_t>(ef.Rank(x)); });
+}
+
 // Template for the same reason as MeasureChunked: seed builds lack Cursor.
 template <typename N>
 void MeasureCursorScan(const N& compressed, Row* row) {
@@ -135,19 +213,16 @@ Row MeasureDataset(const DatasetSpec& spec) {
   // --- Cursor scan: sequential decode without materializing the output. ---
   MeasureCursorScan<Neats>(compressed, &row);
 
-  // --- Random access. ---
+  // --- Random access: owned representation, then the zero-copy mmap view. ---
   std::mt19937_64 rng(42);
   std::vector<uint64_t> idx(1 << 12);
   for (auto& i : idx) i = rng() % row.n;
-  uint64_t sink = 0;
-  double ops = OpsPerSecond([&](size_t rep) {
-    uint64_t s = 0;
-    for (uint64_t i : idx) s += static_cast<uint64_t>(compressed.Access(i));
-    sink += s + rep;
-    return s;
-  });
-  row.access_ns = 1e9 / (ops * static_cast<double>(idx.size()));
-  if (sink == 0xDEADBEEFCAFEBABEULL) std::fprintf(stderr, "!");
+  row.access_ns = AccessNs(
+      idx, [&](uint64_t i) { return static_cast<uint64_t>(compressed.Access(i)); });
+  MeasureMmapAccess<Neats>(compressed, idx, &row);
+
+  // --- Succinct substrate microbenchmarks (select + Elias-Fano rank). ---
+  MeasureSelectMicro(row.n, 42, &row);
 
   // --- Exact range sums over 1000-value windows. ---
   const uint64_t window = std::min<uint64_t>(1000, row.n);
@@ -167,7 +242,7 @@ void WriteJson(const std::vector<Row>& rows, const char* path) {
     std::fprintf(stderr, "cannot open %s\n", path);
     std::exit(1);
   }
-  std::fprintf(f, "{\n  \"bench\": \"neats\",\n");
+  std::fprintf(f, "{\n  \"bench\": \"neats\",\n  \"schema\": 2,\n");
   std::fprintf(f, "  \"hardware_threads\": %u,\n",
                std::thread::hardware_concurrency());
   std::fprintf(f, "  \"has_scaling_knobs\": %s,\n",
@@ -184,10 +259,14 @@ void WriteJson(const std::vector<Row>& rows, const char* path) {
                  "\"scan_mbps\": %.1f, "
                  "\"cursor_scan_mbps\": %.1f, "
                  "\"access_ns\": %.1f, "
-                 "\"range_sum_mbps\": %.1f}%s\n",
+                 "\"random_access_ns_mmap\": %.1f, "
+                 "\"range_sum_mbps\": %.1f, "
+                 "\"select1_ns\": %.1f, "
+                 "\"ef_rank_ns\": %.1f}%s\n",
                  r.code.c_str(), r.n, r.bits_per_value, r.compress_mbps_1t,
                  r.compress_mbps_1t_chunked, r.compress_mbps_4t_chunked,
-                 r.scan_mbps, r.cursor_scan_mbps, r.access_ns, r.range_sum_mbps,
+                 r.scan_mbps, r.cursor_scan_mbps, r.access_ns,
+                 r.access_ns_mmap, r.range_sum_mbps, r.select1_ns, r.ef_rank_ns,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -215,10 +294,12 @@ int main(int argc, char** argv) {
     std::printf(
         "  n=%zu  %.2f bits/value  compress %.2f MB/s (1t)"
         "  chunked %.2f/%.2f MB/s (1t/4t)  scan %.0f MB/s"
-        "  cursor-scan %.0f MB/s  access %.0f ns  range-sum %.0f MB/s\n",
+        "  cursor-scan %.0f MB/s  access %.0f ns (mmap %.0f ns)"
+        "  range-sum %.0f MB/s  select1 %.1f ns  ef-rank %.1f ns\n",
         r.n, r.bits_per_value, r.compress_mbps_1t, r.compress_mbps_1t_chunked,
         r.compress_mbps_4t_chunked, r.scan_mbps, r.cursor_scan_mbps,
-        r.access_ns, r.range_sum_mbps);
+        r.access_ns, r.access_ns_mmap, r.range_sum_mbps, r.select1_ns,
+        r.ef_rank_ns);
   }
   WriteJson(rows, out_path);
   std::printf("wrote %s\n", out_path);

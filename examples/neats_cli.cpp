@@ -7,6 +7,8 @@
 //
 // The text format is one decimal value per line; values are scaled to
 // integers by the detected fractional precision (stored in the container).
+// Format-v2 files are opened zero-copy: the file is mmap'd and queries run
+// straight against the mapping. Legacy v1 files fall back to Deserialize.
 
 #include <cinttypes>
 #include <cstdio>
@@ -16,13 +18,14 @@
 
 #include "common/timer.hpp"
 #include "core/neats.hpp"
+#include "io/mmap_file.hpp"
 #include "io/text_io.hpp"
 
 namespace {
 
 using neats::Neats;
 
-// Container: 8-byte digit count + the Neats blob.
+// Container: 8-byte digit count + the Neats blob (keeps 8-byte alignment).
 std::vector<uint8_t> Pack(const Neats& compressed, int digits) {
   std::vector<uint8_t> blob;
   compressed.Serialize(&blob);
@@ -35,12 +38,32 @@ std::vector<uint8_t> Pack(const Neats& compressed, int digits) {
   return out;
 }
 
-Neats Unpack(const std::vector<uint8_t>& bytes, int* digits) {
+// An opened container file. When the blob is format v2 the Neats object
+// borrows the mapping (`map` must stay alive); v1 blobs are deserialized
+// into owned storage.
+struct OpenedBlob {
+  neats::MmapFile map;
+  Neats neats;
+  int digits = 0;
+  bool zero_copy = false;
+};
+
+OpenedBlob OpenBlob(const char* path) {
+  OpenedBlob b;
+  b.map = neats::MmapFile::Open(path);
+  std::span<const uint8_t> bytes = b.map.bytes();
+  NEATS_REQUIRE(bytes.size() >= 16, "not a NeaTS container file");
   uint64_t d = 0;
-  for (int b = 0; b < 8; ++b) d |= static_cast<uint64_t>(bytes[b]) << (8 * b);
-  *digits = static_cast<int>(d);
-  return Neats::Deserialize(
-      std::span<const uint8_t>(bytes.data() + 8, bytes.size() - 8));
+  std::memcpy(&d, bytes.data(), 8);
+  b.digits = static_cast<int>(d);
+  std::span<const uint8_t> blob = bytes.subspan(8);
+  if (Neats::IsZeroCopyOpenable(blob)) {
+    b.neats = Neats::View(blob);
+    b.zero_copy = true;
+  } else {
+    b.neats = Neats::Deserialize(blob);
+  }
+  return b;
 }
 
 void PrintValue(int64_t scaled, int digits) {
@@ -92,10 +115,10 @@ int main(int argc, char** argv) {
   }
 
   if (cmd == "decompress" && argc == 4) {
-    int digits = 0;
-    Neats compressed = Unpack(neats::ReadFile(argv[2]), &digits);
+    OpenedBlob blob = OpenBlob(argv[2]);
+    int digits = blob.digits;
     std::vector<int64_t> values;
-    compressed.Decompress(&values);
+    blob.neats.Decompress(&values);
     std::FILE* out = std::fopen(argv[3], "w");
     if (out == nullptr) return Usage();
     int64_t scale = 1;
@@ -116,27 +139,31 @@ int main(int argc, char** argv) {
   }
 
   if (cmd == "access" && (argc == 4 || argc == 5)) {
-    int digits = 0;
-    Neats compressed = Unpack(neats::ReadFile(argv[2]), &digits);
+    OpenedBlob blob = OpenBlob(argv[2]);
+    const Neats& compressed = blob.neats;
     uint64_t index = std::strtoull(argv[3], nullptr, 10);
     uint64_t count = argc == 5 ? std::strtoull(argv[4], nullptr, 10) : 1;
-    if (index + count > compressed.size()) {
+    // Overflow-safe bounds check: index + count must not wrap.
+    if (index > compressed.size() || count > compressed.size() - index) {
       std::fprintf(stderr, "index out of range (n=%" PRIu64 ")\n",
                    compressed.size());
       return 1;
     }
     std::vector<int64_t> values(count);
     compressed.DecompressRange(index, count, values.data());
-    for (int64_t v : values) PrintValue(v, digits);
+    for (int64_t v : values) PrintValue(v, blob.digits);
     return 0;
   }
 
   if (cmd == "info" && argc == 3) {
-    int digits = 0;
-    Neats compressed = Unpack(neats::ReadFile(argv[2]), &digits);
+    OpenedBlob blob = OpenBlob(argv[2]);
+    const Neats& compressed = blob.neats;
     std::printf("values:      %" PRIu64 "\n", compressed.size());
     std::printf("fragments:   %zu\n", compressed.num_fragments());
-    std::printf("digits:      %d\n", digits);
+    std::printf("digits:      %d\n", blob.digits);
+    std::printf("open mode:   %s\n",
+                blob.zero_copy ? "zero-copy (mmap, format v2)"
+                               : "deserialized (legacy v1)");
     std::printf("size:        %zu bits (%.2f%% of raw)\n",
                 compressed.SizeInBits(),
                 100.0 * static_cast<double>(compressed.SizeInBits()) /

@@ -1,12 +1,17 @@
 // A miniature time-series storage engine demonstrating the deployment
 // pattern suggested in Sec. IV-C1: ingest with a fast lightweight compressor
-// (Gorilla), then recompress sealed segments with NeaTS in the background
-// for long-term storage and efficient queries.
+// (Gorilla), recompress sealed segments with NeaTS in the background for
+// long-term storage and efficient queries, and finally spill the coldest
+// segments to disk — where they are served zero-copy through mmap and
+// Neats::View, with no deserialization on open.
 //
 //   $ ./build/examples/storage_engine
 
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "baselines/blockwise.hpp"
@@ -14,10 +19,13 @@
 #include "common/timer.hpp"
 #include "core/neats.hpp"
 #include "datasets/generators.hpp"
+#include "io/mmap_file.hpp"
+#include "io/text_io.hpp"
 
 namespace {
 
-// One sealed segment of the store: hot (Gorilla) or cold (NeaTS).
+// One sealed segment of the store: hot (Gorilla), cold (NeaTS in memory),
+// or frozen (NeaTS format-v2 file opened zero-copy through mmap).
 class Segment {
  public:
   static Segment Ingest(std::vector<double> doubles,
@@ -25,25 +33,38 @@ class Segment {
     Segment seg;
     seg.ints_ = std::move(ints);
     seg.hot_ = neats::Blockwise<neats::Gorilla>::Compress(doubles);
-    seg.is_hot_ = true;
+    seg.tier_ = Tier::kHot;
     return seg;
   }
 
   // Background compaction: replace the Gorilla blob with NeaTS.
   void Compact() {
     cold_ = neats::Neats::Compress(ints_);
-    is_hot_ = false;
+    tier_ = Tier::kCold;
     ints_.clear();
     ints_.shrink_to_fit();
   }
 
+  // Spill to disk and reopen zero-copy: serialize (format v2), drop the
+  // in-memory representation, mmap the file, and View the mapping.
+  void Freeze(const std::string& path) {
+    std::vector<uint8_t> blob;
+    cold_.Serialize(&blob);
+    neats::WriteFile(path, blob);
+    cold_ = neats::Neats();  // release the owned representation
+    map_ = neats::MmapFile::Open(path);
+    cold_ = neats::Neats::View(map_.bytes());
+    tier_ = Tier::kFrozen;
+  }
+
   size_t SizeInBits() const {
-    return is_hot_ ? hot_.SizeInBits() + ints_.size() * 64  // raw staging copy
-                   : cold_.SizeInBits();
+    return tier_ == Tier::kHot
+               ? hot_.SizeInBits() + ints_.size() * 64  // raw staging copy
+               : cold_.SizeInBits();
   }
 
   int64_t Access(size_t i, int digits) const {
-    if (is_hot_) {
+    if (tier_ == Tier::kHot) {
       double scale = 1;
       for (int d = 0; d < digits; ++d) scale *= 10;
       return static_cast<int64_t>(std::llround(hot_.Access(i) * scale));
@@ -51,12 +72,23 @@ class Segment {
     return cold_.Access(i);
   }
 
-  bool is_hot() const { return is_hot_; }
+  bool is_hot() const { return tier_ == Tier::kHot; }
+  const char* tier_name() const {
+    switch (tier_) {
+      case Tier::kHot: return "hot";
+      case Tier::kCold: return "cold";
+      case Tier::kFrozen: return "frozen/mmap";
+    }
+    return "?";
+  }
 
  private:
-  bool is_hot_ = true;
+  enum class Tier { kHot, kCold, kFrozen };
+
+  Tier tier_ = Tier::kHot;
   neats::Blockwise<neats::Gorilla> hot_;
   neats::Neats cold_;
+  neats::MmapFile map_;        // backs `cold_` in the frozen tier
   std::vector<int64_t> ints_;  // staged for compaction
 };
 
@@ -98,18 +130,47 @@ int main() {
               100.0 * static_cast<double>(total_bits()) /
                   (64.0 * static_cast<double>(ds.values.size())));
 
-  // --- Queries hit hot and cold segments transparently. ---
+  // --- The two coldest segments spill to disk, reopened via mmap + View. ---
+  // PID-suffixed paths so concurrent runs (or files left by another user in
+  // the shared temp dir) cannot collide; removed before exit.
+  const std::string dir = std::filesystem::temp_directory_path().string();
+  const std::string tag = std::to_string(
+      static_cast<unsigned long long>(
+          std::chrono::steady_clock::now().time_since_epoch().count()));
+  std::vector<std::string> frozen_paths;
+  timer.Reset();
+  for (size_t s = 0; s < 2; ++s) {
+    frozen_paths.push_back(dir + "/neats_segment_" + tag + "_" +
+                           std::to_string(s) + ".v2");
+    store[s].Freeze(frozen_paths.back());
+  }
+  std::printf("\nfroze 2 segments to %s (zero-copy reopen) in %.3f s\n",
+              dir.c_str(), timer.ElapsedSeconds());
+
+  // --- Queries hit hot, cold and frozen segments transparently. ---
   bool ok = true;
-  for (size_t probe : {size_t{123}, kSegmentLen * 2 + 17,
+  for (size_t probe : {size_t{123}, kSegmentLen + 999, kSegmentLen * 2 + 17,
                        kSegmentLen * kSegments - 5}) {
     size_t seg = probe / kSegmentLen;
     int64_t got = store[seg].Access(probe % kSegmentLen,
                                     ds.fractional_digits);
     ok &= got == ds.values[probe];
     std::printf("point query T[%zu] -> %lld (%s segment) %s\n", probe,
-                static_cast<long long>(got),
-                store[seg].is_hot() ? "hot" : "cold",
+                static_cast<long long>(got), store[seg].tier_name(),
                 got == ds.values[probe] ? "ok" : "MISMATCH");
+  }
+
+  // Full integrity sweep over a frozen segment: the mmap-backed view must
+  // return exactly the values the owned representation compressed.
+  for (size_t k = 0; k < kSegmentLen; k += 97) {
+    ok &= store[0].Access(k, ds.fractional_digits) == ds.values[k];
+  }
+  std::printf("frozen segment integrity sweep: %s\n", ok ? "ok" : "MISMATCH");
+
+  // Unmap (drop the store) before deleting the backing files.
+  store.clear();
+  for (const std::string& path : frozen_paths) {
+    std::filesystem::remove(path);
   }
   return ok ? 0 : 1;
 }

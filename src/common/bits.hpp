@@ -10,6 +10,16 @@
 #include <cstdint>
 #include <cstddef>
 
+// BMI2 select fast path: opt in with -DNEATS_ENABLE_BMI2 (plus -mbmi2, see
+// the NEATS_ENABLE_BMI2 CMake option). The portable broadword routine stays
+// the default — and the fallback on toolchains without the intrinsic.
+#if defined(NEATS_ENABLE_BMI2) && defined(__BMI2__)
+#include <immintrin.h>
+#define NEATS_HAS_BMI2_SELECT 1
+#else
+#define NEATS_HAS_BMI2_SELECT 0
+#endif
+
 namespace neats {
 
 /// Number of set bits in `x`.
@@ -31,13 +41,13 @@ inline constexpr int CeilLog2(uint64_t x) {
   return x <= 1 ? 0 : 64 - CountLeadingZeros(x - 1);
 }
 
-/// Position (0-based from LSB) of the k-th (0-based) set bit of `x`.
-/// Precondition: Popcount(x) > k.
+/// Portable in-word select: position (0-based from LSB) of the k-th
+/// (0-based) set bit of `x`. Precondition: Popcount(x) > k.
 ///
 /// Broadword selection following Vigna's sux implementation: a parallel
 /// byte-wise popcount locates the byte containing the target bit, then an
 /// 8-entry lookup finishes inside the byte.
-inline int SelectInWord(uint64_t x, int k) {
+inline int SelectInWordBroadword(uint64_t x, int k) {
   constexpr uint64_t kOnesStep4 = 0x1111111111111111ULL;
   constexpr uint64_t kOnesStep8 = 0x0101010101010101ULL;
   constexpr uint64_t kMsbsStep8 = 0x80ULL * kOnesStep8;
@@ -65,6 +75,19 @@ inline int SelectInWord(uint64_t x, int k) {
   }
   return -1;  // Unreachable if the precondition holds.
 }
+
+/// Position (0-based from LSB) of the k-th (0-based) set bit of `x`.
+/// Precondition: Popcount(x) > k.
+#if NEATS_HAS_BMI2_SELECT
+inline int SelectInWord(uint64_t x, int k) {
+  // Deposit a lone bit into the k-th set position of x, then locate it.
+  return CountTrailingZeros(_pdep_u64(1ULL << k, x));
+}
+#else
+inline int SelectInWord(uint64_t x, int k) {
+  return SelectInWordBroadword(x, k);
+}
+#endif
 
 /// Mask with the lowest `n` bits set; `n` may be 0..64.
 inline constexpr uint64_t LowMask(int n) {

@@ -35,6 +35,7 @@
 #include "succinct/bit_vector.hpp"
 #include "succinct/elias_fano.hpp"
 #include "succinct/packed_array.hpp"
+#include "succinct/storage.hpp"
 #include "succinct/wavelet_tree.hpp"
 
 namespace neats {
@@ -102,9 +103,15 @@ class Neats {
   /// Number of fragments in the partition.
   size_t num_fragments() const { return m_; }
 
-  /// Algorithm 3: the value at index k, in O(rank) time.
+  /// Algorithm 3: the value at index k, in O(rank) time. On the Elias-Fano
+  /// starts index the fragment index and its start position come out of one
+  /// fused predecessor scan instead of a rank followed by a select.
   int64_t Access(uint64_t k) const {
     NEATS_DCHECK(k < n_);
+    if (starts_mode_ == StartsIndex::kEliasFano) {
+      auto [i, start] = starts_ef_.Predecessor(k);
+      return DecodeAt(i, start, k);
+    }
     size_t i = FragmentIndexOf(k);
     return DecodeAt(i, FragmentStart(i), k);
   }
@@ -123,16 +130,18 @@ class Neats {
   /// Decompresses values[k, k + len) into out (one cursor seek + scan).
   void DecompressRange(uint64_t k, uint64_t len, int64_t* out) const;
 
-  /// Total size of the compressed representation, in bits.
+  /// Total size of the compressed representation in bits — exactly the v2
+  /// serialized size (8 * Serialize output bytes), kept in lockstep with the
+  /// writer so benches and the CLI report what lands on disk.
   size_t SizeInBits() const {
+    size_t bits = HeaderSizeInBits() + 64 + corrections_.size() * 64 + 64;
+    for (const auto& p : params_) bits += 64 + p.size() * 64;
+    if (m_ == 0) return bits;
     size_t s_bits = starts_mode_ == StartsIndex::kEliasFano
                         ? starts_ef_.SizeInBits()
                         : starts_bv_.SizeInBits();
-    size_t p_bits = 0;
-    for (const auto& p : params_) p_bits += p.size() * 64 + 64;
-    return HeaderSizeInBits() + s_bits + widths_.SizeInBits() +
-           offsets_.SizeInBits() + corrections_words_.size() * 64 +
-           kinds_wt_.SizeInBits() + displacement_.SizeInBits() + p_bits;
+    return bits + s_bits + widths_.SizeInBits() + displacement_.SizeInBits() +
+           offsets_.SizeInBits() + kinds_wt_.SizeInBits();
   }
 
   /// Result of an approximate aggregate: the estimate plus a hard bound on
@@ -182,96 +191,77 @@ class Neats {
   /// fixed-size chunks — no O(len) allocation.
   int64_t RangeSum(uint64_t from, uint64_t len) const;
 
-  /// Serializes the compressed representation to bytes. The format stores
-  /// the logical content (fragment table, parameters, corrections); the
-  /// succinct indexes are rebuilt on load, which keeps the on-disk format
-  /// simple and close to the information-theoretic size.
+  /// Serializes the compressed representation to bytes in format v2: a flat,
+  /// 8-byte-aligned little-endian layout (docs/FORMAT.md) that stores every
+  /// succinct structure together with its rank/select directories, so View
+  /// can open the blob zero-copy — no deserialization copy; the stored
+  /// directories are verified against the payload in one streaming pass.
   void Serialize(std::vector<uint8_t>* out) const {
     out->clear();
-    auto put64 = [out](uint64_t v) {
-      for (int b = 0; b < 8; ++b) out->push_back(static_cast<uint8_t>(v >> (8 * b)));
-    };
-    put64(kMagic);
-    put64(n_);
-    put64(static_cast<uint64_t>(m_));
-    put64(static_cast<uint64_t>(shift_));
-    put64(starts_mode_ == StartsIndex::kEliasFano ? 0 : 1);
-    put64(kind_table_.size());
-    for (FunctionKind kind : kind_table_) put64(static_cast<uint64_t>(kind));
-    for (size_t i = 0; i < m_; ++i) {
-      put64(FragmentStart(i));
-      put64(kinds_wt_.Access(i));
-      put64(widths_[i]);
-      put64(displacement_[i]);
+    WordWriter w(out);
+    w.Put(kMagicV2);
+    w.Put(kFormatVersion);
+    w.Put(n_);
+    w.Put(static_cast<uint64_t>(m_));
+    w.Put(static_cast<uint64_t>(shift_));
+    w.Put(starts_mode_ == StartsIndex::kEliasFano ? 0 : 1);
+    w.Put(kind_table_.size());
+    for (FunctionKind kind : kind_table_) w.Put(static_cast<uint64_t>(kind));
+    if (m_ > 0) {
+      if (starts_mode_ == StartsIndex::kEliasFano) {
+        starts_ef_.Serialize(w);
+      } else {
+        starts_bv_.Serialize(w);
+      }
+      widths_.Serialize(w);
+      displacement_.Serialize(w);
+      offsets_.Serialize(w);
+      kinds_wt_.Serialize(w);
     }
-    for (const auto& p : params_) {
-      put64(p.size());
-      for (double v : p) put64(std::bit_cast<uint64_t>(v));
-    }
-    put64(offsets_.size() == 0 ? 0 : offsets_.Access(m_));  // total corr. bits
-    put64(corrections_words_.size());
-    for (uint64_t w : corrections_words_) put64(w);
+    w.PutArray(corrections_);
+    w.Put(params_.size());
+    for (const auto& p : params_) w.PutArray(p);
   }
 
-  /// Rebuilds a Neats object from Serialize output.
+  /// Rebuilds a Neats object from Serialize output, copying the payload into
+  /// owned storage. Understands both format v2 and the legacy v1 layout
+  /// (which stored the logical fragment table and rebuilt the indexes).
   static Neats Deserialize(std::span<const uint8_t> bytes) {
-    size_t pos = 0;
-    auto get64 = [&bytes, &pos]() {
-      uint64_t v = 0;
-      for (int b = 0; b < 8; ++b) v |= static_cast<uint64_t>(bytes[pos++]) << (8 * b);
-      return v;
-    };
-    NEATS_REQUIRE(get64() == kMagic, "not a NeaTS blob");
-    Neats out;
-    out.n_ = get64();
-    out.m_ = get64();
-    out.shift_ = static_cast<int64_t>(get64());
-    out.starts_mode_ = get64() == 0 ? StartsIndex::kEliasFano
-                                    : StartsIndex::kBitVector;
-    size_t kinds = get64();
-    for (size_t i = 0; i < kinds; ++i) {
-      out.kind_table_.push_back(static_cast<FunctionKind>(get64()));
-    }
-    std::vector<uint64_t> starts(out.m_), widths(out.m_), disp(out.m_);
-    std::vector<uint32_t> kind_symbols(out.m_);
-    for (size_t i = 0; i < out.m_; ++i) {
-      starts[i] = get64();
-      kind_symbols[i] = static_cast<uint32_t>(get64());
-      widths[i] = get64();
-      disp[i] = get64();
-    }
-    out.params_.resize(kinds);
-    for (auto& p : out.params_) {
-      size_t len = get64();
-      p.reserve(len);
-      for (size_t i = 0; i < len; ++i) p.push_back(std::bit_cast<double>(get64()));
-    }
-    uint64_t total_bits = get64();
-    size_t words = get64();
-    out.corrections_words_.reserve(words);
-    for (size_t i = 0; i < words; ++i) out.corrections_words_.push_back(get64());
+    NEATS_REQUIRE(bytes.size() >= 8, "not a NeaTS blob");
+    uint64_t magic;
+    std::memcpy(&magic, bytes.data(), 8);
+    if (magic == kMagicV1) return DeserializeV1(bytes);
+    NEATS_REQUIRE(magic == kMagicV2, "not a NeaTS blob");
+    return LoadV2(bytes, /*borrow=*/false);
+  }
 
-    if (out.m_ > 0) {
-      // Rebuild the succinct indexes.
-      if (out.starts_mode_ == StartsIndex::kEliasFano) {
-        out.starts_ef_ = EliasFano(starts, out.n_);
-      } else {
-        BitVector bv(out.n_);
-        for (uint64_t s : starts) bv.Set(s);
-        out.starts_bv_ = RankSelect(std::move(bv));
-      }
-      std::vector<uint64_t> offsets(out.m_ + 1, 0);
-      for (size_t i = 0; i < out.m_; ++i) {
-        uint64_t end = i + 1 < out.m_ ? starts[i + 1] : out.n_;
-        offsets[i + 1] = offsets[i] + (end - starts[i]) * widths[i];
-      }
-      NEATS_REQUIRE(offsets[out.m_] == total_bits, "corrupt NeaTS blob");
-      out.widths_ = PackedArray::FromValues(widths);
-      out.displacement_ = PackedArray::FromValues(disp);
-      out.offsets_ = EliasFano(offsets, total_bits + 1);
-      out.kinds_wt_ = WaveletTree(kind_symbols, static_cast<uint32_t>(kinds));
-    }
-    return out;
+  /// Opens a format-v2 blob zero-copy: every payload array is a span into
+  /// `bytes`, which must be 8-byte aligned (mmap and heap buffers both are)
+  /// and must outlive the returned object and everything decoded from it.
+  static Neats View(std::span<const uint8_t> bytes) {
+    NEATS_REQUIRE(bytes.size() >= 8, "not a NeaTS blob");
+    uint64_t magic;
+    std::memcpy(&magic, bytes.data(), 8);
+    NEATS_REQUIRE(magic == kMagicV2,
+                  "zero-copy open requires a format-v2 NeaTS blob");
+    return LoadV2(bytes, /*borrow=*/true);
+  }
+
+  /// True when this object borrows its payload from an external buffer
+  /// (i.e. it was produced by View rather than Compress/Deserialize).
+  bool borrowed() const { return corrections_.borrowed(); }
+
+  /// Dispatch probe: true when `bytes` carries the format-v2 magic at an
+  /// 8-byte-aligned address, i.e. the blob should be routed to View rather
+  /// than the legacy-v1 Deserialize path. This is a format sniff, not a
+  /// validity proof — View still rejects corrupt v2 content by aborting
+  /// (NEATS_REQUIRE), exactly like Deserialize does.
+  static bool IsZeroCopyOpenable(std::span<const uint8_t> bytes) {
+    if (bytes.size() < 8) return false;
+    if ((reinterpret_cast<uintptr_t>(bytes.data()) & 7) != 0) return false;
+    uint64_t magic;
+    std::memcpy(&magic, bytes.data(), 8);
+    return magic == kMagicV2;
   }
 
   /// Introspection: a decoded view of fragment i (for examples & benches).
@@ -348,6 +338,184 @@ class Neats {
     return out;
   }
 
+  /// Shared body of Deserialize (copy mode) and View (borrow mode) for
+  /// format v2. In borrow mode every GetArray returns a span into `bytes`.
+  static Neats LoadV2(std::span<const uint8_t> bytes, bool borrow) {
+    WordReader r(bytes, borrow);
+    NEATS_REQUIRE(r.Get() == kMagicV2, "not a NeaTS blob");
+    NEATS_REQUIRE(r.Get() == kFormatVersion,
+                  "unsupported NeaTS format version");
+    Neats out;
+    out.n_ = r.Get();
+    out.m_ = r.Get();
+    // Bound n so every length*width product below stays far from uint64
+    // wrap (2^56 values * 64 bits = 2^62) — a wrapped product could forge
+    // the fragment-walk consistency check.
+    NEATS_REQUIRE(out.n_ <= (uint64_t{1} << 56) && out.m_ <= out.n_,
+                  "corrupt NeaTS blob");
+    out.shift_ = static_cast<int64_t>(r.Get());
+    out.starts_mode_ = r.Get() == 0 ? StartsIndex::kEliasFano
+                                    : StartsIndex::kBitVector;
+    size_t kinds = r.Get();
+    NEATS_REQUIRE(kinds <= static_cast<size_t>(kNumFunctionKinds),
+                  "corrupt NeaTS blob");
+    for (size_t i = 0; i < kinds; ++i) {
+      out.kind_table_.push_back(static_cast<FunctionKind>(r.Get()));
+    }
+    if (out.m_ > 0) {
+      if (out.starts_mode_ == StartsIndex::kEliasFano) {
+        out.starts_ef_ = EliasFano::Load(r);
+        // Fragment 0 must start at value 0 and the last start must lie in
+        // [0, n): Access relies on both (a rank of 0 would underflow).
+        NEATS_REQUIRE(out.starts_ef_.size() == out.m_ &&
+                          out.starts_ef_.Access(0) == 0 &&
+                          out.starts_ef_.Access(out.m_ - 1) < out.n_,
+                      "corrupt NeaTS blob");
+      } else {
+        out.starts_bv_ = RankSelect::Load(r);
+        NEATS_REQUIRE(out.starts_bv_.size() == out.n_ &&
+                          out.starts_bv_.ones() == out.m_ &&
+                          out.starts_bv_.Get(0),
+                      "corrupt NeaTS blob");
+      }
+      out.widths_ = PackedArray::Load(r);
+      out.displacement_ = PackedArray::Load(r);
+      out.offsets_ = EliasFano::Load(r);
+      out.kinds_wt_ = WaveletTree::Load(r);
+      NEATS_REQUIRE(out.widths_.size() == out.m_ &&
+                        out.displacement_.size() == out.m_ &&
+                        out.offsets_.size() == out.m_ + 1 &&
+                        out.kinds_wt_.size() == out.m_,
+                    "corrupt NeaTS blob");
+    }
+    out.corrections_ = r.GetArray<uint64_t>();
+    // Cross-check the sections against each other: the offsets EF must end
+    // exactly at the bit size of the corrections payload, and every
+    // fragment's correction span must equal its length times its width —
+    // otherwise a query could compute a bit offset outside the payload.
+    // O(m) constant-time probes, no allocation, so View stays zero-copy.
+    uint64_t total_bits = out.m_ > 0 ? out.offsets_.Access(out.m_) : 0;
+    NEATS_REQUIRE(out.corrections_.size() == CeilDiv(total_bits, 64),
+                  "corrupt NeaTS blob");
+    if (out.m_ > 0) {
+      NEATS_REQUIRE(kinds > 0, "corrupt NeaTS blob");
+      uint64_t prev_start = out.FragmentStart(0);  // == 0, checked above
+      uint64_t prev_off = out.offsets_.Access(0);
+      NEATS_REQUIRE(prev_off == 0, "corrupt NeaTS blob");
+      for (size_t i = 1; i <= out.m_; ++i) {
+        uint64_t start = i < out.m_ ? out.FragmentStart(i) : out.n_;
+        uint64_t off = out.offsets_.Access(i);
+        uint64_t width = out.widths_[i - 1];
+        NEATS_REQUIRE(start > prev_start && off >= prev_off && width <= 64 &&
+                          off - prev_off == (start - prev_start) * width,
+                      "corrupt NeaTS blob");
+        prev_start = start;
+        prev_off = off;
+      }
+    }
+    size_t n_params = r.Get();
+    NEATS_REQUIRE(n_params == kinds || (out.m_ == 0 && n_params == 0),
+                  "corrupt NeaTS blob");
+    out.params_.reserve(n_params);
+    for (size_t i = 0; i < n_params; ++i) {
+      out.params_.push_back(r.GetArray<double>());
+      // Each kind's array must hold exactly the parameters its fragments
+      // index into (occurrences * arity) — DecodeAt reads unchecked.
+      NEATS_REQUIRE(
+          out.params_[i].size() ==
+              out.kinds_wt_.Rank(static_cast<uint32_t>(i), out.m_) *
+                  static_cast<size_t>(NumParams(out.kind_table_[i])),
+          "corrupt NeaTS blob");
+    }
+    return out;
+  }
+
+  /// Legacy v1 reader: the blob stores the logical fragment table and the
+  /// succinct indexes are rebuilt (and therefore owned) on load.
+  static Neats DeserializeV1(std::span<const uint8_t> bytes) {
+    size_t pos = 0;
+    auto get64 = [&bytes, &pos]() {
+      NEATS_REQUIRE(pos + 8 <= bytes.size(), "truncated NeaTS blob");
+      uint64_t v = 0;
+      for (int b = 0; b < 8; ++b) v |= static_cast<uint64_t>(bytes[pos++]) << (8 * b);
+      return v;
+    };
+    NEATS_REQUIRE(get64() == kMagicV1, "not a NeaTS blob");
+    // Any count word is bounded by the bytes that could back it, so corrupt
+    // blobs abort instead of triggering huge allocations or OOB reads.
+    auto bounded = [&bytes, &pos](uint64_t count, size_t cell_bytes) {
+      NEATS_REQUIRE(count <= (bytes.size() - pos) / cell_bytes,
+                    "truncated NeaTS blob");
+      return static_cast<size_t>(count);
+    };
+    Neats out;
+    out.n_ = get64();
+    out.m_ = bounded(get64(), 32);  // four words per fragment row
+    // Same wrap guard as LoadV2: keeps the offsets accumulation exact.
+    NEATS_REQUIRE(out.n_ <= (uint64_t{1} << 56) && out.m_ <= out.n_,
+                  "corrupt NeaTS blob");
+    out.shift_ = static_cast<int64_t>(get64());
+    out.starts_mode_ = get64() == 0 ? StartsIndex::kEliasFano
+                                    : StartsIndex::kBitVector;
+    size_t kinds = bounded(get64(), 8);
+    NEATS_REQUIRE(kinds <= static_cast<size_t>(kNumFunctionKinds) &&
+                      (kinds > 0 || out.m_ == 0),
+                  "corrupt NeaTS blob");
+    for (size_t i = 0; i < kinds; ++i) {
+      out.kind_table_.push_back(static_cast<FunctionKind>(get64()));
+    }
+    std::vector<uint64_t> starts(out.m_), widths(out.m_), disp(out.m_);
+    std::vector<uint32_t> kind_symbols(out.m_);
+    std::vector<size_t> params_needed(kinds, 0);
+    for (size_t i = 0; i < out.m_; ++i) {
+      starts[i] = get64();
+      kind_symbols[i] = static_cast<uint32_t>(get64());
+      widths[i] = get64();
+      disp[i] = get64();
+      NEATS_REQUIRE(kind_symbols[i] < kinds && widths[i] <= 64 &&
+                        (i == 0 ? starts[i] == 0 : starts[i] > starts[i - 1]) &&
+                        starts[i] < out.n_,
+                    "corrupt NeaTS blob");
+      params_needed[kind_symbols[i]] += static_cast<size_t>(
+          NumParams(out.kind_table_[kind_symbols[i]]));
+    }
+    out.params_.reserve(kinds);
+    for (size_t k = 0; k < kinds; ++k) {
+      std::vector<double> p(bounded(get64(), 8));
+      for (double& v : p) v = std::bit_cast<double>(get64());
+      NEATS_REQUIRE(p.size() == params_needed[k], "corrupt NeaTS blob");
+      out.params_.emplace_back(std::move(p));
+    }
+    uint64_t total_bits = get64();
+    std::vector<uint64_t> corrections(bounded(get64(), 8));
+    for (uint64_t& w : corrections) w = get64();
+    NEATS_REQUIRE(corrections.size() == CeilDiv(total_bits, 64),
+                  "corrupt NeaTS blob");
+    out.corrections_ = Storage<uint64_t>(std::move(corrections));
+
+    if (out.m_ > 0) {
+      // Rebuild the succinct indexes.
+      if (out.starts_mode_ == StartsIndex::kEliasFano) {
+        out.starts_ef_ = EliasFano(starts, out.n_);
+      } else {
+        BitVector bv(out.n_);
+        for (uint64_t s : starts) bv.Set(s);
+        out.starts_bv_ = RankSelect(std::move(bv));
+      }
+      std::vector<uint64_t> offsets(out.m_ + 1, 0);
+      for (size_t i = 0; i < out.m_; ++i) {
+        uint64_t end = i + 1 < out.m_ ? starts[i + 1] : out.n_;
+        offsets[i + 1] = offsets[i] + (end - starts[i]) * widths[i];
+      }
+      NEATS_REQUIRE(offsets[out.m_] == total_bits, "corrupt NeaTS blob");
+      out.widths_ = PackedArray::FromValues(widths);
+      out.displacement_ = PackedArray::FromValues(disp);
+      out.offsets_ = EliasFano(offsets, total_bits + 1);
+      out.kinds_wt_ = WaveletTree(kind_symbols, static_cast<uint32_t>(kinds));
+    }
+    return out;
+  }
+
   void BuildLayout(std::span<const int64_t> shifted,
                    const std::vector<Fragment>& fragments,
                    const NeatsOptions& options) {
@@ -366,7 +534,7 @@ class Neats {
     }
     kinds_wt_ = WaveletTree(kind_symbols,
                             static_cast<uint32_t>(kind_table_.size()));
-    params_.resize(kind_table_.size());
+    std::vector<std::vector<double>> params(kind_table_.size());
 
     m_ = m;
     std::vector<uint64_t> starts(m);
@@ -378,7 +546,7 @@ class Neats {
       starts[i] = frag.start;
       displacement[i] = frag.start - frag.origin;
       for (int j = 0; j < NumParams(frag.kind); ++j) {
-        params_[kind_symbols[i]].push_back(frag.params[j]);
+        params[kind_symbols[i]].push_back(frag.params[j]);
       }
       // Residual pass 1: actual range (floating-point-safe width).
       int64_t lo = 0, hi = 0;
@@ -409,7 +577,9 @@ class Neats {
     widths_ = PackedArray::FromValues(widths);
     displacement_ = PackedArray::FromValues(displacement);
     offsets_ = EliasFano(offsets, offsets[m] + 1);
-    corrections_words_ = corrections.TakeWords();
+    corrections_ = Storage<uint64_t>(corrections.TakeWords());
+    params_.reserve(params.size());
+    for (auto& p : params) params_.emplace_back(std::move(p));
     (void)options;
   }
 
@@ -437,15 +607,18 @@ class Neats {
   }
 
   int64_t DecodeAt(size_t i, uint64_t start, uint64_t k) const {
-    uint32_t dense = kinds_wt_.Access(i);
+    auto [dense, occ] = kinds_wt_.AccessAndRank(i);
     FunctionKind kind = kind_table_[dense];
-    const double* params = ParamsOf(i, dense);
+    const double* params =
+        params_[dense].data() +
+        occ * static_cast<size_t>(NumParams(kind));
     int bits = static_cast<int>(widths_[i]);
     uint64_t origin = start - displacement_[i];
     int64_t pred = PredictFloor(kind, params, static_cast<int64_t>(k - origin) + 1);
-    int64_t bias = bits == 0 ? 0 : (int64_t{1} << (bits - 1));
+    if (bits == 0) return pred - shift_;  // pure function: no offsets access
+    int64_t bias = int64_t{1} << (bits - 1);
     uint64_t o = offsets_.Access(i) + (k - start) * static_cast<uint64_t>(bits);
-    int64_t c = static_cast<int64_t>(ReadBits(corrections_words_.data(), o, bits)) - bias;
+    int64_t c = static_cast<int64_t>(ReadBits(corrections_.data(), o, bits)) - bias;
     return pred + c - shift_;
   }
 
@@ -467,9 +640,10 @@ class Neats {
     FragState s;
     s.start = start;
     s.end = FragmentEnd(i);
-    uint32_t dense = kinds_wt_.Access(i);
+    auto [dense, occ] = kinds_wt_.AccessAndRank(i);
     s.kind = kind_table_[dense];
-    s.params = ParamsOf(i, dense);
+    s.params = params_[dense].data() +
+               occ * static_cast<size_t>(NumParams(s.kind));
     s.bits = static_cast<int>(widths_[i]);
     s.bias = s.bits == 0 ? 0 : (int64_t{1} << (s.bits - 1));
     s.origin = start - displacement_[i];
@@ -499,7 +673,7 @@ class Neats {
       return;
     }
     const int64_t base = (int64_t{1} << (bits - 1)) + shift_;
-    const uint64_t* words = corrections_words_.data();
+    const uint64_t* words = corrections_.data();
     constexpr uint64_t kRun = 128;
     uint64_t corr[kRun];
     uint64_t k = from;
@@ -547,12 +721,16 @@ class Neats {
     }
   }
 
-  /// Bits of the serialized header: magic, n, m, shift, starts mode,
-  /// kind-table length, and one word per kind-table entry (matches the
-  /// fixed-size prefix Serialize emits before the fragment table).
-  size_t HeaderSizeInBits() const { return (6 + kind_table_.size()) * 64; }
+  /// Bits of the serialized header: magic, version, n, m, shift, starts
+  /// mode, kind-table length, and one word per kind-table entry (matches the
+  /// fixed-size prefix Serialize emits before the section list).
+  size_t HeaderSizeInBits() const { return (7 + kind_table_.size()) * 64; }
 
-  static constexpr uint64_t kMagic = 0x5354414554414E45ULL;  // "ENATAETS"
+  static constexpr uint64_t kMagicV1 = 0x5354414554414E45ULL;  // legacy
+  // Little-endian "NEATSv2\0": the mapped bytes of a v2 blob start with the
+  // ASCII name, so `head -c7` / file sniffers see it verbatim.
+  static constexpr uint64_t kMagicV2 = 0x003276535441454EULL;
+  static constexpr uint64_t kFormatVersion = 2;
 
   uint64_t n_ = 0;
   size_t m_ = 0;
@@ -562,13 +740,13 @@ class Neats {
   EliasFano starts_ef_;   // S (Elias-Fano variant)
   RankSelect starts_bv_;  // S (plain bitvector variant)
 
-  PackedArray widths_;        // B
-  EliasFano offsets_;         // O
-  std::vector<uint64_t> corrections_words_;  // C
-  WaveletTree kinds_wt_;      // K
-  PackedArray displacement_;  // D
+  PackedArray widths_;             // B
+  EliasFano offsets_;              // O
+  Storage<uint64_t> corrections_;  // C
+  WaveletTree kinds_wt_;           // K
+  PackedArray displacement_;       // D
   std::vector<FunctionKind> kind_table_;
-  std::vector<std::vector<double>> params_;  // P, one vector per dense kind
+  std::vector<Storage<double>> params_;  // P, one array per dense kind
 };
 
 /// Sequential-access cursor: caches the current fragment's decoded state
@@ -611,7 +789,7 @@ class Neats::Cursor {
     uint64_t o =
         st_.corr_base + (pos_ - st_.start) * static_cast<uint64_t>(st_.bits);
     int64_t c = static_cast<int64_t>(
-                    ReadBits(neats_->corrections_words_.data(), o, st_.bits)) -
+                    ReadBits(neats_->corrections_.data(), o, st_.bits)) -
                 st_.bias;
     return pred + c - neats_->shift_;
   }
@@ -624,9 +802,11 @@ class Neats::Cursor {
     return v;
   }
 
-  /// Moves to position k (<= n). Monotone seeks ride the cached fragment
-  /// chain; a seek further than kMaxSeekHops fragments ahead — or any
-  /// backward seek — falls back to the full FragmentIndexOf rank.
+  /// Moves to position k (<= n). Seeks inside the current fragment (in either
+  /// direction) reuse the cached decode state outright; seeks to nearby
+  /// fragments hop the chain — forward or backward — in O(1) per fragment.
+  /// Only a jump further than kMaxSeekHops fragments away falls back to the
+  /// full FragmentIndexOf rank.
   void Seek(uint64_t k) {
     NEATS_DCHECK(k <= neats_->n_);
     if (k >= neats_->n_) {
@@ -643,6 +823,17 @@ class Neats::Cursor {
       }
       if (k < st_.end) {
         pos_ = k;
+        return;
+      }
+    } else {
+      // Backward: the previous fragment's correction base is recoverable
+      // from the cached state (corr_base - len*width), so short backward
+      // seeks never pay the Elias-Fano offsets access, let alone the rank.
+      for (int hops = 0; hops < kMaxSeekHops && k < st_.start; ++hops) {
+        RetreatFragment();
+      }
+      if (k >= st_.start) {
+        pos_ = k;  // k < st_.end holds: the chain is contiguous
         return;
       }
     }
@@ -675,6 +866,16 @@ class Neats::Cursor {
         st_.corr_base + (st_.end - st_.start) * static_cast<uint64_t>(st_.bits);
     ++frag_;
     st_ = neats_->LoadFragment(frag_, st_.end, corr_base);
+  }
+
+  /// Inverse of AdvanceFragment; precondition: frag_ > 0.
+  void RetreatFragment() {
+    --frag_;
+    uint64_t start = neats_->FragmentStart(frag_);
+    uint64_t corr_base =
+        st_.corr_base -
+        (st_.start - start) * static_cast<uint64_t>(neats_->widths_[frag_]);
+    st_ = neats_->LoadFragment(frag_, start, corr_base);
   }
 
   const Neats* neats_;

@@ -21,6 +21,7 @@
 #include "functions/kinds.hpp"
 #include "succinct/elias_fano.hpp"
 #include "succinct/packed_array.hpp"
+#include "succinct/storage.hpp"
 #include "succinct/wavelet_tree.hpp"
 
 namespace neats {
@@ -66,13 +67,11 @@ class NeatsLossy {
   /// The approximated value at index k.
   int64_t Access(uint64_t k) const {
     NEATS_DCHECK(k < n_);
-    size_t i = starts_.Rank(k) - 1;
-    uint64_t start = starts_.Access(i);
-    uint32_t dense = kinds_wt_.Access(i);
+    auto [i, start] = starts_.Predecessor(k);
+    auto [dense, occ] = kinds_wt_.AccessAndRank(i);
     FunctionKind kind = kind_table_[dense];
-    size_t idx = kinds_wt_.Rank(dense, i);
     const double* params =
-        params_[dense].data() + idx * static_cast<size_t>(NumParams(kind));
+        params_[dense].data() + occ * static_cast<size_t>(NumParams(kind));
     uint64_t origin = start - displacement_[i];
     return PredictFloor(kind, params, static_cast<int64_t>(k - origin) + 1) -
            shift_;
@@ -112,15 +111,90 @@ class NeatsLossy {
     }
   }
 
-  /// Size of the lossy representation in bits.
+  /// Size of the lossy representation in bits — exactly the v2 serialized
+  /// size (8 * Serialize output bytes).
   size_t SizeInBits() const {
-    size_t p_bits = 0;
-    for (const auto& p : params_) p_bits += p.size() * 64 + 64;
-    return 3 * 64 + starts_.SizeInBits() + kinds_wt_.SizeInBits() +
-           displacement_.SizeInBits() + p_bits;
+    size_t bits = (7 + kind_table_.size()) * 64 + 64;  // header + params count
+    for (const auto& p : params_) bits += 64 + p.size() * 64;
+    if (m_ == 0) return bits;
+    return bits + starts_.SizeInBits() + displacement_.SizeInBits() +
+           kinds_wt_.SizeInBits();
+  }
+
+  /// Format v2 (flat, word-aligned; same section grammar as Neats).
+  void Serialize(std::vector<uint8_t>* out) const {
+    out->clear();
+    WordWriter w(out);
+    w.Put(kMagicV2);
+    w.Put(kFormatVersion);
+    w.Put(n_);
+    w.Put(static_cast<uint64_t>(m_));
+    w.Put(static_cast<uint64_t>(eps_));
+    w.Put(static_cast<uint64_t>(shift_));
+    w.Put(kind_table_.size());
+    for (FunctionKind kind : kind_table_) w.Put(static_cast<uint64_t>(kind));
+    if (m_ > 0) {
+      starts_.Serialize(w);
+      displacement_.Serialize(w);
+      kinds_wt_.Serialize(w);
+    }
+    w.Put(params_.size());
+    for (const auto& p : params_) w.PutArray(p);
+  }
+
+  /// Rebuilds from Serialize output into owned storage.
+  static NeatsLossy Deserialize(std::span<const uint8_t> bytes) {
+    return Load(bytes, /*borrow=*/false);
+  }
+
+  /// Opens a blob zero-copy; `bytes` must be 8-byte aligned and outlive the
+  /// returned object.
+  static NeatsLossy View(std::span<const uint8_t> bytes) {
+    return Load(bytes, /*borrow=*/true);
   }
 
  private:
+  static NeatsLossy Load(std::span<const uint8_t> bytes, bool borrow) {
+    WordReader r(bytes, borrow);
+    NEATS_REQUIRE(r.Get() == kMagicV2, "not a NeaTS-L blob");
+    NEATS_REQUIRE(r.Get() == kFormatVersion,
+                  "unsupported NeaTS-L format version");
+    NeatsLossy out;
+    out.n_ = r.Get();
+    out.m_ = r.Get();
+    out.eps_ = static_cast<int64_t>(r.Get());
+    out.shift_ = static_cast<int64_t>(r.Get());
+    size_t kinds = r.Get();
+    NEATS_REQUIRE(kinds <= static_cast<size_t>(kNumFunctionKinds),
+                  "corrupt NeaTS-L blob");
+    for (size_t i = 0; i < kinds; ++i) {
+      out.kind_table_.push_back(static_cast<FunctionKind>(r.Get()));
+    }
+    if (out.m_ > 0) {
+      out.starts_ = EliasFano::Load(r);
+      out.displacement_ = PackedArray::Load(r);
+      out.kinds_wt_ = WaveletTree::Load(r);
+      NEATS_REQUIRE(out.starts_.size() == out.m_ &&
+                        out.starts_.Access(0) == 0 &&
+                        out.starts_.Access(out.m_ - 1) < out.n_ &&
+                        out.displacement_.size() == out.m_ &&
+                        out.kinds_wt_.size() == out.m_,
+                    "corrupt NeaTS-L blob");
+    }
+    size_t n_params = r.Get();
+    NEATS_REQUIRE(n_params == kinds || (out.m_ == 0 && n_params == 0),
+                  "corrupt NeaTS-L blob");
+    out.params_.reserve(n_params);
+    for (size_t i = 0; i < n_params; ++i) {
+      out.params_.push_back(r.GetArray<double>());
+      NEATS_REQUIRE(
+          out.params_[i].size() ==
+              out.kinds_wt_.Rank(static_cast<uint32_t>(i), out.m_) *
+                  static_cast<size_t>(NumParams(out.kind_table_[i])),
+          "corrupt NeaTS-L blob");
+    }
+    return out;
+  }
   // Tight per-kind loop; KIND is compile-time so the dispatch inside
   // PredictFloor folds away and polynomial kinds vectorise.
   template <FunctionKind KIND>
@@ -149,16 +223,22 @@ class NeatsLossy {
       starts[i] = frag.start;
       displacement[i] = frag.start - frag.origin;
     }
-    params_.resize(kind_table_.size());
+    std::vector<std::vector<double>> params(kind_table_.size());
     for (size_t i = 0; i < m_; ++i) {
       for (int j = 0; j < NumParams(fragments[i].kind); ++j) {
-        params_[kind_symbols[i]].push_back(fragments[i].params[j]);
+        params[kind_symbols[i]].push_back(fragments[i].params[j]);
       }
     }
+    params_.reserve(params.size());
+    for (auto& p : params) params_.emplace_back(std::move(p));
     starts_ = EliasFano(starts, n_);
     kinds_wt_ = WaveletTree(kind_symbols, static_cast<uint32_t>(kind_table_.size()));
     displacement_ = PackedArray::FromValues(displacement);
   }
+
+  // Little-endian "NEATSL2\0" — ASCII-readable at the head of the blob.
+  static constexpr uint64_t kMagicV2 = 0x00324C535441454EULL;
+  static constexpr uint64_t kFormatVersion = 2;
 
   uint64_t n_ = 0;
   size_t m_ = 0;
@@ -168,7 +248,7 @@ class NeatsLossy {
   WaveletTree kinds_wt_;
   PackedArray displacement_;
   std::vector<FunctionKind> kind_table_;
-  std::vector<std::vector<double>> params_;
+  std::vector<Storage<double>> params_;  // one array per dense kind
 };
 
 }  // namespace neats

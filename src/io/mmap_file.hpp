@@ -1,0 +1,116 @@
+// Read-only memory-mapped file, the storage backend behind zero-copy opens:
+//
+//   neats::MmapFile map = neats::MmapFile::Open(path);  // keep alive!
+//   neats::Neats view = neats::Neats::View(map.bytes());
+//
+// serves queries straight out of the page cache with no deserialization
+// copy. The mapping must outlive every object borrowing from it — never
+// pass a temporary MmapFile's bytes() to View. On platforms without POSIX
+// mmap the file is read into a word-aligned heap buffer instead, so callers
+// keep the same 8-byte-alignment guarantee either way.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define NEATS_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define NEATS_HAS_MMAP 0
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+#endif
+
+namespace neats {
+
+/// Move-only RAII wrapper over a read-only file mapping.
+class MmapFile {
+ public:
+  MmapFile() = default;
+
+  /// Maps `path` read-only. Aborts (NEATS_REQUIRE) if the file cannot be
+  /// opened — callers validate paths at the CLI boundary.
+  static MmapFile Open(const std::string& path) {
+    MmapFile f;
+#if NEATS_HAS_MMAP
+    int fd = ::open(path.c_str(), O_RDONLY);
+    NEATS_REQUIRE(fd >= 0, "cannot open file for mmap");
+    struct stat st;
+    NEATS_REQUIRE(::fstat(fd, &st) == 0, "cannot stat file for mmap");
+    f.size_ = static_cast<size_t>(st.st_size);
+    if (f.size_ > 0) {
+      void* p = ::mmap(nullptr, f.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+      NEATS_REQUIRE(p != MAP_FAILED, "mmap failed");
+      f.data_ = static_cast<const uint8_t*>(p);
+    }
+    ::close(fd);
+#else
+    std::error_code ec;
+    const auto file_size = std::filesystem::file_size(path, ec);
+    NEATS_REQUIRE(!ec, "cannot stat file");
+    f.size_ = static_cast<size_t>(file_size);
+    std::FILE* fp = std::fopen(path.c_str(), "rb");
+    NEATS_REQUIRE(fp != nullptr, "cannot open file");
+    f.fallback_.resize((f.size_ + 7) / 8);  // word-backed => 8-byte aligned
+    if (f.size_ > 0) {
+      NEATS_REQUIRE(std::fread(f.fallback_.data(), 1, f.size_, fp) == f.size_,
+                    "short read");
+      f.data_ = reinterpret_cast<const uint8_t*>(f.fallback_.data());
+    }
+    std::fclose(fp);
+#endif
+    return f;
+  }
+
+  MmapFile(MmapFile&& o) noexcept { *this = std::move(o); }
+  MmapFile& operator=(MmapFile&& o) noexcept {
+    if (this == &o) return *this;
+    Reset();
+#if !NEATS_HAS_MMAP
+    fallback_ = std::move(o.fallback_);
+    data_ = o.size_ > 0 ? reinterpret_cast<const uint8_t*>(fallback_.data())
+                        : nullptr;
+#else
+    data_ = o.data_;
+#endif
+    size_ = o.size_;
+    o.data_ = nullptr;
+    o.size_ = 0;
+    return *this;
+  }
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+  ~MmapFile() { Reset(); }
+
+  /// The mapped bytes; 8-byte aligned (page-aligned under real mmap).
+  std::span<const uint8_t> bytes() const { return {data_, size_}; }
+  size_t size() const { return size_; }
+
+ private:
+  void Reset() {
+#if NEATS_HAS_MMAP
+    if (data_ != nullptr) ::munmap(const_cast<uint8_t*>(data_), size_);
+#endif
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+#if !NEATS_HAS_MMAP
+  std::vector<uint64_t> fallback_;
+#endif
+};
+
+}  // namespace neats

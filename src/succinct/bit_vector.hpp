@@ -1,18 +1,26 @@
 // Plain bitvector plus a rank/select index.
 //
+// BitVector is the mutable builder and always owns its words. RankSelect is
+// the frozen form: its payload and directories live in Storage<T> cells that
+// are either owned (built in memory / copied by Deserialize) or borrowed from
+// a serialized blob (zero-copy View; see storage.hpp and docs/FORMAT.md).
+//
 // The rank index follows the rank9 layout idea: absolute counts every 512-bit
-// superblock plus per-word relative counts, giving O(1) Rank1. Select1/Select0
-// binary-search the superblock counts and finish with a broadword in-word
-// select, giving O(log n) worst case, which is plenty for the places NeaTS
-// uses them (Elias-Fano buckets and the optional O(1)-access S bitvector).
+// superblock plus per-word relative counts, giving O(1) Rank1. Select1 and
+// Select0 use sampled select directories — the bit position of every 512th
+// 1 (resp. 0) — to jump straight to a narrow superblock window, so a select
+// is a couple of directory probes plus an in-superblock word scan instead of
+// the former binary search over all superblocks.
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "common/bits.hpp"
+#include "succinct/storage.hpp"
 
 namespace neats {
 
@@ -46,6 +54,9 @@ class BitVector {
   size_t size() const { return size_; }
   const std::vector<uint64_t>& words() const { return words_; }
 
+  /// Releases the backing words (the vector has exactly ceil(n/64) entries).
+  std::vector<uint64_t> TakeWords() { return std::move(words_); }
+
   /// Payload size in bits.
   size_t SizeInBits() const { return words_.size() * 64 + 64; }
 
@@ -54,37 +65,28 @@ class BitVector {
   std::vector<uint64_t> words_;
 };
 
-/// Immutable rank/select index over a BitVector (which it stores by value).
+/// Immutable rank/select index over a frozen bitvector.
 class RankSelect {
  public:
   RankSelect() = default;
 
-  explicit RankSelect(BitVector bits) : bits_(std::move(bits)) {
-    const auto& words = bits_.words();
-    size_t n_words = words.size();
-    size_t n_super = CeilDiv(n_words, kWordsPerSuper) + 1;
-    super_.assign(n_super, 0);
-    rel_.assign(n_words + 1, 0);
-    uint64_t total = 0;
-    for (size_t w = 0; w < n_words; ++w) {
-      if (w % kWordsPerSuper == 0) super_[w / kWordsPerSuper] = total;
-      rel_[w] = static_cast<uint16_t>(total - super_[w / kWordsPerSuper]);
-      total += static_cast<uint64_t>(Popcount(words[w]));
-    }
-    for (size_t s = CeilDiv(n_words, kWordsPerSuper); s < n_super; ++s) {
-      super_[s] = total;
-    }
-    rel_[n_words] = static_cast<uint16_t>(
-        total - super_[n_words / kWordsPerSuper]);
-    ones_ = total;
+  explicit RankSelect(BitVector bits) : nbits_(bits.size()) {
+    std::vector<uint64_t> words = bits.TakeWords();
+    Directories dirs = BuildDirectories(words.data(), words.size());
+    ones_ = dirs.ones;
+    words_ = Storage<uint64_t>(std::move(words));
+    super_ = Storage<uint64_t>(std::move(dirs.super));
+    rel_ = Storage<uint16_t>(std::move(dirs.rel));
+    sel1_ = Storage<uint64_t>(std::move(dirs.sel1));
+    sel0_ = Storage<uint64_t>(std::move(dirs.sel0));
   }
 
   /// Number of 1 bits in positions [0, i). `i` may equal size().
   uint64_t Rank1(size_t i) const {
-    NEATS_DCHECK(i <= bits_.size());
+    NEATS_DCHECK(i <= nbits_);
     size_t w = i >> 6;
     uint64_t r = super_[w / kWordsPerSuper] + rel_[w];
-    if (i & 63) r += Popcount(bits_.words()[w] & LowMask(static_cast<int>(i & 63)));
+    if (i & 63) r += Popcount(words_[w] & LowMask(static_cast<int>(i & 63)));
     return r;
   }
 
@@ -94,72 +96,220 @@ class RankSelect {
   /// Position of the k-th (0-based) 1 bit. Precondition: k < ones().
   size_t Select1(uint64_t k) const {
     NEATS_DCHECK(k < ones_);
-    // Binary search the last superblock with count <= k.
-    size_t lo = 0, hi = super_.size() - 1;
-    while (lo < hi) {
-      size_t mid = (lo + hi + 1) / 2;
-      if (super_[mid] <= k) {
-        lo = mid;
-      } else {
-        hi = mid - 1;
-      }
-    }
-    uint64_t rem = k - super_[lo];
-    size_t w = lo * kWordsPerSuper;
-    const auto& words = bits_.words();
-    // Scan at most kWordsPerSuper words.
+    size_t s = FindSuperblock(k, sel1_, [this](size_t sb) { return super_[sb]; });
+    // Start the word scan at the later of the superblock start and the
+    // sampled bit's own word — both have rank <= k, and rel_ recovers the
+    // rank at any word boundary, so the scan skips up to 7 words.
+    size_t w = s * kWordsPerSuper;
+    size_t ws = static_cast<size_t>(sel1_[k / kSelectSample] >> 6);
+    if (ws > w) w = ws;
+    uint64_t rem = k - super_[w / kWordsPerSuper] - rel_[w];
     while (true) {
-      int pc = Popcount(words[w]);
+      int pc = Popcount(words_[w]);
       if (rem < static_cast<uint64_t>(pc)) break;
       rem -= static_cast<uint64_t>(pc);
       ++w;
     }
-    return (w << 6) + static_cast<size_t>(SelectInWord(words[w], static_cast<int>(rem)));
+    return (w << 6) + static_cast<size_t>(SelectInWord(words_[w], static_cast<int>(rem)));
   }
 
   /// Position of the k-th (0-based) 0 bit. Precondition: k < size() - ones().
   size_t Select0(uint64_t k) const {
-    NEATS_DCHECK(k < bits_.size() - ones_);
-    size_t lo = 0, hi = super_.size() - 1;
+    NEATS_DCHECK(k < nbits_ - ones_);
     // Zeros before superblock s start: s*512 - super_[s].
-    auto zeros_before = [&](size_t s) { return s * kSuperBits - super_[s]; };
-    while (lo < hi) {
-      size_t mid = (lo + hi + 1) / 2;
-      if (zeros_before(mid) <= k) {
-        lo = mid;
-      } else {
-        hi = mid - 1;
-      }
-    }
-    uint64_t rem = k - zeros_before(lo);
-    size_t w = lo * kWordsPerSuper;
-    const auto& words = bits_.words();
+    size_t s = FindSuperblock(
+        k, sel0_, [this](size_t sb) { return sb * kSuperBits - super_[sb]; });
+    size_t w = s * kWordsPerSuper;
+    size_t ws = static_cast<size_t>(sel0_[k / kSelectSample] >> 6);
+    if (ws > w) w = ws;
+    uint64_t rem = k - (w * 64 - super_[w / kWordsPerSuper] - rel_[w]);
     while (true) {
-      int zc = 64 - Popcount(words[w]);
+      int zc = 64 - Popcount(words_[w]);
       if (rem < static_cast<uint64_t>(zc)) break;
       rem -= static_cast<uint64_t>(zc);
       ++w;
     }
-    return (w << 6) + static_cast<size_t>(SelectInWord(~words[w], static_cast<int>(rem)));
+    return (w << 6) + static_cast<size_t>(SelectInWord(~words_[w], static_cast<int>(rem)));
   }
 
-  bool Get(size_t i) const { return bits_.Get(i); }
-  size_t size() const { return bits_.size(); }
+  /// Length of the run of consecutive 1 bits starting at position `pos`
+  /// (which must be a set bit), scanning word-at-a-time. This is the
+  /// bucket-size primitive behind the word-wise Elias-Fano rank.
+  size_t OnesRunLength(size_t pos) const {
+    NEATS_DCHECK(pos < nbits_ && Get(pos));
+    size_t w = pos >> 6;
+    // Zeros (and any padding past size()) terminate the run, so the scan
+    // never walks beyond the logical bitvector. Invert before shifting: the
+    // zeros the shift feeds in at the top then mean "run continues past this
+    // word", not a spurious terminator.
+    uint64_t inv = (~words_[w]) >> (pos & 63);
+    if (inv != 0) return static_cast<size_t>(CountTrailingZeros(inv));
+    size_t run = 64 - (pos & 63);
+    while (++w < words_.size()) {
+      inv = ~words_[w];
+      if (inv != 0) return run + static_cast<size_t>(CountTrailingZeros(inv));
+      run += 64;
+    }
+    return run;
+  }
+
+  bool Get(size_t i) const {
+    NEATS_DCHECK(i < nbits_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+  size_t size() const { return nbits_; }
   uint64_t ones() const { return ones_; }
 
-  /// Payload size in bits: bits + rank directories.
+  /// True when the payload is borrowed from an external buffer.
+  bool borrowed() const { return words_.borrowed(); }
+
+  /// Size in bits, exactly as serialized: nbits + ones + five counted
+  /// arrays (payload words, rank superblocks, word-padded relative ranks,
+  /// and both select directories).
   size_t SizeInBits() const {
-    return bits_.SizeInBits() + super_.size() * 64 + rel_.size() * 16 + 64;
+    return 7 * 64 + words_.size() * 64 + super_.size() * 64 +
+           CeilDiv(rel_.size() * 16, 64) * 64 +
+           (sel1_.size() + sel0_.size()) * 64;
+  }
+
+  /// Format v2: all directories are serialized; Load verifies them against
+  /// the payload (one popcount pass) instead of rebuilding owned copies, so
+  /// a borrow-mode open keeps the payload and directories zero-copy.
+  void Serialize(WordWriter& w) const {
+    w.Put(nbits_);
+    w.Put(ones_);
+    w.PutArray(words_);
+    w.PutArray(super_);
+    w.PutArray(rel_);
+    w.PutArray(sel1_);
+    w.PutArray(sel0_);
+  }
+
+  static RankSelect Load(WordReader& r) {
+    RankSelect rs;
+    rs.nbits_ = r.Get();
+    rs.ones_ = r.Get();
+    rs.words_ = r.GetArray<uint64_t>();
+    rs.super_ = r.GetArray<uint64_t>();
+    rs.rel_ = r.GetArray<uint16_t>();
+    rs.sel1_ = r.GetArray<uint64_t>();
+    rs.sel0_ = r.GetArray<uint64_t>();
+    NEATS_REQUIRE(rs.words_.size() == CeilDiv(rs.nbits_, 64),
+                  "corrupt NeaTS blob");
+    // Padding bits past size() must be zero — the select/run scans rely on
+    // it, and a nonzero pad would let "ones" exist beyond the bitvector.
+    NEATS_REQUIRE((rs.nbits_ & 63) == 0 || rs.words_.empty() ||
+                      (rs.words_[rs.words_.size() - 1] >>
+                       (rs.nbits_ & 63)) == 0,
+                  "corrupt NeaTS blob");
+    // Queries index the directories without bounds checks, so inconsistent
+    // (not just mis-sized) directory contents would become wild reads.
+    // Rebuild them from the payload — one popcount pass, transient — and
+    // demand an exact match; the words themselves stay zero-copy.
+    Directories dirs = BuildDirectories(rs.words_.data(), rs.words_.size());
+    NEATS_REQUIRE(
+        rs.ones_ == dirs.ones &&
+            std::equal(dirs.super.begin(), dirs.super.end(),
+                       rs.super_.data(), rs.super_.data() + rs.super_.size()),
+        "corrupt NeaTS blob");
+    NEATS_REQUIRE(
+        std::equal(dirs.rel.begin(), dirs.rel.end(), rs.rel_.data(),
+                   rs.rel_.data() + rs.rel_.size()) &&
+            std::equal(dirs.sel1.begin(), dirs.sel1.end(), rs.sel1_.data(),
+                       rs.sel1_.data() + rs.sel1_.size()) &&
+            std::equal(dirs.sel0.begin(), dirs.sel0.end(), rs.sel0_.data(),
+                       rs.sel0_.data() + rs.sel0_.size()),
+        "corrupt NeaTS blob");
+    return rs;
   }
 
  private:
   static constexpr size_t kWordsPerSuper = 8;   // 512-bit superblocks
   static constexpr size_t kSuperBits = 512;
+  static constexpr uint64_t kSelectSample = 512;  // sampled every 512th bit
 
-  BitVector bits_;
-  std::vector<uint64_t> super_;  // absolute rank at each superblock start
-  std::vector<uint16_t> rel_;    // per-word rank relative to superblock
+  struct Directories {
+    std::vector<uint64_t> super;
+    std::vector<uint16_t> rel;
+    std::vector<uint64_t> sel1, sel0;
+    uint64_t ones = 0;
+  };
+
+  /// Derives all rank/select directories from the payload in one popcount
+  /// pass. The constructor adopts the result; Load rebuilds it to verify a
+  /// blob's stored directories, so query-time scans can trust them blindly.
+  static Directories BuildDirectories(const uint64_t* words, size_t n_words) {
+    Directories d;
+    const size_t n_super = CeilDiv(n_words, kWordsPerSuper) + 1;
+    d.super.assign(n_super, 0);
+    d.rel.assign(n_words + 1, 0);
+    uint64_t total = 0;   // ones so far
+    uint64_t next1 = 0;   // next sampled 1-rank
+    uint64_t next0 = 0;   // next sampled 0-rank
+    for (size_t w = 0; w < n_words; ++w) {
+      if (w % kWordsPerSuper == 0) d.super[w / kWordsPerSuper] = total;
+      d.rel[w] = static_cast<uint16_t>(total - d.super[w / kWordsPerSuper]);
+      const uint64_t word = words[w];
+      const uint64_t pc = static_cast<uint64_t>(Popcount(word));
+      while (next1 < total + pc) {
+        d.sel1.push_back((w << 6) +
+                         static_cast<uint64_t>(SelectInWord(word, static_cast<int>(next1 - total))));
+        next1 += kSelectSample;
+      }
+      const uint64_t zeros = w * 64 - total;
+      while (next0 < zeros + (64 - pc)) {
+        d.sel0.push_back((w << 6) +
+                         static_cast<uint64_t>(SelectInWord(~word, static_cast<int>(next0 - zeros))));
+        next0 += kSelectSample;
+      }
+      total += pc;
+    }
+    for (size_t s = CeilDiv(n_words, kWordsPerSuper); s < n_super; ++s) {
+      d.super[s] = total;
+    }
+    d.rel[n_words] = static_cast<uint16_t>(total - d.super[n_words / kWordsPerSuper]);
+    d.ones = total;
+    return d;
+  }
+
+  /// Locates the superblock containing the k-th target bit using the sampled
+  /// directory `samples` (position of every kSelectSample-th target bit) and
+  /// the monotone per-superblock count `count_before`. The two samples
+  /// bracketing k narrow the search to a window that is a couple of
+  /// superblocks wide in practice; a bounded binary search covers the
+  /// pathological sparse case.
+  template <typename CountBefore>
+  size_t FindSuperblock(uint64_t k, const Storage<uint64_t>& samples,
+                        CountBefore count_before) const {
+    const size_t n_sb = CeilDiv(words_.size(), kWordsPerSuper);
+    const size_t j = static_cast<size_t>(k / kSelectSample);
+    size_t lo = static_cast<size_t>(samples[j] / kSuperBits);
+    size_t hi = n_sb - 1;
+    if (j + 1 < samples.size()) {
+      hi = std::min(hi, static_cast<size_t>(samples[j + 1] / kSuperBits));
+    }
+    if (hi - lo > 8) {
+      while (lo < hi) {
+        size_t mid = (lo + hi + 1) / 2;
+        if (count_before(mid) <= k) {
+          lo = mid;
+        } else {
+          hi = mid - 1;
+        }
+      }
+    } else {
+      while (lo < hi && count_before(lo + 1) <= k) ++lo;
+    }
+    return lo;
+  }
+
+  size_t nbits_ = 0;
   uint64_t ones_ = 0;
+  Storage<uint64_t> words_;  // the frozen bitvector payload
+  Storage<uint64_t> super_;  // absolute rank at each superblock start
+  Storage<uint16_t> rel_;    // per-word rank relative to superblock
+  Storage<uint64_t> sel1_;   // position of every kSelectSample-th 1 bit
+  Storage<uint64_t> sel0_;   // position of every kSelectSample-th 0 bit
 };
 
 }  // namespace neats

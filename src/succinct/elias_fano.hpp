@@ -1,20 +1,26 @@
 // Elias-Fano encoding of monotone (non-decreasing) integer sequences.
 //
 // A sequence of m values in [0, u) takes m*ceil(log(u/m)) + 2m + o(m) bits and
-// supports Access in O(1) (one Select1) and Rank — the number of elements
-// <= x — in O(log) plus an O(1)-amortised in-bucket scan. These are exactly
-// the operations the NeaTS layout needs on the S (fragment starts) and O
-// (cumulative correction offsets) arrays (paper, Sec. III-C).
+// supports Access in O(1) (one sampled Select1) and Rank — the number of
+// elements <= x — via one sampled Select0 plus a word-at-a-time bucket scan:
+// the bucket of elements sharing the high part of x is a run of consecutive
+// 1 bits in the high bitvector, so its size comes from popcount/ctz on whole
+// words (RankSelect::OnesRunLength) and the in-bucket low-part search is a
+// linear probe for small buckets or a binary search for pile-ups — never a
+// per-bit Get loop. These are exactly the operations the NeaTS layout needs
+// on the S (fragment starts) and O (correction offsets) arrays (Sec. III-C).
 
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "common/bits.hpp"
 #include "succinct/bit_vector.hpp"
 #include "succinct/packed_array.hpp"
+#include "succinct/storage.hpp"
 
 namespace neats {
 
@@ -62,37 +68,109 @@ class EliasFano {
   /// Number of elements <= x (the S.rank(k) operation of the paper).
   size_t Rank(uint64_t x) const {
     if (size_ == 0) return 0;
-    uint64_t hb = x >> low_bits_;
-    // Index of the first element whose high part is >= hb.
-    size_t start;
-    size_t high_zeros = high_.size() - high_.ones();
-    if (hb == 0) {
-      start = 0;
-    } else if (hb > high_zeros) {
-      return size_;  // all high parts are < hb
-    } else {
-      start = high_.Select0(hb - 1) - (hb - 1);
-    }
-    // Scan the bucket of elements with high part == hb.
-    uint64_t xl = x & LowMask(low_bits_);
-    size_t i = start;
-    size_t pos = (start < size_) ? high_.Select1(start) : 0;
-    while (i < size_ && high_.Get(pos) && (pos - i) == hb) {
-      if (low_bits_ > 0 && low_[i] > xl) break;
-      ++i;
-      ++pos;
-    }
-    return i;
+    return Scan(x).rank;
   }
 
   size_t size() const { return size_; }
+
+  /// Fused Rank + Access of the predecessor: returns {i, Access(i)} for the
+  /// largest element <= x, reusing the bucket scan's knowledge of the high
+  /// part so the common case pays no extra select. This is the
+  /// fragment-lookup primitive of Algorithm 3 (index AND start in one pass).
+  /// Precondition: at least one element <= x (Rank(x) >= 1).
+  std::pair<size_t, uint64_t> Predecessor(uint64_t x) const {
+    NEATS_DCHECK(size_ > 0);
+    ScanResult s = Scan(x);
+    NEATS_DCHECK(s.rank > 0);
+    if (s.rank > s.start) {
+      // The predecessor sits inside bucket hb: its value is known without
+      // touching the high bitvector again.
+      return {s.rank - 1, (s.hb << low_bits_) | low_[s.rank - 1]};
+    }
+    // Predecessor lives in an earlier bucket; one select recovers it.
+    return {s.rank - 1, Access(s.rank - 1)};
+  }
 
   /// Payload size in bits.
   size_t SizeInBits() const {
     return low_.SizeInBits() + high_.SizeInBits() + 2 * 64;
   }
 
+  void Serialize(WordWriter& w) const {
+    w.Put(size_);
+    w.Put(static_cast<uint64_t>(low_bits_));
+    low_.Serialize(w);
+    high_.Serialize(w);
+  }
+
+  static EliasFano Load(WordReader& r) {
+    EliasFano ef;
+    ef.size_ = r.Get();
+    ef.low_bits_ = static_cast<int>(r.Get());
+    // The builder caps low_bits_ at 63 (BitWidth(u/m) - 1); 64 would make
+    // every query shift by the full word width — UB.
+    NEATS_REQUIRE(ef.low_bits_ >= 0 && ef.low_bits_ <= 63,
+                  "corrupt NeaTS blob");
+    ef.low_ = PackedArray::Load(r);
+    ef.high_ = RankSelect::Load(r);
+    NEATS_REQUIRE(ef.low_.size() == ef.size_ && ef.high_.ones() == ef.size_,
+                  "corrupt NeaTS blob");
+    return ef;
+  }
+
  private:
+  struct ScanResult {
+    size_t rank;   // number of elements <= x
+    size_t start;  // index of the first element with high part >= x's
+    uint64_t hb;   // x's high part; rank > start iff the predecessor is in
+                   // bucket hb (so its value is (hb << low_bits) | low)
+  };
+
+  /// The bucket scan shared by Rank and Predecessor. Precondition: size_ > 0.
+  ScanResult Scan(uint64_t x) const {
+    uint64_t hb = x >> low_bits_;
+    // Index of the first element whose high part is >= hb.
+    size_t high_zeros = high_.size() - high_.ones();
+    size_t start;
+    if (hb == 0) {
+      start = 0;
+    } else if (hb > high_zeros) {
+      return {size_, size_, hb};  // all high parts are < hb
+    } else {
+      start = high_.Select0(hb - 1) - (hb - 1);
+    }
+    if (start >= size_) return {size_, start, hb};
+    // The elements with high part == hb are a run of consecutive 1 bits
+    // beginning right after the (hb-1)-th zero; measure it word-wise.
+    size_t pos = start + static_cast<size_t>(hb);
+    if (!high_.Get(pos)) return {start, start, hb};  // empty bucket
+    size_t len = high_.OnesRunLength(pos);
+    return {start + CountLowsAtMost(x, start, len), start, hb};
+  }
+
+  /// Number of elements in the bucket [start, start+len) — all sharing x's
+  /// high part — whose low part is <= x's low part. The lows inside a bucket
+  /// are non-decreasing: probe linearly when the bucket is small,
+  /// binary-search single-bucket pile-ups.
+  size_t CountLowsAtMost(uint64_t x, size_t start, size_t len) const {
+    if (low_bits_ == 0) return len;  // every element equals x's high part
+    uint64_t xl = x & LowMask(low_bits_);
+    size_t lo = start, hi = start + len;
+    if (len <= 16) {
+      while (lo < hi && low_[lo] <= xl) ++lo;
+      return lo - start;
+    }
+    while (lo < hi) {
+      size_t mid = lo + (hi - lo) / 2;
+      if (low_[mid] <= xl) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo - start;
+  }
+
   size_t size_ = 0;
   int low_bits_ = 0;
   PackedArray low_;

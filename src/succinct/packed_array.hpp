@@ -4,6 +4,8 @@
 // using exactly ceil(n*w/64) words. Used for the B array (correction widths),
 // the low parts of Elias-Fano, and any place the NeaTS layout needs an array
 // whose cells are "just enough bits for the largest value" (paper, Sec III-C).
+// The words live in a Storage<uint64_t>: owned when built, borrowed when the
+// array is opened zero-copy out of a serialized blob.
 
 #pragma once
 
@@ -13,6 +15,7 @@
 #include "common/assert.hpp"
 #include "common/bits.hpp"
 #include "succinct/bit_stream.hpp"
+#include "succinct/storage.hpp"
 
 namespace neats {
 
@@ -37,7 +40,7 @@ class PackedArray {
       NEATS_DCHECK(width == 64 || v <= LowMask(width));
       writer.Append(v, width);
     }
-    words_ = writer.TakeWords();
+    words_ = Storage<uint64_t>(writer.TakeWords());
   }
 
   /// Value at index `i`.
@@ -52,8 +55,28 @@ class PackedArray {
   /// Total size in bits, including nothing but the payload words.
   size_t SizeInBits() const { return words_.size() * 64 + 2 * 64; }
 
+  void Serialize(WordWriter& w) const {
+    w.Put(size_);
+    w.Put(static_cast<uint64_t>(width_));
+    w.PutCells(words_.data(), words_.size());
+  }
+
+  static PackedArray Load(WordReader& r) {
+    PackedArray a;
+    a.size_ = r.Get();
+    a.width_ = static_cast<int>(r.Get());
+    NEATS_REQUIRE(a.width_ >= 0 && a.width_ <= 64, "corrupt NeaTS blob");
+    // Bound the element count so size*width cannot wrap uint64 (2^56 cells
+    // of 64 bits is 2^62 bits — far beyond any real blob but overflow-safe);
+    // the truncation check in GetCells then sees the true word count.
+    NEATS_REQUIRE(a.size_ <= (uint64_t{1} << 56), "corrupt NeaTS blob");
+    a.words_ = r.GetCells<uint64_t>(
+        CeilDiv(a.size_ * static_cast<size_t>(a.width_), 64));
+    return a;
+  }
+
  private:
-  std::vector<uint64_t> words_;
+  Storage<uint64_t> words_;
   size_t size_ = 0;
   int width_ = 0;
 };

@@ -1,0 +1,184 @@
+// Storage policy for the frozen succinct structures, plus the word-oriented
+// writer/reader behind serialization format v2.
+//
+// Every immutable structure (RankSelect, PackedArray, EliasFano, WaveletTree)
+// keeps its payload in a Storage<T>: either an owned std::vector<T> (built in
+// memory or copied out of a blob by Deserialize) or a borrowed span into an
+// external buffer (an mmap'd file opened zero-copy by Neats::View). Mutable
+// builders (BitVector, BitWriter) always own their words; freezing moves the
+// buffer into a Storage.
+//
+// Format v2 is a flat little-endian sequence of 64-bit words: scalars are one
+// word each, arrays are a count word followed by the cells padded up to a
+// whole number of words. Because every section starts 8-byte-aligned relative
+// to the blob start, a reader in borrow mode can hand out spans pointing
+// straight into the serialized bytes (see docs/FORMAT.md).
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace neats {
+
+static_assert(std::endian::native == std::endian::little,
+              "NeaTS format v2 assumes a little-endian host");
+
+/// Owned-or-borrowed immutable array of trivially-copyable cells.
+template <typename T>
+class Storage {
+ public:
+  Storage() = default;
+
+  /// Takes ownership of `v`.
+  explicit Storage(std::vector<T> v)
+      : vec_(std::move(v)), data_(vec_.data()), size_(vec_.size()) {}
+
+  /// Borrows `s`; the caller keeps the backing memory alive.
+  static Storage ViewOf(std::span<const T> s) {
+    Storage st;
+    st.data_ = s.data();
+    st.size_ = s.size();
+    st.borrowed_ = true;
+    return st;
+  }
+
+  Storage(const Storage& o) { *this = o; }
+  Storage& operator=(const Storage& o) {
+    if (this == &o) return *this;
+    vec_ = o.vec_;
+    borrowed_ = o.borrowed_;
+    data_ = borrowed_ ? o.data_ : vec_.data();
+    size_ = o.size_;
+    return *this;
+  }
+  // Moving a vector keeps its heap buffer, so repointing at vec_.data() is
+  // exact; borrowed storage just copies the span.
+  Storage(Storage&& o) noexcept { *this = std::move(o); }
+  Storage& operator=(Storage&& o) noexcept {
+    if (this == &o) return *this;
+    vec_ = std::move(o.vec_);
+    borrowed_ = o.borrowed_;
+    data_ = borrowed_ ? o.data_ : vec_.data();
+    size_ = o.size_;
+    o.data_ = nullptr;
+    o.size_ = 0;
+    return *this;
+  }
+
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  std::span<const T> span() const { return {data_, size_}; }
+
+  /// True when this storage borrows memory it does not own.
+  bool borrowed() const { return borrowed_; }
+
+ private:
+  std::vector<T> vec_;
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+  bool borrowed_ = false;
+};
+
+/// Appends 64-bit words (and word-padded cell arrays) to a byte buffer.
+class WordWriter {
+ public:
+  explicit WordWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  void Put(uint64_t v) {
+    const size_t at = out_->size();
+    out_->resize(at + 8);
+    std::memcpy(out_->data() + at, &v, 8);
+  }
+
+  /// Appends `count` cells, zero-padding the tail to a word boundary.
+  /// The caller serializes the count separately (widths differ per use).
+  template <typename T>
+  void PutCells(const T* cells, size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (count == 0) return;  // empty Storage has a null data pointer
+    const size_t bytes = count * sizeof(T);
+    const size_t padded = CeilDiv(bytes, 8) * 8;
+    const size_t at = out_->size();
+    out_->resize(at + padded, 0);
+    std::memcpy(out_->data() + at, cells, bytes);
+  }
+
+  /// Count word followed by the padded cells — the inverse of GetArray.
+  template <typename T>
+  void PutArray(const Storage<T>& s) {
+    Put(s.size());
+    PutCells(s.data(), s.size());
+  }
+
+ private:
+  std::vector<uint8_t>* out_;
+};
+
+/// Reads WordWriter output. In borrow mode arrays come back as views into
+/// the input buffer (which must be 8-byte aligned and outlive the result);
+/// in copy mode they are materialized into owned vectors.
+class WordReader {
+ public:
+  WordReader(std::span<const uint8_t> bytes, bool borrow)
+      : bytes_(bytes), borrow_(borrow) {
+    if (borrow_) {
+      NEATS_REQUIRE(
+          (reinterpret_cast<uintptr_t>(bytes_.data()) & 7) == 0,
+          "zero-copy open requires an 8-byte-aligned buffer");
+    }
+  }
+
+  uint64_t Get() {
+    NEATS_REQUIRE(pos_ + 8 <= bytes_.size(), "truncated NeaTS blob");
+    uint64_t v;
+    std::memcpy(&v, bytes_.data() + pos_, 8);
+    pos_ += 8;
+    return v;
+  }
+
+  /// Reads `count` cells (padded to a word boundary on the wire).
+  template <typename T>
+  Storage<T> GetCells(size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    // Divide, don't multiply: an attacker-controlled count word must not be
+    // able to wrap count*sizeof(T) past the truncation check below.
+    NEATS_REQUIRE(count <= (bytes_.size() - pos_) / sizeof(T),
+                  "truncated NeaTS blob");
+    const size_t bytes = count * sizeof(T);
+    const size_t padded = CeilDiv(bytes, 8) * 8;
+    NEATS_REQUIRE(pos_ + padded <= bytes_.size(), "truncated NeaTS blob");
+    const uint8_t* at = bytes_.data() + pos_;
+    pos_ += padded;
+    if (borrow_) {
+      return Storage<T>::ViewOf({reinterpret_cast<const T*>(at), count});
+    }
+    std::vector<T> v(count);
+    if (bytes > 0) std::memcpy(v.data(), at, bytes);
+    return Storage<T>(std::move(v));
+  }
+
+  /// Count word followed by the cells — the inverse of PutArray.
+  template <typename T>
+  Storage<T> GetArray() {
+    return GetCells<T>(Get());
+  }
+
+  bool borrow() const { return borrow_; }
+  size_t position() const { return pos_; }
+
+ private:
+  std::span<const uint8_t> bytes_;
+  size_t pos_ = 0;
+  bool borrow_ = false;
+};
+
+}  // namespace neats

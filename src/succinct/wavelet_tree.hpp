@@ -10,11 +10,13 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "common/bits.hpp"
 #include "succinct/bit_vector.hpp"
+#include "succinct/storage.hpp"
 
 namespace neats {
 
@@ -36,8 +38,9 @@ class WaveletTree {
 
     std::vector<uint32_t> cur = symbols;
     std::vector<uint32_t> next(cur.size());
+    std::vector<uint64_t> zeros;
     levels_.reserve(static_cast<size_t>(levels_count_));
-    zeros_.reserve(static_cast<size_t>(levels_count_));
+    zeros.reserve(static_cast<size_t>(levels_count_));
     for (int level = 0; level < levels_count_; ++level) {
       int bit = levels_count_ - 1 - level;
       BitVector bv(cur.size());
@@ -59,9 +62,10 @@ class WaveletTree {
         }
       }
       std::swap(cur, next);
-      zeros_.push_back(zero_count);
+      zeros.push_back(zero_count);
       levels_.emplace_back(std::move(bv));
     }
+    zeros_ = Storage<uint64_t>(std::move(zeros));
   }
 
   /// Symbol at position `i`.
@@ -80,6 +84,29 @@ class WaveletTree {
       }
     }
     return sym;
+  }
+
+  /// Access(i) and Rank(Access(i), i) in a single traversal: the rank lower
+  /// boundary rides along with the access position, so each level costs two
+  /// Rank1 probes instead of the three a separate Access + Rank would pay.
+  /// Returns {symbol at i, occurrences of that symbol in [0, i)}.
+  std::pair<uint32_t, size_t> AccessAndRank(size_t i) const {
+    NEATS_DCHECK(i < size_);
+    uint32_t sym = 0;
+    size_t pos = i, lo = 0;
+    for (int level = 0; level < levels_count_; ++level) {
+      const RankSelect& bv = levels_[static_cast<size_t>(level)];
+      sym <<= 1;
+      if (bv.Get(pos)) {
+        sym |= 1;
+        lo = zeros_[static_cast<size_t>(level)] + bv.Rank1(lo);
+        pos = zeros_[static_cast<size_t>(level)] + bv.Rank1(pos);
+      } else {
+        lo = bv.Rank0(lo);
+        pos = bv.Rank0(pos);
+      }
+    }
+    return {sym, pos - lo};
   }
 
   /// Number of occurrences of `symbol` in the prefix [0, i). `i` may be size().
@@ -102,18 +129,45 @@ class WaveletTree {
 
   size_t size() const { return size_; }
 
-  /// Payload size in bits across all levels.
+  /// Size in bits, exactly as serialized: size + level count + the
+  /// per-level zero counts and rank/select structures.
   size_t SizeInBits() const {
-    size_t bits = 64;
+    size_t bits = 2 * 64 + zeros_.size() * 64;
     for (const auto& level : levels_) bits += level.SizeInBits();
-    return bits + zeros_.size() * 64;
+    return bits;
+  }
+
+  void Serialize(WordWriter& w) const {
+    w.Put(size_);
+    w.Put(static_cast<uint64_t>(levels_count_));
+    w.PutCells(zeros_.data(), zeros_.size());
+    for (const auto& level : levels_) level.Serialize(w);
+  }
+
+  static WaveletTree Load(WordReader& r) {
+    WaveletTree wt;
+    wt.size_ = r.Get();
+    wt.levels_count_ = static_cast<int>(r.Get());
+    NEATS_REQUIRE(wt.levels_count_ >= 0 && wt.levels_count_ <= 32,
+                  "corrupt NeaTS blob");
+    wt.zeros_ = r.GetCells<uint64_t>(static_cast<size_t>(wt.levels_count_));
+    wt.levels_.reserve(static_cast<size_t>(wt.levels_count_));
+    for (int level = 0; level < wt.levels_count_; ++level) {
+      wt.levels_.push_back(RankSelect::Load(r));
+      const RankSelect& bv = wt.levels_.back();
+      NEATS_REQUIRE(bv.size() == wt.size_ &&
+                        wt.zeros_[static_cast<size_t>(level)] ==
+                            bv.size() - bv.ones(),
+                    "corrupt NeaTS blob");
+    }
+    return wt;
   }
 
  private:
   size_t size_ = 0;
   int levels_count_ = 0;
   std::vector<RankSelect> levels_;
-  std::vector<size_t> zeros_;
+  Storage<uint64_t> zeros_;
 };
 
 }  // namespace neats

@@ -94,5 +94,23 @@ TEST(Bits, CeilDiv) {
   EXPECT_EQ(CeilDiv(65, 64), 2u);
 }
 
+TEST(Bits, SelectInWordMatchesBroadword) {
+  // When NEATS_ENABLE_BMI2 is on, SelectInWord dispatches to _pdep_u64;
+  // either way it must agree with the portable broadword routine bit-for-bit.
+  std::mt19937_64 rng(9);
+  for (int trial = 0; trial < 2000; ++trial) {
+    uint64_t x = rng();
+    if (trial < 64) x = 1ULL << trial;       // single-bit words
+    if (trial == 64) x = ~0ULL;              // full word
+    int pc = Popcount(x);
+    for (int k = 0; k < pc; ++k) {
+      int pos = SelectInWord(x, k);
+      ASSERT_EQ(pos, SelectInWordBroadword(x, k)) << "x=" << x << " k=" << k;
+      ASSERT_TRUE((x >> pos) & 1);
+      ASSERT_EQ(Popcount(x & LowMask(pos)), k);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace neats

@@ -1,0 +1,475 @@
+// Randomized and adversarial coverage for the overhauled succinct layer:
+//   - EliasFano::Rank/Access fuzz against std::upper_bound on dense, sparse,
+//     single-bucket pile-up and empty distributions (the word-wise bucket
+//     scan and the sampled select directories both get exercised),
+//   - RankSelect sampled Select1/Select0 at scale via rank/select inverse
+//     invariants, plus OnesRunLength on constructed runs,
+//   - format v1 -> v2 migration (legacy blobs still deserialize, re-serialize
+//     canonically as v2) and view-vs-owned byte identity,
+//   - Cursor::Seek backward hops against Access ground truth.
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <bit>
+#include <csignal>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "core/neats.hpp"
+#include "core/neats_lossy.hpp"
+#include "datasets/generators.hpp"
+#include "succinct/bit_vector.hpp"
+#include "succinct/elias_fano.hpp"
+
+namespace neats {
+
+/// Test-only backdoor: emits the legacy v1 serialization (the format shipped
+/// before the flat v2 layout) so the migration path stays covered without
+/// keeping a v1 writer in production code.
+class NeatsTestPeer {
+ public:
+  static std::vector<uint8_t> SerializeV1(const Neats& c) {
+    std::vector<uint8_t> out;
+    auto put64 = [&out](uint64_t v) {
+      for (int b = 0; b < 8; ++b) out.push_back(static_cast<uint8_t>(v >> (8 * b)));
+    };
+    put64(Neats::kMagicV1);
+    put64(c.n_);
+    put64(static_cast<uint64_t>(c.m_));
+    put64(static_cast<uint64_t>(c.shift_));
+    put64(c.starts_mode_ == StartsIndex::kEliasFano ? 0 : 1);
+    put64(c.kind_table_.size());
+    for (FunctionKind kind : c.kind_table_) put64(static_cast<uint64_t>(kind));
+    for (size_t i = 0; i < c.m_; ++i) {
+      put64(c.FragmentStart(i));
+      put64(c.kinds_wt_.Access(i));
+      put64(c.widths_[i]);
+      put64(c.displacement_[i]);
+    }
+    for (const auto& p : c.params_) {
+      put64(p.size());
+      for (size_t i = 0; i < p.size(); ++i) put64(std::bit_cast<uint64_t>(p[i]));
+    }
+    put64(c.offsets_.size() == 0 ? 0 : c.offsets_.Access(c.m_));
+    put64(c.corrections_.size());
+    for (size_t i = 0; i < c.corrections_.size(); ++i) put64(c.corrections_[i]);
+    return out;
+  }
+};
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// EliasFano fuzz vs std::upper_bound.
+// ---------------------------------------------------------------------------
+
+size_t NaiveRank(const std::vector<uint64_t>& values, uint64_t x) {
+  return static_cast<size_t>(
+      std::upper_bound(values.begin(), values.end(), x) - values.begin());
+}
+
+void FuzzSequence(const std::vector<uint64_t>& values, uint64_t seed) {
+  EliasFano ef(values);
+  ASSERT_EQ(ef.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    ASSERT_EQ(ef.Access(i), values[i]) << "access at " << i;
+  }
+  auto check_probe = [&](uint64_t x) {
+    size_t r = NaiveRank(values, x);
+    ASSERT_EQ(ef.Rank(x), r) << "rank of " << x;
+    if (r > 0) {  // fused predecessor must agree with rank + access
+      auto [pi, pv] = ef.Predecessor(x);
+      ASSERT_EQ(pi, r - 1) << "predecessor index of " << x;
+      ASSERT_EQ(pv, values[r - 1]) << "predecessor value of " << x;
+    }
+  };
+  // Adversarial probes: every value and its neighbours...
+  for (uint64_t v : values) {
+    for (uint64_t x : {v == 0 ? 0 : v - 1, v, v + 1}) check_probe(x);
+  }
+  // ... plus uniform random probes over a slightly padded universe.
+  if (!values.empty()) {
+    std::mt19937_64 rng(seed);
+    for (int t = 0; t < 2000; ++t) check_probe(rng() % (values.back() + 3));
+  }
+}
+
+TEST(EliasFanoFuzz, Empty) {
+  EliasFano ef{std::vector<uint64_t>{}};
+  EXPECT_EQ(ef.Rank(0), 0u);
+  EXPECT_EQ(ef.Rank(~0ULL), 0u);
+}
+
+TEST(EliasFanoFuzz, DenseConsecutiveAndNearConsecutive) {
+  std::vector<uint64_t> values(5000);
+  for (size_t i = 0; i < values.size(); ++i) values[i] = i;
+  FuzzSequence(values, 1);
+  std::mt19937_64 rng(2);
+  uint64_t cur = 0;
+  for (auto& v : values) v = (cur += rng() % 2);  // duplicates + steps
+  FuzzSequence(values, 3);
+}
+
+TEST(EliasFanoFuzz, SparseHugeGaps) {
+  std::mt19937_64 rng(4);
+  std::vector<uint64_t> values;
+  uint64_t cur = 0;
+  for (int i = 0; i < 1500; ++i) {
+    cur += 1 + (rng() % (1ULL << 40));
+    values.push_back(cur);
+  }
+  FuzzSequence(values, 5);
+}
+
+TEST(EliasFanoFuzz, SingleBucketPileUps) {
+  // Long runs of equal values land in one high bucket and stress the
+  // in-bucket binary search (bucket length >> linear-probe threshold).
+  std::vector<uint64_t> values;
+  for (uint64_t v : {uint64_t{7}, uint64_t{7000}, uint64_t{1} << 35}) {
+    for (int i = 0; i < 700; ++i) values.push_back(v);
+  }
+  FuzzSequence(values, 6);
+  // All-equal corner: one bucket holds the entire sequence.
+  FuzzSequence(std::vector<uint64_t>(3000, 42), 7);
+}
+
+TEST(EliasFanoFuzz, MixedAdversarialRounds) {
+  std::mt19937_64 rng(8);
+  for (int round = 0; round < 8; ++round) {
+    std::vector<uint64_t> values;
+    uint64_t cur = 0;
+    int len = 500 + static_cast<int>(rng() % 2500);
+    for (int i = 0; i < len; ++i) {
+      switch (rng() % 4) {
+        case 0: break;                         // duplicate
+        case 1: cur += rng() % 3; break;       // dense
+        case 2: cur += rng() % 1000; break;    // medium
+        default: cur += rng() % (1ULL << 33);  // sparse jump
+      }
+      values.push_back(cur);
+    }
+    FuzzSequence(values, 100 + static_cast<uint64_t>(round));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RankSelect sampled select directories at scale.
+// ---------------------------------------------------------------------------
+
+void CheckSelectInverse(const RankSelect& rs) {
+  const uint64_t ones = rs.ones();
+  const uint64_t zeros = rs.size() - ones;
+  // Dense probe of the first/last few plus a stride across the middle; the
+  // inverse invariants pin Select to the exact bit.
+  auto probe1 = [&](uint64_t k) {
+    size_t pos = rs.Select1(k);
+    ASSERT_TRUE(rs.Get(pos)) << "select1(" << k << ")";
+    ASSERT_EQ(rs.Rank1(pos), k);
+  };
+  auto probe0 = [&](uint64_t k) {
+    size_t pos = rs.Select0(k);
+    ASSERT_FALSE(rs.Get(pos)) << "select0(" << k << ")";
+    ASSERT_EQ(rs.Rank0(pos), k);
+  };
+  for (uint64_t k = 0; k < std::min<uint64_t>(ones, 700); ++k) probe1(k);
+  for (uint64_t k = 0; k < ones; k += 509) probe1(k);
+  if (ones > 0) probe1(ones - 1);
+  for (uint64_t k = 0; k < std::min<uint64_t>(zeros, 700); ++k) probe0(k);
+  for (uint64_t k = 0; k < zeros; k += 509) probe0(k);
+  if (zeros > 0) probe0(zeros - 1);
+}
+
+TEST(RankSelectSampled, LargeAtExtremeDensities) {
+  for (int permille : {1, 50, 500, 950, 999}) {
+    std::mt19937_64 rng(static_cast<uint64_t>(permille) * 31 + 5);
+    BitVector bv(300000);
+    for (size_t i = 0; i < bv.size(); ++i) {
+      if (static_cast<int>(rng() % 1000) < permille) bv.Set(i);
+    }
+    RankSelect rs{std::move(bv)};
+    CheckSelectInverse(rs);
+  }
+}
+
+TEST(RankSelectSampled, ClusteredRuns) {
+  // Alternating solid runs of ones and zeros make the sampled directories
+  // maximally uneven (many superblocks between consecutive samples).
+  BitVector bv(200000);
+  bool on = false;
+  size_t i = 0;
+  std::mt19937_64 rng(17);
+  while (i < bv.size()) {
+    size_t run = 1 + rng() % 3000;
+    for (size_t j = 0; j < run && i < bv.size(); ++j, ++i) {
+      if (on) bv.Set(i);
+    }
+    on = !on;
+  }
+  RankSelect rs{std::move(bv)};
+  CheckSelectInverse(rs);
+}
+
+TEST(RankSelectSampled, OnesRunLength) {
+  BitVector bv(1000);
+  // Runs at word-straddling offsets: [5,9), [60,200), [500,1000).
+  for (size_t i = 5; i < 9; ++i) bv.Set(i);
+  for (size_t i = 60; i < 200; ++i) bv.Set(i);
+  for (size_t i = 500; i < 1000; ++i) bv.Set(i);
+  RankSelect rs{std::move(bv)};
+  EXPECT_EQ(rs.OnesRunLength(5), 4u);
+  EXPECT_EQ(rs.OnesRunLength(7), 2u);
+  EXPECT_EQ(rs.OnesRunLength(60), 140u);
+  EXPECT_EQ(rs.OnesRunLength(63), 137u);
+  EXPECT_EQ(rs.OnesRunLength(64), 136u);
+  EXPECT_EQ(rs.OnesRunLength(199), 1u);
+  EXPECT_EQ(rs.OnesRunLength(500), 500u);  // run ends at the vector's end
+  EXPECT_EQ(rs.OnesRunLength(999), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Format migration and zero-copy views.
+// ---------------------------------------------------------------------------
+
+std::vector<int64_t> TestSeries(size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<int64_t> values;
+  int64_t cur = -1000;
+  for (size_t i = 0; i < n; ++i) {
+    cur += static_cast<int64_t>(rng() % 61) - 30;
+    values.push_back(cur);
+  }
+  return values;
+}
+
+TEST(FormatV2, V1BlobsStillDeserialize) {
+  for (auto mode : {StartsIndex::kEliasFano, StartsIndex::kBitVector}) {
+    NeatsOptions options;
+    options.starts_index = mode;
+    std::vector<int64_t> values = TestSeries(12000, 21);
+    Neats original = Neats::Compress(values, options);
+
+    std::vector<uint8_t> v1 = NeatsTestPeer::SerializeV1(original);
+    Neats from_v1 = Neats::Deserialize(v1);
+    ASSERT_EQ(from_v1.size(), values.size());
+    std::vector<int64_t> decoded;
+    from_v1.Decompress(&decoded);
+    EXPECT_EQ(decoded, values);
+    for (size_t k = 0; k < values.size(); k += 173) {
+      ASSERT_EQ(from_v1.Access(k), values[k]);
+    }
+
+    // A v1-loaded object re-serializes canonically as v2, byte-identical to
+    // the v2 serialization of the originally compressed object.
+    std::vector<uint8_t> v2_direct, v2_migrated;
+    original.Serialize(&v2_direct);
+    from_v1.Serialize(&v2_migrated);
+    EXPECT_EQ(v2_direct, v2_migrated);
+    EXPECT_TRUE(Neats::IsZeroCopyOpenable(v2_direct));
+    EXPECT_FALSE(Neats::IsZeroCopyOpenable(v1));
+  }
+}
+
+TEST(FormatV2, ViewMatchesOwnedByteForByte) {
+  for (const auto& code : AllDatasetCodes()) {
+    Dataset ds = MakeDataset(code, 4000);
+    Neats original = Neats::Compress(ds.values);
+    std::vector<uint8_t> bytes;
+    original.Serialize(&bytes);
+
+    Neats owned = Neats::Deserialize(bytes);
+    Neats viewed = Neats::View(bytes);
+    EXPECT_FALSE(owned.borrowed());
+    EXPECT_TRUE(viewed.borrowed());
+
+    // Identical query results...
+    std::vector<int64_t> a, b;
+    owned.Decompress(&a);
+    viewed.Decompress(&b);
+    ASSERT_EQ(a, b);
+    ASSERT_EQ(a, ds.values);
+    for (size_t k = 0; k < ds.values.size(); k += 97) {
+      ASSERT_EQ(viewed.Access(k), ds.values[k]);
+    }
+    EXPECT_EQ(viewed.RangeSum(7, 1000), owned.RangeSum(7, 1000));
+
+    // ... and byte-identical re-serialization from both open paths.
+    std::vector<uint8_t> from_owned, from_view;
+    owned.Serialize(&from_owned);
+    viewed.Serialize(&from_view);
+    EXPECT_EQ(bytes, from_owned);
+    EXPECT_EQ(bytes, from_view);
+  }
+}
+
+TEST(FormatV2, EmptyAndTinySeries) {
+  for (size_t n : {size_t{0}, size_t{1}, size_t{2}}) {
+    std::vector<int64_t> values = TestSeries(n, 33);
+    Neats original = Neats::Compress(values);
+    std::vector<uint8_t> bytes;
+    original.Serialize(&bytes);
+    Neats viewed = Neats::View(bytes);
+    Neats owned = Neats::Deserialize(bytes);
+    EXPECT_EQ(viewed.size(), n);
+    std::vector<int64_t> decoded;
+    owned.Decompress(&decoded);
+    EXPECT_EQ(decoded, values);
+    viewed.Decompress(&decoded);
+    EXPECT_EQ(decoded, values);
+  }
+}
+
+TEST(FormatV2, SizeInBitsMatchesSerializedBytes) {
+  // SizeInBits is documented as exactly the serialized size; benches and
+  // the CLI report it as on-disk footprint.
+  for (size_t n : {size_t{0}, size_t{1}, size_t{500}, size_t{12000}}) {
+    for (auto mode : {StartsIndex::kEliasFano, StartsIndex::kBitVector}) {
+      NeatsOptions options;
+      options.starts_index = mode;
+      Neats c = Neats::Compress(TestSeries(n, 13 + n), options);
+      std::vector<uint8_t> bytes;
+      c.Serialize(&bytes);
+      EXPECT_EQ(c.SizeInBits(), bytes.size() * 8) << "n=" << n;
+    }
+  }
+  Dataset ds = MakeDataset("AP", 4000);
+  NeatsLossy lossy = NeatsLossy::Compress(ds.values, 50);
+  std::vector<uint8_t> bytes;
+  lossy.Serialize(&bytes);
+  EXPECT_EQ(lossy.SizeInBits(), bytes.size() * 8);
+}
+
+TEST(FormatV2, MagicIsAsciiReadable) {
+  // The first bytes of a blob are the ASCII format name — the property
+  // file sniffers and docs/FORMAT.md rely on.
+  Neats c = Neats::Compress(TestSeries(100, 99));
+  std::vector<uint8_t> bytes;
+  c.Serialize(&bytes);
+  EXPECT_EQ(std::memcmp(bytes.data(), "NEATSv2\0", 8), 0);
+}
+
+TEST(FormatV2, RejectsTruncatedAndCorruptBlobs) {
+  Neats original = Neats::Compress(TestSeries(8000, 77));
+  std::vector<uint8_t> bytes;
+  original.Serialize(&bytes);
+
+  // Truncation anywhere past the magic must die loudly, not load partially.
+  for (size_t keep : {bytes.size() / 4, bytes.size() / 2, bytes.size() - 8}) {
+    std::vector<uint8_t> cut(bytes.begin(),
+                             bytes.begin() + static_cast<ptrdiff_t>(keep));
+    EXPECT_DEATH(Neats::Deserialize(cut), "NeaTS blob") << "keep=" << keep;
+    EXPECT_DEATH(Neats::View(cut), "NeaTS blob") << "keep=" << keep;
+  }
+
+  // An inflated n (header word 2) must be rejected outright — both the
+  // direct bound (n <= 2^56, closing multiplication-wrap forgeries) and
+  // the fragment-walk consistency check stand behind it.
+  for (uint64_t evil_n : {uint64_t{1} << 60, uint64_t{8000 * 2}}) {
+    std::vector<uint8_t> evil = bytes;
+    std::memcpy(evil.data() + 16, &evil_n, 8);
+    EXPECT_DEATH(Neats::Deserialize(evil), "corrupt NeaTS blob");
+    EXPECT_DEATH(Neats::View(evil), "corrupt NeaTS blob");
+  }
+
+  // Clobbering a count/size word must either be caught by a loader
+  // REQUIRE (abort) or — when the word was plain payload — load fine and
+  // stay queryable. Sweep word positions across the blob; every outcome
+  // other than clean-exit-or-abort (e.g. a segfault from an unchecked
+  // count) fails. The sanitizer CI job backs up the payload-word case.
+  auto ok_or_abort = [](int status) {
+    return (WIFEXITED(status) && WEXITSTATUS(status) == 0) ||
+           (WIFSIGNALED(status) && WTERMSIG(status) == SIGABRT);
+  };
+  for (size_t w = 8; w + 8 <= bytes.size(); w += 8 * 97) {
+    std::vector<uint8_t> evil = bytes;
+    for (int b = 0; b < 8; ++b) evil[w + static_cast<size_t>(b)] = 0xFF;
+    EXPECT_EXIT(
+        {
+          Neats loaded = Neats::Deserialize(evil);
+          for (uint64_t k = 0; k < loaded.size();
+               k += 1 + loaded.size() / 13) {
+            loaded.Access(k);
+          }
+          std::exit(0);
+        },
+        ok_or_abort, "") << "clobbered word at byte " << w;
+  }
+}
+
+TEST(FormatV2, ViewRejectsV1AndGarbage) {
+  Neats original = Neats::Compress(TestSeries(2000, 44));
+  std::vector<uint8_t> v1 = NeatsTestPeer::SerializeV1(original);
+  EXPECT_DEATH(Neats::View(v1), "format-v2");
+  std::vector<uint8_t> junk(64, 0xAB);
+  EXPECT_DEATH(Neats::View(junk), "format-v2");
+  EXPECT_DEATH(Neats::Deserialize(junk), "not a NeaTS blob");
+}
+
+TEST(FormatV2, LossyRoundTripAndView) {
+  Dataset ds = MakeDataset("AP", 6000);
+  NeatsLossy original = NeatsLossy::Compress(ds.values, 50);
+  std::vector<uint8_t> bytes;
+  original.Serialize(&bytes);
+  NeatsLossy owned = NeatsLossy::Deserialize(bytes);
+  NeatsLossy viewed = NeatsLossy::View(bytes);
+  ASSERT_EQ(owned.size(), ds.values.size());
+  ASSERT_EQ(owned.epsilon(), 50);
+  std::vector<int64_t> a, b;
+  owned.Decompress(&a);
+  viewed.Decompress(&b);
+  ASSERT_EQ(a, b);
+  for (size_t k = 0; k < ds.values.size(); k += 61) {
+    ASSERT_EQ(owned.Access(k), viewed.Access(k));
+    ASSERT_LE(std::abs(a[k] - ds.values[k]), 51);  // eps + 1 (floor slack)
+  }
+  std::vector<uint8_t> again;
+  viewed.Serialize(&again);
+  EXPECT_EQ(bytes, again);
+}
+
+// ---------------------------------------------------------------------------
+// Cursor seeks, both directions, vs Access ground truth.
+// ---------------------------------------------------------------------------
+
+TEST(CursorSeek, RandomBidirectionalSeeks) {
+  std::vector<int64_t> values = TestSeries(30000, 55);
+  Neats compressed = Neats::Compress(values);
+  std::mt19937_64 rng(56);
+  Neats::Cursor cursor(compressed);
+  uint64_t pos = 0;
+  for (int t = 0; t < 4000; ++t) {
+    switch (rng() % 3) {
+      case 0:  // local jitter around the current position (hop path)
+        pos = std::min<uint64_t>(
+            values.size() - 1,
+            static_cast<uint64_t>(std::max<int64_t>(
+                0, static_cast<int64_t>(pos) +
+                       static_cast<int64_t>(rng() % 2001) - 1000)));
+        break;
+      case 1:  // short backward step (retreat path)
+        pos = pos >= 37 ? pos - 37 : 0;
+        break;
+      default:  // far jump (rank fallback)
+        pos = rng() % values.size();
+    }
+    cursor.Seek(pos);
+    ASSERT_EQ(cursor.position(), pos);
+    ASSERT_EQ(cursor.Value(), values[pos]) << "seek to " << pos;
+  }
+}
+
+TEST(CursorSeek, BackwardSweepMatchesAccess) {
+  std::vector<int64_t> values = TestSeries(20000, 57);
+  Neats compressed = Neats::Compress(values);
+  Neats::Cursor cursor(compressed, values.size() - 1);
+  for (uint64_t k = values.size(); k-- > 0;) {
+    cursor.Seek(k);
+    ASSERT_EQ(cursor.Value(), values[k]) << "backward seek to " << k;
+  }
+}
+
+}  // namespace
+}  // namespace neats
