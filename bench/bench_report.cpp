@@ -50,10 +50,17 @@ struct Row {
   double scan_mbps = 0;                // full decompression
   double cursor_scan_mbps = 0;         // cursor chunked scan (0 if absent)
   double access_ns = 0;                // random single-value access
+  double access_ns_legacy = 0;         // same, via the pre-directory
+                                       // S/B/O/K/D path (0 if absent) —
+                                       // the paired in-binary baseline
   double access_ns_mmap = 0;           // same, against a zero-copy mmap view
   double range_sum_mbps = 0;           // 1000-value exact range sums
   double select1_ns = 0;               // RankSelect::Select1 microbenchmark
   double ef_rank_ns = 0;               // EliasFano::Rank microbenchmark
+  double dir_lines_touched = 0;        // avg distinct cache lines per access
+                                       // (directory path; 0 when the
+                                       // bench_dir_lines sibling is absent)
+  double legacy_lines_touched = 0;     // same, legacy metadata path
 };
 
 double RawMegabytes(size_t n) {
@@ -213,12 +220,20 @@ Row MeasureDataset(const DatasetSpec& spec) {
   // --- Cursor scan: sequential decode without materializing the output. ---
   MeasureCursorScan<Neats>(compressed, &row);
 
-  // --- Random access: owned representation, then the zero-copy mmap view. ---
+  // --- Random access: owned representation, then the zero-copy mmap view.
+  // The legacy column re-times the same probes through the pre-directory
+  // metadata path from the same binary — a drift-free paired comparison
+  // (guarded so the source still compiles against pre-v3 builds). ---
   std::mt19937_64 rng(42);
   std::vector<uint64_t> idx(1 << 12);
   for (auto& i : idx) i = rng() % row.n;
   row.access_ns = AccessNs(
       idx, [&](uint64_t i) { return static_cast<uint64_t>(compressed.Access(i)); });
+  if constexpr (requires { compressed.AccessViaLegacyStructures(uint64_t{0}); }) {
+    row.access_ns_legacy = AccessNs(idx, [&](uint64_t i) {
+      return static_cast<uint64_t>(compressed.AccessViaLegacyStructures(i));
+    });
+  }
   MeasureMmapAccess<Neats>(compressed, idx, &row);
 
   // --- Succinct substrate microbenchmarks (select + Elias-Fano rank). ---
@@ -236,13 +251,37 @@ Row MeasureDataset(const DatasetSpec& spec) {
   return row;
 }
 
+/// Fills the cache-line columns by shelling out to the instrumented sibling
+/// binary (bench_dir_lines --tsv) — the one build that carries the
+/// NEATS_TOUCH probes, keeping this binary's timing loops instrumentation-
+/// free. The columns stay 0 when the sibling is missing (e.g. when this
+/// source is compiled against a pre-directory build for a paired run).
+void FillCacheLineColumns(const char* argv0, std::vector<Row>* rows) {
+  std::filesystem::path dir = std::filesystem::path(argv0).parent_path();
+  if (dir.empty()) dir = ".";
+  std::string cmd = "\"" + (dir / "bench_dir_lines").string() + "\" --tsv";
+  std::FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return;
+  char code[16];
+  double dir_lines, legacy_lines;
+  while (std::fscanf(pipe, "%15s %lf %lf", code, &dir_lines, &legacy_lines) == 3) {
+    for (Row& r : *rows) {
+      if (r.code == code) {
+        r.dir_lines_touched = dir_lines;
+        r.legacy_lines_touched = legacy_lines;
+      }
+    }
+  }
+  pclose(pipe);
+}
+
 void WriteJson(const std::vector<Row>& rows, const char* path) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", path);
     std::exit(1);
   }
-  std::fprintf(f, "{\n  \"bench\": \"neats\",\n  \"schema\": 2,\n");
+  std::fprintf(f, "{\n  \"bench\": \"neats\",\n  \"schema\": 3,\n");
   std::fprintf(f, "  \"hardware_threads\": %u,\n",
                std::thread::hardware_concurrency());
   std::fprintf(f, "  \"has_scaling_knobs\": %s,\n",
@@ -259,14 +298,19 @@ void WriteJson(const std::vector<Row>& rows, const char* path) {
                  "\"scan_mbps\": %.1f, "
                  "\"cursor_scan_mbps\": %.1f, "
                  "\"access_ns\": %.1f, "
+                 "\"access_ns_legacy\": %.1f, "
                  "\"random_access_ns_mmap\": %.1f, "
                  "\"range_sum_mbps\": %.1f, "
                  "\"select1_ns\": %.1f, "
-                 "\"ef_rank_ns\": %.1f}%s\n",
+                 "\"ef_rank_ns\": %.1f, "
+                 "\"dir_lines_touched\": %.2f, "
+                 "\"legacy_lines_touched\": %.2f}%s\n",
                  r.code.c_str(), r.n, r.bits_per_value, r.compress_mbps_1t,
                  r.compress_mbps_1t_chunked, r.compress_mbps_4t_chunked,
                  r.scan_mbps, r.cursor_scan_mbps, r.access_ns,
-                 r.access_ns_mmap, r.range_sum_mbps, r.select1_ns, r.ef_rank_ns,
+                 r.access_ns_legacy, r.access_ns_mmap, r.range_sum_mbps,
+                 r.select1_ns, r.ef_rank_ns, r.dir_lines_touched,
+                 r.legacy_lines_touched,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -294,12 +338,19 @@ int main(int argc, char** argv) {
     std::printf(
         "  n=%zu  %.2f bits/value  compress %.2f MB/s (1t)"
         "  chunked %.2f/%.2f MB/s (1t/4t)  scan %.0f MB/s"
-        "  cursor-scan %.0f MB/s  access %.0f ns (mmap %.0f ns)"
+        "  cursor-scan %.0f MB/s  access %.0f ns (legacy %.0f ns, mmap %.0f ns)"
         "  range-sum %.0f MB/s  select1 %.1f ns  ef-rank %.1f ns\n",
         r.n, r.bits_per_value, r.compress_mbps_1t, r.compress_mbps_1t_chunked,
         r.compress_mbps_4t_chunked, r.scan_mbps, r.cursor_scan_mbps,
-        r.access_ns, r.access_ns_mmap, r.range_sum_mbps, r.select1_ns,
-        r.ef_rank_ns);
+        r.access_ns, r.access_ns_legacy, r.access_ns_mmap, r.range_sum_mbps,
+        r.select1_ns, r.ef_rank_ns);
+  }
+  FillCacheLineColumns(argv[0], &rows);
+  for (const Row& r : rows) {
+    if (r.dir_lines_touched > 0) {
+      std::printf("%s: %.2f cache lines/access (legacy %.2f)\n", r.code.c_str(),
+                  r.dir_lines_touched, r.legacy_lines_touched);
+    }
   }
   WriteJson(rows, out_path);
   std::printf("wrote %s\n", out_path);

@@ -7,7 +7,7 @@
 //
 // The text format is one decimal value per line; values are scaled to
 // integers by the detected fractional precision (stored in the container).
-// Format-v2 files are opened zero-copy: the file is mmap'd and queries run
+// Flat-format (v2/v3) files are opened zero-copy: the file is mmap'd and queries run
 // straight against the mapping. Legacy v1 files fall back to Deserialize.
 
 #include <cinttypes>
@@ -38,7 +38,7 @@ std::vector<uint8_t> Pack(const Neats& compressed, int digits) {
   return out;
 }
 
-// An opened container file. When the blob is format v2 the Neats object
+// An opened container file. When the blob is flat format v2/v3 the Neats object
 // borrows the mapping (`map` must stay alive); v1 blobs are deserialized
 // into owned storage.
 struct OpenedBlob {
@@ -162,7 +162,7 @@ int main(int argc, char** argv) {
     std::printf("fragments:   %zu\n", compressed.num_fragments());
     std::printf("digits:      %d\n", blob.digits);
     std::printf("open mode:   %s\n",
-                blob.zero_copy ? "zero-copy (mmap, format v2)"
+                blob.zero_copy ? "zero-copy (mmap, format v2/v3)"
                                : "deserialized (legacy v1)");
     std::printf("size:        %zu bits (%.2f%% of raw)\n",
                 compressed.SizeInBits(),

@@ -25,7 +25,7 @@
 namespace {
 
 // One sealed segment of the store: hot (Gorilla), cold (NeaTS in memory),
-// or frozen (NeaTS format-v2 file opened zero-copy through mmap).
+// or frozen (NeaTS flat-format file opened zero-copy through mmap).
 class Segment {
  public:
   static Segment Ingest(std::vector<double> doubles,
@@ -45,7 +45,7 @@ class Segment {
     ints_.shrink_to_fit();
   }
 
-  // Spill to disk and reopen zero-copy: serialize (format v2), drop the
+  // Spill to disk and reopen zero-copy: serialize (format v3), drop the
   // in-memory representation, mmap the file, and View the mapping.
   void Freeze(const std::string& path) {
     std::vector<uint8_t> blob;

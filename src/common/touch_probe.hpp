@@ -1,0 +1,48 @@
+// Compile-time cache-line touch probes for the random-access path.
+//
+// When a translation unit is compiled with -DNEATS_PROFILE_TOUCH, the
+// NEATS_TOUCH(ptr) macro appends the 64-byte cache-line id of `ptr` to a
+// thread-local log (when one is armed). The probes sit at every memory read
+// the query paths perform on frozen payload — bitvector words, rank/select
+// directories, packed-array cells, directory records, parameters and
+// correction words — so a profiling harness can count the *distinct* cache
+// lines one query touches (see bench/dir_lines.cpp and the "cache lines per
+// Access" walkthrough in docs/ARCHITECTURE.md).
+//
+// In a normal build the macro expands to nothing: the default-configured
+// library carries zero instrumentation overhead. Do not mix instrumented and
+// uninstrumented translation units in one binary — the library is
+// header-only, so that would be an ODR violation; instrument whole binaries
+// (as the CMakeLists does for bench_dir_lines).
+
+#pragma once
+
+#ifdef NEATS_PROFILE_TOUCH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace neats::touch {
+
+/// Probe log: when `log` is non-null, Record appends cache-line ids to it
+/// (up to `log_capacity`). Arm it around a query, then count distinct ids.
+inline thread_local std::uint64_t* log = nullptr;
+inline thread_local std::size_t log_count = 0;
+inline thread_local std::size_t log_capacity = 0;
+
+inline void Record(const void* p) {
+  if (log != nullptr && log_count < log_capacity) {
+    log[log_count++] = static_cast<std::uint64_t>(
+        reinterpret_cast<std::uintptr_t>(p) >> 6);  // 64-byte lines
+  }
+}
+
+}  // namespace neats::touch
+
+#define NEATS_TOUCH(p) ::neats::touch::Record(p)
+
+#else
+
+#define NEATS_TOUCH(p) ((void)0)
+
+#endif

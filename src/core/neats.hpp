@@ -16,6 +16,14 @@
 //      born as suffix edges, whose parameters keep the original fit origin;
 //      width is 0 bits whenever no suffix fragment survives in the partition).
 //
+// On top of the tuple sits an interleaved per-fragment directory (format v3,
+// src/succinct/fragment_directory.hpp): the B/O/K/D cells plus the parameter
+// offset of each fragment, bit-packed into one contiguous record. Queries
+// resolve the fragment with one Elias-Fano predecessor scan on S and then
+// read a single directory record instead of probing B, O, K and D
+// separately; the individual structures remain the serialized source of
+// truth (and the ground truth the loaders verify the directory against).
+//
 // Full decompression is Algorithm 2; random access is Algorithm 3; range
 // decompression combines one random access with a forward scan.
 
@@ -28,12 +36,14 @@
 
 #include "common/assert.hpp"
 #include "common/bits.hpp"
+#include "common/touch_probe.hpp"
 #include "core/partitioner.hpp"
 #include "functions/approximator.hpp"
 #include "functions/kinds.hpp"
 #include "succinct/bit_stream.hpp"
 #include "succinct/bit_vector.hpp"
 #include "succinct/elias_fano.hpp"
+#include "succinct/fragment_directory.hpp"
 #include "succinct/packed_array.hpp"
 #include "succinct/storage.hpp"
 #include "succinct/wavelet_tree.hpp"
@@ -105,7 +115,11 @@ class Neats {
 
   /// Algorithm 3: the value at index k, in O(rank) time. On the Elias-Fano
   /// starts index the fragment index and its start position come out of one
-  /// fused predecessor scan instead of a rank followed by a select.
+  /// fused predecessor scan; everything else the decode needs — kind,
+  /// parameter offset, displacement, correction width and correction offset —
+  /// is a single interleaved directory record (format v3), so the metadata
+  /// resolution costs one extra cache line instead of separate probes into
+  /// the B, O, K and D structures.
   int64_t Access(uint64_t k) const {
     NEATS_DCHECK(k < n_);
     if (starts_mode_ == StartsIndex::kEliasFano) {
@@ -114,6 +128,42 @@ class Neats {
     }
     size_t i = FragmentIndexOf(k);
     return DecodeAt(i, FragmentStart(i), k);
+  }
+
+  /// Algorithm 3 resolved through the individual S/B/O/K/D structures — the
+  /// metadata path every query used before the interleaved directory
+  /// existed. Kept as the ground truth the directory is fuzzed against and
+  /// as the paired `access_ns_legacy` baseline column of bench_report;
+  /// production callers should use Access.
+  int64_t AccessViaLegacyStructures(uint64_t k) const {
+    NEATS_DCHECK(k < n_);
+    size_t i;
+    uint64_t start;
+    if (starts_mode_ == StartsIndex::kEliasFano) {
+      auto [pi, pstart] = starts_ef_.Predecessor(k);
+      i = pi;
+      start = pstart;
+    } else {
+      i = FragmentIndexOf(k);
+      start = FragmentStart(i);
+    }
+    auto [dense, occ] = kinds_wt_.AccessAndRank(i);
+    NEATS_TOUCH(kind_table_.data() + dense);
+    FunctionKind kind = kind_table_[dense];
+    const double* params =
+        params_[dense].data() + occ * static_cast<size_t>(NumParams(kind));
+    NEATS_TOUCH(params);
+    int bits = static_cast<int>(widths_[i]);
+    uint64_t origin = start - displacement_[i];
+    int64_t pred =
+        PredictFloor(kind, params, static_cast<int64_t>(k - origin) + 1);
+    if (bits == 0) return pred - shift_;
+    int64_t bias = int64_t{1} << (bits - 1);
+    uint64_t o = offsets_.Access(i) + (k - start) * static_cast<uint64_t>(bits);
+    NEATS_TOUCH(corrections_.data() + (o >> 6));
+    int64_t c =
+        static_cast<int64_t>(ReadBits(corrections_.data(), o, bits)) - bias;
+    return pred + c - shift_;
   }
 
   /// Sequential-access cursor over the decompressed values; see the class
@@ -130,18 +180,20 @@ class Neats {
   /// Decompresses values[k, k + len) into out (one cursor seek + scan).
   void DecompressRange(uint64_t k, uint64_t len, int64_t* out) const;
 
-  /// Total size of the compressed representation in bits — exactly the v2
+  /// Total size of the compressed representation in bits — exactly the v3
   /// serialized size (8 * Serialize output bytes), kept in lockstep with the
   /// writer so benches and the CLI report what lands on disk.
   size_t SizeInBits() const {
     size_t bits = HeaderSizeInBits() + 64 + corrections_.size() * 64 + 64;
     for (const auto& p : params_) bits += 64 + p.size() * 64;
-    if (m_ == 0) return bits;
-    size_t s_bits = starts_mode_ == StartsIndex::kEliasFano
-                        ? starts_ef_.SizeInBits()
-                        : starts_bv_.SizeInBits();
-    return bits + s_bits + widths_.SizeInBits() + displacement_.SizeInBits() +
-           offsets_.SizeInBits() + kinds_wt_.SizeInBits();
+    if (m_ > 0) {
+      size_t s_bits = starts_mode_ == StartsIndex::kEliasFano
+                          ? starts_ef_.SizeInBits()
+                          : starts_bv_.SizeInBits();
+      bits += s_bits + widths_.SizeInBits() + displacement_.SizeInBits() +
+              offsets_.SizeInBits() + kinds_wt_.SizeInBits();
+    }
+    return bits + directory_.SizeInBitsAt(bits);
   }
 
   /// Result of an approximate aggregate: the estimate plus a hard bound on
@@ -168,15 +220,15 @@ class Neats {
       uint64_t end = FragmentEnd(i);
       uint64_t lo = std::max(from + covered, start);
       uint64_t hi = std::min(from + len, end);
-      uint32_t dense = kinds_wt_.Access(i);
-      FunctionKind kind = kind_table_[dense];
-      const double* params = ParamsOf(i, dense);
-      uint64_t origin = start - displacement_[i];
+      const FragmentDirectory::Record& rec = directory_[i];
+      FunctionKind kind = kind_table_[rec.kind];
+      const double* params = params_[rec.kind].data() + rec.param_index;
+      uint64_t origin = start - rec.displacement;
       for (uint64_t k = lo; k < hi; ++k) {
         agg.value += static_cast<double>(
             PredictFloor(kind, params, static_cast<int64_t>(k - origin) + 1));
       }
-      int bits = static_cast<int>(widths_[i]);
+      int bits = rec.correction_bits;
       double max_corr = bits == 0 ? 0.0
                                   : static_cast<double>(uint64_t{1} << (bits - 1));
       agg.error_bound += static_cast<double>(hi - lo) * max_corr;
@@ -191,11 +243,13 @@ class Neats {
   /// fixed-size chunks — no O(len) allocation.
   int64_t RangeSum(uint64_t from, uint64_t len) const;
 
-  /// Serializes the compressed representation to bytes in format v2: a flat,
-  /// 8-byte-aligned little-endian layout (docs/FORMAT.md) that stores every
-  /// succinct structure together with its rank/select directories, so View
-  /// can open the blob zero-copy — no deserialization copy; the stored
-  /// directories are verified against the payload in one streaming pass.
+  /// Serializes the compressed representation to bytes in format v3: the
+  /// flat, 8-byte-aligned little-endian v2 layout (docs/FORMAT.md) plus the
+  /// interleaved fragment directory as an additive trailing section (same
+  /// "NEATSv2" magic family, version word 3). Every succinct structure is
+  /// stored together with its rank/select directories, so View can open the
+  /// blob zero-copy — no deserialization copy; the stored directories are
+  /// verified against the payload on load.
   void Serialize(std::vector<uint8_t>* out) const {
     out->clear();
     WordWriter w(out);
@@ -221,41 +275,45 @@ class Neats {
     w.PutArray(corrections_);
     w.Put(params_.size());
     for (const auto& p : params_) w.PutArray(p);
+    directory_.Serialize(w);
   }
 
   /// Rebuilds a Neats object from Serialize output, copying the payload into
-  /// owned storage. Understands both format v2 and the legacy v1 layout
-  /// (which stored the logical fragment table and rebuilt the indexes).
+  /// owned storage. Understands format v3, format v2 (no directory section —
+  /// the directory is rebuilt on load) and the legacy v1 layout (which
+  /// stored the logical fragment table and rebuilt every index).
   static Neats Deserialize(std::span<const uint8_t> bytes) {
     NEATS_REQUIRE(bytes.size() >= 8, "not a NeaTS blob");
     uint64_t magic;
     std::memcpy(&magic, bytes.data(), 8);
     if (magic == kMagicV1) return DeserializeV1(bytes);
     NEATS_REQUIRE(magic == kMagicV2, "not a NeaTS blob");
-    return LoadV2(bytes, /*borrow=*/false);
+    return LoadFlat(bytes, /*borrow=*/false);
   }
 
-  /// Opens a format-v2 blob zero-copy: every payload array is a span into
+  /// Opens a flat (v2/v3) blob zero-copy: every payload array is a span into
   /// `bytes`, which must be 8-byte aligned (mmap and heap buffers both are)
   /// and must outlive the returned object and everything decoded from it.
+  /// A v3 blob maps the fragment directory in place too; a v2 blob has none
+  /// stored, so only its directory is rebuilt into owned memory.
   static Neats View(std::span<const uint8_t> bytes) {
     NEATS_REQUIRE(bytes.size() >= 8, "not a NeaTS blob");
     uint64_t magic;
     std::memcpy(&magic, bytes.data(), 8);
     NEATS_REQUIRE(magic == kMagicV2,
-                  "zero-copy open requires a format-v2 NeaTS blob");
-    return LoadV2(bytes, /*borrow=*/true);
+                  "zero-copy open requires a format-v2/v3 NeaTS blob");
+    return LoadFlat(bytes, /*borrow=*/true);
   }
 
   /// True when this object borrows its payload from an external buffer
   /// (i.e. it was produced by View rather than Compress/Deserialize).
   bool borrowed() const { return corrections_.borrowed(); }
 
-  /// Dispatch probe: true when `bytes` carries the format-v2 magic at an
-  /// 8-byte-aligned address, i.e. the blob should be routed to View rather
-  /// than the legacy-v1 Deserialize path. This is a format sniff, not a
-  /// validity proof — View still rejects corrupt v2 content by aborting
-  /// (NEATS_REQUIRE), exactly like Deserialize does.
+  /// Dispatch probe: true when `bytes` carries the flat-format magic
+  /// (shared by v2 and v3) at an 8-byte-aligned address, i.e. the blob
+  /// should be routed to View rather than the legacy-v1 Deserialize path.
+  /// This is a format sniff, not a validity proof — View still rejects
+  /// corrupt content by aborting (NEATS_REQUIRE), exactly like Deserialize.
   static bool IsZeroCopyOpenable(std::span<const uint8_t> bytes) {
     if (bytes.size() < 8) return false;
     if ((reinterpret_cast<uintptr_t>(bytes.data()) & 7) != 0) return false;
@@ -272,13 +330,14 @@ class Neats {
     double params[3];
   };
   FragmentInfo GetFragment(size_t i) const {
+    const FragmentDirectory::Record& rec = directory_[i];
     FragmentInfo info;
     info.start = FragmentStart(i);
     info.end = FragmentEnd(i);
-    info.origin = info.start - displacement_[i];
-    info.kind = kind_table_[kinds_wt_.Access(i)];
-    info.correction_bits = static_cast<int>(widths_[i]);
-    const double* p = ParamsOf(i, kinds_wt_.Access(i));
+    info.origin = info.start - rec.displacement;
+    info.kind = kind_table_[rec.kind];
+    info.correction_bits = static_cast<int>(rec.correction_bits);
+    const double* p = params_[rec.kind].data() + rec.param_index;
     for (int j = 0; j < 3; ++j) {
       info.params[j] = j < NumParams(info.kind) ? p[j] : 0.0;
     }
@@ -338,12 +397,14 @@ class Neats {
     return out;
   }
 
-  /// Shared body of Deserialize (copy mode) and View (borrow mode) for
-  /// format v2. In borrow mode every GetArray returns a span into `bytes`.
-  static Neats LoadV2(std::span<const uint8_t> bytes, bool borrow) {
+  /// Shared body of Deserialize (copy mode) and View (borrow mode) for the
+  /// flat formats v2 and v3. In borrow mode every GetArray returns a span
+  /// into `bytes`.
+  static Neats LoadFlat(std::span<const uint8_t> bytes, bool borrow) {
     WordReader r(bytes, borrow);
     NEATS_REQUIRE(r.Get() == kMagicV2, "not a NeaTS blob");
-    NEATS_REQUIRE(r.Get() == kFormatVersion,
+    const uint64_t version = r.Get();
+    NEATS_REQUIRE(version == 2 || version == kFormatVersion,
                   "unsupported NeaTS format version");
     Neats out;
     out.n_ = r.Get();
@@ -426,6 +487,18 @@ class Neats {
               out.kinds_wt_.Rank(static_cast<uint32_t>(i), out.m_) *
                   static_cast<size_t>(NumParams(out.kind_table_[i])),
           "corrupt NeaTS blob");
+    }
+    // The interleaved directory is redundant with S/B/O/K/D, and queries
+    // trust its records without bounds checks — so a stored directory (v3)
+    // is verified record-for-record against one rebuilt from the sections
+    // just validated (O(m), transient, like RankSelect's directory check);
+    // a v2 blob simply gets the rebuilt directory.
+    if (version >= 3) {
+      out.directory_ = FragmentDirectory::Load(r);
+      NEATS_REQUIRE(out.directory_.Matches(out.ComputeDirectoryRecords()),
+                    "corrupt NeaTS blob");
+    } else {
+      out.directory_ = FragmentDirectory(out.ComputeDirectoryRecords());
     }
     return out;
   }
@@ -512,8 +585,30 @@ class Neats {
       out.displacement_ = PackedArray::FromValues(disp);
       out.offsets_ = EliasFano(offsets, total_bits + 1);
       out.kinds_wt_ = WaveletTree(kind_symbols, static_cast<uint32_t>(kinds));
+      out.directory_ = FragmentDirectory(out.ComputeDirectoryRecords());
     }
     return out;
+  }
+
+  /// Rebuilds the interleaved directory records from the S/B/O/K/D
+  /// structures, in fragment order — the inverse of what BuildLayout packs
+  /// at compress time. Loaders use this both to populate the directory for
+  /// pre-v3 blobs and as the expected value a stored v3 directory must
+  /// match byte-for-byte (zero pad included).
+  std::vector<FragmentDirectory::Record> ComputeDirectoryRecords() const {
+    std::vector<FragmentDirectory::Record> records(m_);
+    for (size_t i = 0; i < m_; ++i) {
+      auto [dense, occ] = kinds_wt_.AccessAndRank(i);
+      FragmentDirectory::Record rec{};
+      rec.corr_offset = offsets_.Access(i);
+      rec.displacement = displacement_[i];
+      rec.param_index =
+          occ * static_cast<size_t>(NumParams(kind_table_[dense]));
+      rec.kind = static_cast<uint8_t>(dense);
+      rec.correction_bits = static_cast<uint8_t>(widths_[i]);
+      records[i] = rec;
+    }
+    return records;
   }
 
   void BuildLayout(std::span<const int64_t> shifted,
@@ -539,12 +634,17 @@ class Neats {
     m_ = m;
     std::vector<uint64_t> starts(m);
     std::vector<uint64_t> widths(m), displacement(m), offsets(m + 1);
+    std::vector<FragmentDirectory::Record> records(m);
     BitWriter corrections;
 
     for (size_t i = 0; i < m; ++i) {
       const Fragment& frag = fragments[i];
       starts[i] = frag.start;
       displacement[i] = frag.start - frag.origin;
+      FragmentDirectory::Record rec{};  // zero pad: canonical bytes
+      rec.displacement = displacement[i];
+      rec.kind = static_cast<uint8_t>(kind_symbols[i]);
+      rec.param_index = params[kind_symbols[i]].size();
       for (int j = 0; j < NumParams(frag.kind); ++j) {
         params[kind_symbols[i]].push_back(frag.params[j]);
       }
@@ -558,6 +658,9 @@ class Neats {
       int bits = ResidualBits(lo, hi);
       widths[i] = static_cast<uint64_t>(bits);
       offsets[i] = corrections.bit_size();
+      rec.correction_bits = static_cast<uint8_t>(bits);
+      rec.corr_offset = offsets[i];
+      records[i] = rec;
       // Residual pass 2: emit with bias 2^(bits-1).
       int64_t bias = bits == 0 ? 0 : (int64_t{1} << (bits - 1));
       for (uint64_t k = frag.start; k < frag.end; ++k) {
@@ -578,6 +681,7 @@ class Neats {
     displacement_ = PackedArray::FromValues(displacement);
     offsets_ = EliasFano(offsets, offsets[m] + 1);
     corrections_ = Storage<uint64_t>(corrections.TakeWords());
+    directory_ = FragmentDirectory(std::move(records));
     params_.reserve(params.size());
     for (auto& p : params) params_.emplace_back(std::move(p));
     (void)options;
@@ -600,24 +704,24 @@ class Neats {
     return i + 1 < m_ ? FragmentStart(i + 1) : n_;
   }
 
-  const double* ParamsOf(size_t i, uint32_t dense_kind) const {
-    size_t idx = kinds_wt_.Rank(dense_kind, i);
-    return params_[dense_kind].data() +
-           idx * static_cast<size_t>(NumParams(kind_table_[dense_kind]));
-  }
-
+  /// Decodes the value at position k of fragment i (whose start is already
+  /// known) from the fragment's directory record: one contiguous record
+  /// read supplies kind, parameter offset, displacement, correction width
+  /// and correction offset, replacing the wavelet-tree traversal plus the
+  /// B/D/O probes of the legacy layout.
   int64_t DecodeAt(size_t i, uint64_t start, uint64_t k) const {
-    auto [dense, occ] = kinds_wt_.AccessAndRank(i);
-    FunctionKind kind = kind_table_[dense];
-    const double* params =
-        params_[dense].data() +
-        occ * static_cast<size_t>(NumParams(kind));
-    int bits = static_cast<int>(widths_[i]);
-    uint64_t origin = start - displacement_[i];
+    const FragmentDirectory::Record& rec = directory_[i];
+    NEATS_TOUCH(kind_table_.data() + rec.kind);
+    FunctionKind kind = kind_table_[rec.kind];
+    const double* params = params_[rec.kind].data() + rec.param_index;
+    NEATS_TOUCH(params);
+    uint64_t origin = start - rec.displacement;
     int64_t pred = PredictFloor(kind, params, static_cast<int64_t>(k - origin) + 1);
-    if (bits == 0) return pred - shift_;  // pure function: no offsets access
+    const int bits = rec.correction_bits;
+    if (bits == 0) return pred - shift_;  // pure function: no corrections
     int64_t bias = int64_t{1} << (bits - 1);
-    uint64_t o = offsets_.Access(i) + (k - start) * static_cast<uint64_t>(bits);
+    uint64_t o = rec.corr_offset + (k - start) * static_cast<uint64_t>(bits);
+    NEATS_TOUCH(corrections_.data() + (o >> 6));
     int64_t c = static_cast<int64_t>(ReadBits(corrections_.data(), o, bits)) - bias;
     return pred + c - shift_;
   }
@@ -634,26 +738,26 @@ class Neats {
     int64_t bias = 0;
   };
 
-  /// Loads fragment i given its start and correction base (both already
-  /// known to sequential callers — no Elias-Fano offset access needed).
-  FragState LoadFragment(size_t i, uint64_t start, uint64_t corr_base) const {
+  /// Loads fragment i given its start (already known to sequential callers —
+  /// the next start is the previous end). Everything else comes out of the
+  /// fragment's directory record in one read.
+  FragState LoadFragment(size_t i, uint64_t start) const {
+    const FragmentDirectory::Record& rec = directory_[i];
     FragState s;
     s.start = start;
     s.end = FragmentEnd(i);
-    auto [dense, occ] = kinds_wt_.AccessAndRank(i);
-    s.kind = kind_table_[dense];
-    s.params = params_[dense].data() +
-               occ * static_cast<size_t>(NumParams(s.kind));
-    s.bits = static_cast<int>(widths_[i]);
+    s.kind = kind_table_[rec.kind];
+    s.params = params_[rec.kind].data() + rec.param_index;
+    s.bits = rec.correction_bits;
     s.bias = s.bits == 0 ? 0 : (int64_t{1} << (s.bits - 1));
-    s.origin = start - displacement_[i];
-    s.corr_base = corr_base;
+    s.origin = start - rec.displacement;
+    s.corr_base = rec.corr_offset;
     return s;
   }
 
-  /// Loads fragment i from scratch (one starts access + one offsets access).
+  /// Loads fragment i from scratch (one starts access + the record read).
   FragState LoadFragment(size_t i) const {
-    return LoadFragment(i, FragmentStart(i), offsets_.Access(i));
+    return LoadFragment(i, FragmentStart(i));
   }
 
   // Tight per-kind decode loop; KIND is a compile-time constant so the
@@ -727,10 +831,12 @@ class Neats {
   size_t HeaderSizeInBits() const { return (7 + kind_table_.size()) * 64; }
 
   static constexpr uint64_t kMagicV1 = 0x5354414554414E45ULL;  // legacy
-  // Little-endian "NEATSv2\0": the mapped bytes of a v2 blob start with the
-  // ASCII name, so `head -c7` / file sniffers see it verbatim.
+  // Little-endian "NEATSv2\0": the mapped bytes of a flat blob start with
+  // the ASCII name, so `head -c7` / file sniffers see it verbatim. The magic
+  // names the format *family*; additive revisions (v3's directory section)
+  // bump the version word, not the magic (ROADMAP format policy).
   static constexpr uint64_t kMagicV2 = 0x003276535441454EULL;
-  static constexpr uint64_t kFormatVersion = 2;
+  static constexpr uint64_t kFormatVersion = 3;
 
   uint64_t n_ = 0;
   size_t m_ = 0;
@@ -745,17 +851,18 @@ class Neats {
   Storage<uint64_t> corrections_;  // C
   WaveletTree kinds_wt_;           // K
   PackedArray displacement_;       // D
+  FragmentDirectory directory_;    // interleaved B/O/K/D + param offsets (v3)
   std::vector<FunctionKind> kind_table_;
   std::vector<Storage<double>> params_;  // P, one array per dense kind
 };
 
 /// Sequential-access cursor: caches the current fragment's decoded state
-/// (kind, params, correction width, bit offsets) plus the fragment index as
-/// an Elias-Fano position hint. next()/Read() advance fragment-to-fragment
-/// in O(1) — the next start is the current end and the next correction base
-/// is current base + len*width, so neither the S rank nor the O access of
-/// Algorithm 3 is paid. Monotone Seek() hops forward the same way and only
-/// falls back to a full rank for long jumps.
+/// (kind, params, correction width, bit offsets) plus the fragment index.
+/// next()/Read() advance fragment-to-fragment in O(1) — the next start is
+/// the current end and everything else comes out of the next fragment's
+/// directory record, so neither the S rank nor any B/O/K/D probe of
+/// Algorithm 3 is paid. Monotone Seek() hops the chain the same way (in
+/// either direction) and only falls back to a full rank for long jumps.
 class Neats::Cursor {
  public:
   /// Positions the cursor at `position` (clamped to n = end-of-series).
@@ -765,8 +872,8 @@ class Neats::Cursor {
     if (neats_->m_ == 0) return;
     if (position >= neats_->n_) position = neats_->n_;
     if (position == neats_->n_ || position == 0) {
-      // The first fragment starts at value 0 and correction bit 0.
-      st_ = neats_->LoadFragment(0, neats_->FragmentStart(0), 0);
+      // The first fragment starts at value 0.
+      st_ = neats_->LoadFragment(0, 0);
       pos_ = position;
       return;
     }
@@ -826,9 +933,8 @@ class Neats::Cursor {
         return;
       }
     } else {
-      // Backward: the previous fragment's correction base is recoverable
-      // from the cached state (corr_base - len*width), so short backward
-      // seeks never pay the Elias-Fano offsets access, let alone the rank.
+      // Backward: the previous fragment's start is one Elias-Fano access and
+      // its record one read, so short backward seeks never pay the rank.
       for (int hops = 0; hops < kMaxSeekHops && k < st_.start; ++hops) {
         RetreatFragment();
       }
@@ -862,20 +968,14 @@ class Neats::Cursor {
   static constexpr int kMaxSeekHops = 8;
 
   void AdvanceFragment() {
-    uint64_t corr_base =
-        st_.corr_base + (st_.end - st_.start) * static_cast<uint64_t>(st_.bits);
     ++frag_;
-    st_ = neats_->LoadFragment(frag_, st_.end, corr_base);
+    st_ = neats_->LoadFragment(frag_, st_.end);
   }
 
   /// Inverse of AdvanceFragment; precondition: frag_ > 0.
   void RetreatFragment() {
     --frag_;
-    uint64_t start = neats_->FragmentStart(frag_);
-    uint64_t corr_base =
-        st_.corr_base -
-        (st_.start - start) * static_cast<uint64_t>(neats_->widths_[frag_]);
-    st_ = neats_->LoadFragment(frag_, start, corr_base);
+    st_ = neats_->LoadFragment(frag_);
   }
 
   const Neats* neats_;

@@ -16,10 +16,12 @@
 
 #include "common/assert.hpp"
 #include "common/bits.hpp"
+#include "common/touch_probe.hpp"
 #include "core/partitioner.hpp"
 #include "functions/approximator.hpp"
 #include "functions/kinds.hpp"
 #include "succinct/elias_fano.hpp"
+#include "succinct/fragment_directory.hpp"
 #include "succinct/packed_array.hpp"
 #include "succinct/storage.hpp"
 #include "succinct/wavelet_tree.hpp"
@@ -64,8 +66,25 @@ class NeatsLossy {
   size_t num_fragments() const { return m_; }
   int64_t epsilon() const { return eps_; }
 
-  /// The approximated value at index k.
+  /// The approximated value at index k: one Elias-Fano predecessor scan on
+  /// the starts plus a single interleaved directory record read (kind,
+  /// parameter offset and displacement together), as in Neats::Access.
   int64_t Access(uint64_t k) const {
+    NEATS_DCHECK(k < n_);
+    auto [i, start] = starts_.Predecessor(k);
+    const FragmentDirectory::Record& rec = directory_[i];
+    NEATS_TOUCH(kind_table_.data() + rec.kind);
+    FunctionKind kind = kind_table_[rec.kind];
+    const double* params = params_[rec.kind].data() + rec.param_index;
+    NEATS_TOUCH(params);
+    uint64_t origin = start - rec.displacement;
+    return PredictFloor(kind, params, static_cast<int64_t>(k - origin) + 1) -
+           shift_;
+  }
+
+  /// Access resolved through the separate K/D structures — the pre-directory
+  /// path, kept as fuzz ground truth (see Neats::AccessViaLegacyStructures).
+  int64_t AccessViaLegacyStructures(uint64_t k) const {
     NEATS_DCHECK(k < n_);
     auto [i, start] = starts_.Predecessor(k);
     auto [dense, occ] = kinds_wt_.AccessAndRank(i);
@@ -83,12 +102,10 @@ class NeatsLossy {
     for (size_t i = 0; i < m_; ++i) {
       uint64_t start = starts_.Access(i);
       uint64_t end = i + 1 < m_ ? starts_.Access(i + 1) : n_;
-      uint32_t dense = kinds_wt_.Access(i);
-      FunctionKind kind = kind_table_[dense];
-      size_t idx = kinds_wt_.Rank(dense, i);
-      const double* params =
-          params_[dense].data() + idx * static_cast<size_t>(NumParams(kind));
-      uint64_t origin = start - displacement_[i];
+      const FragmentDirectory::Record& rec = directory_[i];
+      FunctionKind kind = kind_table_[rec.kind];
+      const double* params = params_[rec.kind].data() + rec.param_index;
+      uint64_t origin = start - rec.displacement;
       int64_t* dst = out->data() + start;
       switch (kind) {
 #define NEATS_LOSSY_CASE(K)                                          \
@@ -121,7 +138,11 @@ class NeatsLossy {
            kinds_wt_.SizeInBits();
   }
 
-  /// Format v2 (flat, word-aligned; same section grammar as Neats).
+  /// Format v2 (flat, word-aligned; same section grammar as Neats). Unlike
+  /// the lossless format, the interleaved directory is *not* serialized:
+  /// the lossy layout competes with PLA byte-for-byte on parameter storage
+  /// alone, and its three-field records rebuild in O(m) at open time, so
+  /// the wire format stays at version 2 (see docs/FORMAT.md).
   void Serialize(std::vector<uint8_t>* out) const {
     out->clear();
     WordWriter w(out);
@@ -142,7 +163,8 @@ class NeatsLossy {
     for (const auto& p : params_) w.PutArray(p);
   }
 
-  /// Rebuilds from Serialize output into owned storage.
+  /// Rebuilds from Serialize output into owned storage (the in-memory
+  /// directory is rebuilt, as for pre-v3 Neats blobs).
   static NeatsLossy Deserialize(std::span<const uint8_t> bytes) {
     return Load(bytes, /*borrow=*/false);
   }
@@ -193,7 +215,24 @@ class NeatsLossy {
                   static_cast<size_t>(NumParams(out.kind_table_[i])),
           "corrupt NeaTS-L blob");
     }
+    out.directory_ = FragmentDirectory(out.ComputeDirectoryRecords());
     return out;
+  }
+
+  /// Directory records rebuilt from K/D (the lossy layout stores no
+  /// corrections, so corr_offset and correction_bits are zero).
+  std::vector<FragmentDirectory::Record> ComputeDirectoryRecords() const {
+    std::vector<FragmentDirectory::Record> records(m_);
+    for (size_t i = 0; i < m_; ++i) {
+      auto [dense, occ] = kinds_wt_.AccessAndRank(i);
+      FragmentDirectory::Record rec{};
+      rec.displacement = displacement_[i];
+      rec.param_index =
+          occ * static_cast<size_t>(NumParams(kind_table_[dense]));
+      rec.kind = static_cast<uint8_t>(dense);
+      records[i] = rec;
+    }
+    return records;
   }
   // Tight per-kind loop; KIND is compile-time so the dispatch inside
   // PredictFloor folds away and polynomial kinds vectorise.
@@ -224,7 +263,13 @@ class NeatsLossy {
       displacement[i] = frag.start - frag.origin;
     }
     std::vector<std::vector<double>> params(kind_table_.size());
+    std::vector<FragmentDirectory::Record> records(m_);
     for (size_t i = 0; i < m_; ++i) {
+      FragmentDirectory::Record rec{};
+      rec.displacement = displacement[i];
+      rec.kind = static_cast<uint8_t>(kind_symbols[i]);
+      rec.param_index = params[kind_symbols[i]].size();
+      records[i] = rec;
       for (int j = 0; j < NumParams(fragments[i].kind); ++j) {
         params[kind_symbols[i]].push_back(fragments[i].params[j]);
       }
@@ -234,6 +279,7 @@ class NeatsLossy {
     starts_ = EliasFano(starts, n_);
     kinds_wt_ = WaveletTree(kind_symbols, static_cast<uint32_t>(kind_table_.size()));
     displacement_ = PackedArray::FromValues(displacement);
+    directory_ = FragmentDirectory(std::move(records));
   }
 
   // Little-endian "NEATSL2\0" — ASCII-readable at the head of the blob.
@@ -247,6 +293,8 @@ class NeatsLossy {
   EliasFano starts_;
   WaveletTree kinds_wt_;
   PackedArray displacement_;
+  FragmentDirectory directory_;  // interleaved K/D + param offsets
+                                 // (in-memory only; rebuilt on load)
   std::vector<FunctionKind> kind_table_;
   std::vector<Storage<double>> params_;  // one array per dense kind
 };

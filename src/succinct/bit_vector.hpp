@@ -20,6 +20,7 @@
 
 #include "common/assert.hpp"
 #include "common/bits.hpp"
+#include "common/touch_probe.hpp"
 #include "succinct/storage.hpp"
 
 namespace neats {
@@ -85,8 +86,13 @@ class RankSelect {
   uint64_t Rank1(size_t i) const {
     NEATS_DCHECK(i <= nbits_);
     size_t w = i >> 6;
+    NEATS_TOUCH(super_.data() + w / kWordsPerSuper);
+    NEATS_TOUCH(rel_.data() + w);
     uint64_t r = super_[w / kWordsPerSuper] + rel_[w];
-    if (i & 63) r += Popcount(words_[w] & LowMask(static_cast<int>(i & 63)));
+    if (i & 63) {
+      NEATS_TOUCH(words_.data() + w);
+      r += Popcount(words_[w] & LowMask(static_cast<int>(i & 63)));
+    }
     return r;
   }
 
@@ -96,15 +102,21 @@ class RankSelect {
   /// Position of the k-th (0-based) 1 bit. Precondition: k < ones().
   size_t Select1(uint64_t k) const {
     NEATS_DCHECK(k < ones_);
-    size_t s = FindSuperblock(k, sel1_, [this](size_t sb) { return super_[sb]; });
+    size_t s = FindSuperblock(k, sel1_, [this](size_t sb) {
+      NEATS_TOUCH(super_.data() + sb);
+      return super_[sb];
+    });
     // Start the word scan at the later of the superblock start and the
     // sampled bit's own word — both have rank <= k, and rel_ recovers the
     // rank at any word boundary, so the scan skips up to 7 words.
     size_t w = s * kWordsPerSuper;
     size_t ws = static_cast<size_t>(sel1_[k / kSelectSample] >> 6);
     if (ws > w) w = ws;
+    NEATS_TOUCH(super_.data() + w / kWordsPerSuper);
+    NEATS_TOUCH(rel_.data() + w);
     uint64_t rem = k - super_[w / kWordsPerSuper] - rel_[w];
     while (true) {
+      NEATS_TOUCH(words_.data() + w);
       int pc = Popcount(words_[w]);
       if (rem < static_cast<uint64_t>(pc)) break;
       rem -= static_cast<uint64_t>(pc);
@@ -117,13 +129,18 @@ class RankSelect {
   size_t Select0(uint64_t k) const {
     NEATS_DCHECK(k < nbits_ - ones_);
     // Zeros before superblock s start: s*512 - super_[s].
-    size_t s = FindSuperblock(
-        k, sel0_, [this](size_t sb) { return sb * kSuperBits - super_[sb]; });
+    size_t s = FindSuperblock(k, sel0_, [this](size_t sb) {
+      NEATS_TOUCH(super_.data() + sb);
+      return sb * kSuperBits - super_[sb];
+    });
     size_t w = s * kWordsPerSuper;
     size_t ws = static_cast<size_t>(sel0_[k / kSelectSample] >> 6);
     if (ws > w) w = ws;
+    NEATS_TOUCH(super_.data() + w / kWordsPerSuper);
+    NEATS_TOUCH(rel_.data() + w);
     uint64_t rem = k - (w * 64 - super_[w / kWordsPerSuper] - rel_[w]);
     while (true) {
+      NEATS_TOUCH(words_.data() + w);
       int zc = 64 - Popcount(words_[w]);
       if (rem < static_cast<uint64_t>(zc)) break;
       rem -= static_cast<uint64_t>(zc);
@@ -138,6 +155,7 @@ class RankSelect {
   size_t OnesRunLength(size_t pos) const {
     NEATS_DCHECK(pos < nbits_ && Get(pos));
     size_t w = pos >> 6;
+    NEATS_TOUCH(words_.data() + w);
     // Zeros (and any padding past size()) terminate the run, so the scan
     // never walks beyond the logical bitvector. Invert before shifting: the
     // zeros the shift feeds in at the top then mean "run continues past this
@@ -146,6 +164,7 @@ class RankSelect {
     if (inv != 0) return static_cast<size_t>(CountTrailingZeros(inv));
     size_t run = 64 - (pos & 63);
     while (++w < words_.size()) {
+      NEATS_TOUCH(words_.data() + w);
       inv = ~words_[w];
       if (inv != 0) return run + static_cast<size_t>(CountTrailingZeros(inv));
       run += 64;
@@ -155,6 +174,7 @@ class RankSelect {
 
   bool Get(size_t i) const {
     NEATS_DCHECK(i < nbits_);
+    NEATS_TOUCH(words_.data() + (i >> 6));
     return (words_[i >> 6] >> (i & 63)) & 1;
   }
   size_t size() const { return nbits_; }
@@ -283,9 +303,11 @@ class RankSelect {
                         CountBefore count_before) const {
     const size_t n_sb = CeilDiv(words_.size(), kWordsPerSuper);
     const size_t j = static_cast<size_t>(k / kSelectSample);
+    NEATS_TOUCH(samples.data() + j);
     size_t lo = static_cast<size_t>(samples[j] / kSuperBits);
     size_t hi = n_sb - 1;
     if (j + 1 < samples.size()) {
+      NEATS_TOUCH(samples.data() + j + 1);
       hi = std::min(hi, static_cast<size_t>(samples[j + 1] / kSuperBits));
     }
     if (hi - lo > 8) {

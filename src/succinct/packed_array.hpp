@@ -14,6 +14,7 @@
 
 #include "common/assert.hpp"
 #include "common/bits.hpp"
+#include "common/touch_probe.hpp"
 #include "succinct/bit_stream.hpp"
 #include "succinct/storage.hpp"
 
@@ -46,7 +47,12 @@ class PackedArray {
   /// Value at index `i`.
   uint64_t operator[](size_t i) const {
     NEATS_DCHECK(i < size_);
-    return ReadBits(words_.data(), i * static_cast<size_t>(width_), width_);
+    const size_t bit = i * static_cast<size_t>(width_);
+    if (width_ > 0) {
+      NEATS_TOUCH(words_.data() + (bit >> 6));
+      NEATS_TOUCH(words_.data() + ((bit + static_cast<size_t>(width_) - 1) >> 6));
+    }
+    return ReadBits(words_.data(), bit, width_);
   }
 
   size_t size() const { return size_; }

@@ -119,6 +119,13 @@ class WordWriter {
     PutCells(s.data(), s.size());
   }
 
+  /// Appends zero words until the output size is a multiple of `alignment`
+  /// bytes (a power-of-two multiple of 8). Readers skip the pad with
+  /// WordReader::AlignTo; the zeros keep the format canonical.
+  void AlignTo(size_t alignment) {
+    while (out_->size() % alignment != 0) Put(0);
+  }
+
  private:
   std::vector<uint8_t>* out_;
 };
@@ -170,6 +177,14 @@ class WordReader {
   template <typename T>
   Storage<T> GetArray() {
     return GetCells<T>(Get());
+  }
+
+  /// Skips the zero pad WordWriter::AlignTo wrote; non-zero pad words are
+  /// rejected (they would break canonical re-serialization).
+  void AlignTo(size_t alignment) {
+    while (pos_ % alignment != 0) {
+      NEATS_REQUIRE(Get() == 0, "corrupt NeaTS blob");
+    }
   }
 
   bool borrow() const { return borrow_; }

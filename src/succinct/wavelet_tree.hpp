@@ -15,6 +15,7 @@
 
 #include "common/assert.hpp"
 #include "common/bits.hpp"
+#include "common/touch_probe.hpp"
 #include "succinct/bit_vector.hpp"
 #include "succinct/storage.hpp"
 
@@ -96,6 +97,7 @@ class WaveletTree {
     size_t pos = i, lo = 0;
     for (int level = 0; level < levels_count_; ++level) {
       const RankSelect& bv = levels_[static_cast<size_t>(level)];
+      NEATS_TOUCH(zeros_.data() + level);
       sym <<= 1;
       if (bv.Get(pos)) {
         sym |= 1;

@@ -59,12 +59,14 @@ TEST(Neats, LinearRamp) {
   CheckRoundTrip(values);
   Neats compressed = Neats::Compress(values);
   // A perfect line: one fragment, zero correction bits, tiny output. The
-  // bound is the exact v2 serialized footprint (SizeInBits == on-disk
-  // bits): headers, count words and sampled select directories cost a few
-  // hundred bits even for a one-fragment structure — under 0.2 bits/value
-  // here and amortized to nothing on real series.
+  // bound is the exact v3 serialized footprint (SizeInBits == on-disk
+  // bits): headers, count words, sampled select directories and the
+  // interleaved fragment directory (one 32-byte record plus its count word
+  // and 64-byte alignment pad) cost a few hundred bits even for a
+  // one-fragment structure — under 0.2 bits/value here and amortized to
+  // nothing on real series.
   EXPECT_LE(compressed.num_fragments(), 2u);
-  EXPECT_LT(compressed.SizeInBits(), 4600u);
+  EXPECT_LT(compressed.SizeInBits(), 5200u);
 }
 
 TEST(Neats, StepFunction) {

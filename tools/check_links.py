@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Markdown link checker for intra-repo links.
+
+Scans the given markdown files (and directories, recursively) for inline
+links and reference definitions, and fails when a link points at a file
+that does not exist in the repository or at a heading anchor that does not
+exist in the target file. External links (http/https/mailto) are not
+fetched — this guards the docs' internal wiring, not the internet.
+
+Usage:  python3 tools/check_links.py README.md docs ROADMAP.md
+Exit:   0 when every intra-repo link resolves, 1 otherwise.
+"""
+
+import os
+import re
+import sys
+
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFERENCE_DEF = re.compile(r"^\s*\[[^\]]+\]:\s*(\S+)", re.MULTILINE)
+FENCED_CODE = re.compile(r"```.*?```", re.DOTALL)
+INLINE_CODE = re.compile(r"`[^`\n]*`")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def heading_anchors(markdown_text):
+    """GitHub-style anchor slugs for every heading in the text."""
+    anchors = set()
+    for heading in HEADING.findall(markdown_text):
+        # Strip inline code/links, lowercase, drop punctuation, dash spaces.
+        text = re.sub(r"`([^`]*)`", r"\1", heading)
+        text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+        slug = re.sub(r"[^\w\- ]", "", text.strip().lower())
+        slug = re.sub(r"\s", "-", slug)
+        anchors.add(slug)
+    return anchors
+
+
+def collect_markdown_files(args):
+    files = []
+    for arg in args:
+        if os.path.isdir(arg):
+            for root, _dirs, names in os.walk(arg):
+                files.extend(
+                    os.path.join(root, n) for n in names if n.endswith(".md"))
+        elif os.path.isfile(arg):
+            files.append(arg)
+        else:
+            print(f"check_links: no such file or directory: {arg}")
+            return None
+    return sorted(set(files))
+
+
+def check_file(path, anchor_cache):
+    with open(path, encoding="utf-8") as f:
+        raw = f.read()
+    # Links inside code blocks/spans are examples, not navigation.
+    text = INLINE_CODE.sub("", FENCED_CODE.sub("", raw))
+    targets = INLINE_LINK.findall(text) + REFERENCE_DEF.findall(text)
+    errors = []
+    for target in targets:
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, ...
+            continue
+        dest, _, fragment = target.partition("#")
+        dest_path = (os.path.normpath(os.path.join(os.path.dirname(path), dest))
+                     if dest else path)
+        if not os.path.exists(dest_path):
+            errors.append(f"{path}: dead link -> {target}")
+            continue
+        if fragment and dest_path.endswith(".md"):
+            if dest_path not in anchor_cache:
+                with open(dest_path, encoding="utf-8") as f:
+                    anchor_cache[dest_path] = heading_anchors(f.read())
+            if fragment.lower() not in anchor_cache[dest_path]:
+                errors.append(f"{path}: dead anchor -> {target}")
+    return errors
+
+
+def main(argv):
+    files = collect_markdown_files(argv[1:] or ["."])
+    if files is None:
+        return 1
+    anchor_cache = {}
+    errors = []
+    for path in files:
+        errors.extend(check_file(path, anchor_cache))
+    for error in errors:
+        print(error)
+    print(f"check_links: {len(files)} files, "
+          f"{len(errors)} dead link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
