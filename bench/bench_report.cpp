@@ -28,6 +28,15 @@
 #include "succinct/bit_vector.hpp"
 #include "succinct/elias_fano.hpp"
 
+// The store layer arrived with schema 4; guarded so this source still
+// compiles against earlier builds for paired before/after runs.
+#if __has_include("store/neats_store.hpp")
+#include "store/neats_store.hpp"
+#define NEATS_BENCH_HAS_STORE 1
+#else
+#define NEATS_BENCH_HAS_STORE 0
+#endif
+
 namespace neats::bench {
 namespace {
 
@@ -61,6 +70,11 @@ struct Row {
                                        // (directory path; 0 when the
                                        // bench_dir_lines sibling is absent)
   double legacy_lines_touched = 0;     // same, legacy metadata path
+  double batch_access_ns_b8 = 0;       // AccessBatch ns/probe, sorted
+  double batch_access_ns_b64 = 0;      // batches of 8 / 64 / 512 probes
+  double batch_access_ns_b512 = 0;     // (0 if the build lacks the kernel)
+  double store_append_mbps = 0;        // NeatsStore streaming append +
+                                       // Flush, end to end (0 if absent)
 };
 
 double RawMegabytes(size_t n) {
@@ -178,6 +192,75 @@ void MeasureSelectMicro(size_t n, uint64_t seed, Row* row) {
       AccessNs(probes, [&](uint64_t x) { return static_cast<uint64_t>(ef.Rank(x)); });
 }
 
+// The batch-access columns: the same 4096 probes as the scalar access
+// column, pre-sorted within consecutive blocks of B, served through the
+// fragment-grouped AccessBatch kernel — ns per probe, directly comparable
+// to access_ns. Guarded so pre-batch builds keep the columns at 0.
+template <typename N>
+void MeasureBatchAccess(const N& compressed, const std::vector<uint64_t>& idx,
+                        Row* row) {
+  if constexpr (requires(const N& n) {
+                  n.AccessBatch(std::span<const uint64_t>{},
+                                static_cast<int64_t*>(nullptr));
+                }) {
+    const std::pair<size_t, double Row::*> sizes[] = {
+        {8, &Row::batch_access_ns_b8},
+        {64, &Row::batch_access_ns_b64},
+        {512, &Row::batch_access_ns_b512}};
+    for (auto [batch, column] : sizes) {
+      std::vector<uint64_t> sorted = idx;
+      for (size_t at = 0; at < sorted.size(); at += batch) {
+        std::sort(sorted.begin() + static_cast<ptrdiff_t>(at),
+                  sorted.begin() + static_cast<ptrdiff_t>(
+                                       std::min(at + batch, sorted.size())));
+      }
+      std::vector<int64_t> out(batch);
+      uint64_t sink = 0;
+      double ops = OpsPerSecond([&](size_t rep) {
+        uint64_t s = 0;
+        for (size_t at = 0; at < sorted.size(); at += batch) {
+          const size_t n = std::min(batch, sorted.size() - at);
+          compressed.AccessBatch({sorted.data() + at, n}, out.data());
+          s += static_cast<uint64_t>(out[0]) + static_cast<uint64_t>(out[n - 1]);
+        }
+        sink += s + rep;
+        return s;
+      });
+      if (sink == 0xDEADBEEFCAFEBABEULL) std::fprintf(stderr, "!");
+      row->*column = 1e9 / (ops * static_cast<double>(sorted.size()));
+    }
+  } else {
+    (void)compressed;
+    (void)idx;
+    (void)row;
+  }
+}
+
+// Streaming ingest end to end: append the series in 4096-value slices into
+// an in-memory NeatsStore (background sealing on one extra worker) and
+// Flush; MB/s over the raw series size. One pass — sealing is
+// compression-bound, so repetitions would only average compressor noise.
+void MeasureStoreAppend(const Dataset& ds, double mb, Row* row) {
+#if NEATS_BENCH_HAS_STORE
+  NeatsStoreOptions options;
+  options.shard_size = std::max<uint64_t>(4096, ds.values.size() / 8);
+  options.seal_threads = 2;
+  Timer timer;
+  NeatsStore store(options);
+  for (size_t at = 0; at < ds.values.size(); at += 4096) {
+    const size_t n = std::min<size_t>(4096, ds.values.size() - at);
+    store.Append(std::span<const int64_t>(ds.values.data() + at, n));
+  }
+  store.Flush();
+  row->store_append_mbps = mb / timer.ElapsedSeconds();
+  if (store.size() != ds.values.size()) std::abort();
+#else
+  (void)ds;
+  (void)mb;
+  (void)row;
+#endif
+}
+
 // Template for the same reason as MeasureChunked: seed builds lack Cursor.
 template <typename N>
 void MeasureCursorScan(const N& compressed, Row* row) {
@@ -236,6 +319,11 @@ Row MeasureDataset(const DatasetSpec& spec) {
   }
   MeasureMmapAccess<Neats>(compressed, idx, &row);
 
+  // --- Batched access (sorted blocks of 8/64/512 probes) and streaming
+  // store ingest (schema 4). ---
+  MeasureBatchAccess<Neats>(compressed, idx, &row);
+  MeasureStoreAppend(ds, mb, &row);
+
   // --- Succinct substrate microbenchmarks (select + Elias-Fano rank). ---
   MeasureSelectMicro(row.n, 42, &row);
 
@@ -281,7 +369,7 @@ void WriteJson(const std::vector<Row>& rows, const char* path) {
     std::fprintf(stderr, "cannot open %s\n", path);
     std::exit(1);
   }
-  std::fprintf(f, "{\n  \"bench\": \"neats\",\n  \"schema\": 3,\n");
+  std::fprintf(f, "{\n  \"bench\": \"neats\",\n  \"schema\": 4,\n");
   std::fprintf(f, "  \"hardware_threads\": %u,\n",
                std::thread::hardware_concurrency());
   std::fprintf(f, "  \"has_scaling_knobs\": %s,\n",
@@ -304,13 +392,19 @@ void WriteJson(const std::vector<Row>& rows, const char* path) {
                  "\"select1_ns\": %.1f, "
                  "\"ef_rank_ns\": %.1f, "
                  "\"dir_lines_touched\": %.2f, "
-                 "\"legacy_lines_touched\": %.2f}%s\n",
+                 "\"legacy_lines_touched\": %.2f, "
+                 "\"batch_access_ns_b8\": %.1f, "
+                 "\"batch_access_ns_b64\": %.1f, "
+                 "\"batch_access_ns_b512\": %.1f, "
+                 "\"store_append_mbps\": %.3f}%s\n",
                  r.code.c_str(), r.n, r.bits_per_value, r.compress_mbps_1t,
                  r.compress_mbps_1t_chunked, r.compress_mbps_4t_chunked,
                  r.scan_mbps, r.cursor_scan_mbps, r.access_ns,
                  r.access_ns_legacy, r.access_ns_mmap, r.range_sum_mbps,
                  r.select1_ns, r.ef_rank_ns, r.dir_lines_touched,
-                 r.legacy_lines_touched,
+                 r.legacy_lines_touched, r.batch_access_ns_b8,
+                 r.batch_access_ns_b64, r.batch_access_ns_b512,
+                 r.store_append_mbps,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -339,11 +433,14 @@ int main(int argc, char** argv) {
         "  n=%zu  %.2f bits/value  compress %.2f MB/s (1t)"
         "  chunked %.2f/%.2f MB/s (1t/4t)  scan %.0f MB/s"
         "  cursor-scan %.0f MB/s  access %.0f ns (legacy %.0f ns, mmap %.0f ns)"
-        "  range-sum %.0f MB/s  select1 %.1f ns  ef-rank %.1f ns\n",
+        "  batch-access %.0f/%.0f/%.0f ns (b8/b64/b512)"
+        "  range-sum %.0f MB/s  store-append %.2f MB/s"
+        "  select1 %.1f ns  ef-rank %.1f ns\n",
         r.n, r.bits_per_value, r.compress_mbps_1t, r.compress_mbps_1t_chunked,
         r.compress_mbps_4t_chunked, r.scan_mbps, r.cursor_scan_mbps,
-        r.access_ns, r.access_ns_legacy, r.access_ns_mmap, r.range_sum_mbps,
-        r.select1_ns, r.ef_rank_ns);
+        r.access_ns, r.access_ns_legacy, r.access_ns_mmap,
+        r.batch_access_ns_b8, r.batch_access_ns_b64, r.batch_access_ns_b512,
+        r.range_sum_mbps, r.store_append_mbps, r.select1_ns, r.ef_rank_ns);
   }
   FillCacheLineColumns(argv[0], &rows);
   for (const Row& r : rows) {

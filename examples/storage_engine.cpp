@@ -1,176 +1,153 @@
-// A miniature time-series storage engine demonstrating the deployment
-// pattern suggested in Sec. IV-C1: ingest with a fast lightweight compressor
-// (Gorilla), recompress sealed segments with NeaTS in the background for
-// long-term storage and efficient queries, and finally spill the coldest
-// segments to disk — where they are served zero-copy through mmap and
-// Neats::View, with no deserialization on open.
+// A miniature time-series storage engine built on the serving layer
+// (src/store/neats_store.hpp), the deployment pattern of Sec. IV-C1 grown
+// into a subsystem: values stream into a write-ahead hot tail, full chunks
+// seal into NeaTS shards in the background (thread pool), Flush() persists
+// one format-v3 blob per shard plus a manifest, and OpenDir() serves the
+// whole store zero-copy through mmap — point, batch, multi-range and
+// (approximate) aggregate queries all route through one sharded index.
 //
-//   $ ./build/examples/storage_engine
+//   $ ./build/example_storage_engine
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "baselines/blockwise.hpp"
-#include "baselines/gorilla.hpp"
 #include "common/timer.hpp"
-#include "core/neats.hpp"
 #include "datasets/generators.hpp"
-#include "io/mmap_file.hpp"
-#include "io/text_io.hpp"
-
-namespace {
-
-// One sealed segment of the store: hot (Gorilla), cold (NeaTS in memory),
-// or frozen (NeaTS flat-format file opened zero-copy through mmap).
-class Segment {
- public:
-  static Segment Ingest(std::vector<double> doubles,
-                        std::vector<int64_t> ints) {
-    Segment seg;
-    seg.ints_ = std::move(ints);
-    seg.hot_ = neats::Blockwise<neats::Gorilla>::Compress(doubles);
-    seg.tier_ = Tier::kHot;
-    return seg;
-  }
-
-  // Background compaction: replace the Gorilla blob with NeaTS.
-  void Compact() {
-    cold_ = neats::Neats::Compress(ints_);
-    tier_ = Tier::kCold;
-    ints_.clear();
-    ints_.shrink_to_fit();
-  }
-
-  // Spill to disk and reopen zero-copy: serialize (format v3), drop the
-  // in-memory representation, mmap the file, and View the mapping.
-  void Freeze(const std::string& path) {
-    std::vector<uint8_t> blob;
-    cold_.Serialize(&blob);
-    neats::WriteFile(path, blob);
-    cold_ = neats::Neats();  // release the owned representation
-    map_ = neats::MmapFile::Open(path);
-    cold_ = neats::Neats::View(map_.bytes());
-    tier_ = Tier::kFrozen;
-  }
-
-  size_t SizeInBits() const {
-    return tier_ == Tier::kHot
-               ? hot_.SizeInBits() + ints_.size() * 64  // raw staging copy
-               : cold_.SizeInBits();
-  }
-
-  int64_t Access(size_t i, int digits) const {
-    if (tier_ == Tier::kHot) {
-      double scale = 1;
-      for (int d = 0; d < digits; ++d) scale *= 10;
-      return static_cast<int64_t>(std::llround(hot_.Access(i) * scale));
-    }
-    return cold_.Access(i);
-  }
-
-  bool is_hot() const { return tier_ == Tier::kHot; }
-  const char* tier_name() const {
-    switch (tier_) {
-      case Tier::kHot: return "hot";
-      case Tier::kCold: return "cold";
-      case Tier::kFrozen: return "frozen/mmap";
-    }
-    return "?";
-  }
-
- private:
-  enum class Tier { kHot, kCold, kFrozen };
-
-  Tier tier_ = Tier::kHot;
-  neats::Blockwise<neats::Gorilla> hot_;
-  neats::Neats cold_;
-  neats::MmapFile map_;        // backs `cold_` in the frozen tier
-  std::vector<int64_t> ints_;  // staged for compaction
-};
-
-}  // namespace
+#include "store/neats_store.hpp"
 
 int main() {
-  const size_t kSegmentLen = 50000;
-  const size_t kSegments = 6;
-  neats::Dataset ds = neats::MakeDataset("AP", kSegmentLen * kSegments);
+  const size_t kShardLen = 50000;
+  const size_t kShards = 6;
+  neats::Dataset ds = neats::MakeDataset("AP", kShardLen * kShards);
+  const double raw_mb =
+      static_cast<double>(ds.values.size()) * 8.0 / (1024.0 * 1024.0);
 
-  // --- Ingestion phase: fast appends, Gorilla-compressed segments. ---
-  std::vector<Segment> store;
-  neats::Timer timer;
-  for (size_t s = 0; s < kSegments; ++s) {
-    std::vector<double> dbl(ds.doubles.begin() + s * kSegmentLen,
-                            ds.doubles.begin() + (s + 1) * kSegmentLen);
-    std::vector<int64_t> ints(ds.values.begin() + s * kSegmentLen,
-                              ds.values.begin() + (s + 1) * kSegmentLen);
-    store.push_back(Segment::Ingest(std::move(dbl), std::move(ints)));
-  }
-  std::printf("ingested %zu segments (%zu points) in %.3f s with Gorilla\n",
-              kSegments, ds.values.size(), timer.ElapsedSeconds());
+  // A throwaway store directory (timestamp-suffixed so concurrent runs in
+  // the shared temp dir cannot collide); removed before exit.
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("neats_store_" +
+        std::to_string(static_cast<unsigned long long>(
+            std::chrono::steady_clock::now().time_since_epoch().count()))))
+          .string();
 
-  auto total_bits = [&] {
-    size_t bits = 0;
-    for (const auto& seg : store) bits += seg.SizeInBits();
-    return bits;
-  };
-  std::printf("hot store size: %.2f%% of raw (incl. staging copies)\n",
-              100.0 * static_cast<double>(total_bits()) /
-                  (64.0 * static_cast<double>(ds.values.size())));
-
-  // --- Background compaction: all but the newest segment go cold. ---
-  timer.Reset();
-  for (size_t s = 0; s + 1 < store.size(); ++s) store[s].Compact();
-  std::printf("\ncompacted %zu segments to NeaTS in %.2f s\n", kSegments - 1,
-              timer.ElapsedSeconds());
-  std::printf("store size after compaction: %.2f%% of raw\n",
-              100.0 * static_cast<double>(total_bits()) /
-                  (64.0 * static_cast<double>(ds.values.size())));
-
-  // --- The two coldest segments spill to disk, reopened via mmap + View. ---
-  // PID-suffixed paths so concurrent runs (or files left by another user in
-  // the shared temp dir) cannot collide; removed before exit.
-  const std::string dir = std::filesystem::temp_directory_path().string();
-  const std::string tag = std::to_string(
-      static_cast<unsigned long long>(
-          std::chrono::steady_clock::now().time_since_epoch().count()));
-  std::vector<std::string> frozen_paths;
-  timer.Reset();
-  for (size_t s = 0; s < 2; ++s) {
-    frozen_paths.push_back(dir + "/neats_segment_" + tag + "_" +
-                           std::to_string(s) + ".v2");
-    store[s].Freeze(frozen_paths.back());
-  }
-  std::printf("\nfroze 2 segments to %s (zero-copy reopen) in %.3f s\n",
-              dir.c_str(), timer.ElapsedSeconds());
-
-  // --- Queries hit hot, cold and frozen segments transparently. ---
   bool ok = true;
-  for (size_t probe : {size_t{123}, kSegmentLen + 999, kSegmentLen * 2 + 17,
-                       kSegmentLen * kSegments - 5}) {
-    size_t seg = probe / kSegmentLen;
-    int64_t got = store[seg].Access(probe % kSegmentLen,
-                                    ds.fractional_digits);
-    ok &= got == ds.values[probe];
-    std::printf("point query T[%zu] -> %lld (%s segment) %s\n", probe,
-                static_cast<long long>(got), store[seg].tier_name(),
-                got == ds.values[probe] ? "ok" : "MISMATCH");
+  {
+    // --- Ingestion: ragged appends, background sealing. ---
+    neats::NeatsStoreOptions options;
+    options.shard_size = kShardLen;
+    options.seal_threads = 0;  // one sealer per hardware thread
+    neats::NeatsStore store = neats::NeatsStore::CreateDir(dir, options);
+
+    neats::Timer timer;
+    size_t at = 0;
+    const size_t slices[] = {9973, 20011, 4999, 35117};  // ragged ingest
+    size_t slice = 0;
+    while (at < ds.values.size()) {
+      size_t n = std::min(slices[slice++ % 4], ds.values.size() - at);
+      store.Append({ds.values.data() + at, n});
+      at += n;
+    }
+    std::printf(
+        "appended %zu points in %.3f s (%.2f MB/s); "
+        "%zu shards sealed, %zu sealing, %llu in the hot tail\n",
+        ds.values.size(), timer.ElapsedSeconds(),
+        raw_mb / timer.ElapsedSeconds(), store.num_shards(),
+        store.num_pending_seals(),
+        static_cast<unsigned long long>(store.tail_size()));
+
+    // Queries are served while seals are still in flight: sealed shards
+    // from the compressed form, everything else from the raw chunks.
+    for (size_t probe : {size_t{123}, kShardLen + 999, kShardLen * kShards - 5}) {
+      ok &= store.Access(probe) == ds.values[probe];
+    }
+    std::printf("mid-ingest point queries: %s\n", ok ? "ok" : "MISMATCH");
+
+    // --- Flush: seal the tail, write blobs + manifest. ---
+    timer.Reset();
+    store.Flush();
+    std::printf("flushed to %s in %.3f s: %zu shards, %.2f%% of raw\n",
+                dir.c_str(), timer.ElapsedSeconds(), store.num_shards(),
+                100.0 * static_cast<double>(store.SizeInBits()) /
+                    (64.0 * static_cast<double>(ds.values.size())));
   }
 
-  // Full integrity sweep over a frozen segment: the mmap-backed view must
-  // return exactly the values the owned representation compressed.
-  for (size_t k = 0; k < kSegmentLen; k += 97) {
-    ok &= store[0].Access(k, ds.fractional_digits) == ds.values[k];
-  }
-  std::printf("frozen segment integrity sweep: %s\n", ok ? "ok" : "MISMATCH");
+  // --- Reopen zero-copy and serve every query shape. ---
+  neats::NeatsStore store = neats::NeatsStore::OpenDir(dir);
+  ok &= store.size() == ds.values.size();
+  ok &= store.num_shards() == kShards;
 
-  // Unmap (drop the store) before deleting the backing files.
-  store.clear();
-  for (const std::string& path : frozen_paths) {
-    std::filesystem::remove(path);
+  // Point queries across shard boundaries.
+  for (size_t probe : {size_t{0}, kShardLen - 1, kShardLen,
+                       kShardLen * 3 + 17, kShardLen * kShards - 1}) {
+    ok &= store.Access(probe) == ds.values[probe];
   }
+
+  // Batched access: unsorted, duplicated, cross-shard probes in one call.
+  std::vector<uint64_t> probes;
+  for (size_t j = 0; j < 4096; ++j) {
+    probes.push_back((j * 2654435761u) % ds.values.size());
+  }
+  probes.push_back(probes[0]);  // duplicate
+  std::vector<int64_t> got(probes.size());
+  neats::Timer timer;
+  store.AccessBatch(probes, got);
+  double batch_s = timer.ElapsedSeconds();
+  for (size_t j = 0; j < probes.size(); ++j) {
+    ok &= got[j] == ds.values[probes[j]];
+  }
+  std::printf("batch of %zu probes: %.0f ns/probe, %s\n", probes.size(),
+              1e9 * batch_s / static_cast<double>(probes.size()),
+              ok ? "ok" : "MISMATCH");
+
+  // Multi-range decompression straddling a shard boundary.
+  neats::IndexRange ranges[] = {{kShardLen - 100, 200},
+                                {kShardLen * 4 - 50, 150},
+                                {10, 25}};
+  size_t total_len = 0;
+  for (const auto& r : ranges) total_len += r.len;
+  std::vector<int64_t> window(total_len);
+  store.DecompressRanges(ranges, window.data());
+  size_t off = 0;
+  for (const auto& r : ranges) {
+    for (uint64_t j = 0; j < r.len; ++j) {
+      ok &= window[off + j] == ds.values[r.from + j];
+    }
+    off += r.len;
+  }
+  std::printf("multi-range decompression (3 ranges, 2 shard-spanning): %s\n",
+              ok ? "ok" : "MISMATCH");
+
+  // Exact vs approximate aggregates over a boundary-spanning window.
+  const uint64_t from = kShardLen * 2 - 5000, len = 10000;
+  int64_t exact = store.RangeSum(from, len);
+  auto approx = store.ApproximateRangeSum(from, len);
+  ok &= std::abs(approx.value - static_cast<double>(exact)) <=
+        approx.error_bound + 1e-6;
+  std::printf("range sum [%llu, +%llu): exact %lld, approx %.0f (±%.0f)\n",
+              static_cast<unsigned long long>(from),
+              static_cast<unsigned long long>(len),
+              static_cast<long long>(exact), approx.value,
+              approx.error_bound);
+
+  // Full integrity sweep over the mmap-served store.
+  for (size_t k = 0; k < ds.values.size(); k += 97) {
+    ok &= store.Access(k) == ds.values[k];
+  }
+  std::printf("zero-copy integrity sweep: %s\n", ok ? "ok" : "MISMATCH");
+
+  // Append after reopen: the store keeps growing across sessions.
+  store.Append({ds.values.data(), 1000});
+  store.Flush();
+  ok &= store.size() == ds.values.size() + 1000;
+  ok &= store.Access(ds.values.size() + 123) == ds.values[123];
+  std::printf("append-after-reopen (+1000 values, re-flushed): %s\n",
+              ok ? "ok" : "MISMATCH");
+
+  std::filesystem::remove_all(dir);
   return ok ? 0 : 1;
 }

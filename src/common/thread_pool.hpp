@@ -11,6 +11,11 @@
 // Indices are claimed one at a time from an atomic counter (work stealing),
 // which load-balances the heterogeneous fragment-rebuild costs without any
 // up-front splitting. Bodies must not throw.
+//
+// Besides the blocking ParallelFor, the pool runs fire-and-forget tasks
+// (Submit/DrainTasks): the store's background shard sealer hands whole
+// chunks to the pool and only synchronizes at Flush time. Both kinds of
+// work share the same workers.
 
 #pragma once
 
@@ -18,9 +23,11 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace neats {
@@ -88,6 +95,45 @@ class ThreadPool {
     job_ = nullptr;
   }
 
+  /// Enqueues `task` to run asynchronously on a worker thread (FIFO order
+  /// across Submit calls; tasks may interleave with ParallelFor jobs). On a
+  /// pool with no workers the task runs inline before Submit returns, so
+  /// callers get the same completion guarantees either way. Tasks must not
+  /// throw. Drain with DrainTasks() before destroying the pool — workers
+  /// shut down without running tasks still queued.
+  void Submit(std::function<void()> task) {
+    if (workers_.empty()) {
+      task();
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++tasks_outstanding_;
+      tasks_.push_back(std::move(task));
+    }
+    wake_cv_.notify_one();
+    // Wake DrainTasks sleepers too: their wait predicate includes
+    // "queue non-empty" precisely so they can help with tasks submitted
+    // while they slept (e.g. a task that submits a follow-up task).
+    done_cv_.notify_all();
+  }
+
+  /// Blocks until every task submitted so far has finished. The calling
+  /// thread helps drain the queue, so DrainTasks makes progress even while
+  /// all workers are busy inside long-running tasks.
+  void DrainTasks() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+      if (!tasks_.empty()) {
+        RunOneQueuedTask(lock);
+        continue;
+      }
+      if (tasks_outstanding_ == 0) return;
+      done_cv_.wait(lock,
+                    [&] { return tasks_outstanding_ == 0 || !tasks_.empty(); });
+    }
+  }
+
  private:
   struct Job {
     const std::function<void(size_t)>* body = nullptr;
@@ -106,12 +152,31 @@ class ThreadPool {
     }
   }
 
+  /// Pops and runs the front queued task, releasing `lock` (which must be
+  /// held) around the run and notifying drainers when the count hits zero.
+  /// Precondition: !tasks_.empty(). Shared by WorkerLoop and DrainTasks so
+  /// the task accounting lives in exactly one place.
+  void RunOneQueuedTask(std::unique_lock<std::mutex>& lock) {
+    std::function<void()> task = std::move(tasks_.front());
+    tasks_.pop_front();
+    lock.unlock();
+    task();
+    lock.lock();
+    if (--tasks_outstanding_ == 0) done_cv_.notify_all();
+  }
+
   void WorkerLoop() {
     uint64_t seen = 0;
     std::unique_lock<std::mutex> lock(mutex_);
     while (true) {
-      wake_cv_.wait(lock, [&] { return stop_ || job_seq_ != seen; });
+      wake_cv_.wait(lock, [&] {
+        return stop_ || job_seq_ != seen || !tasks_.empty();
+      });
       if (stop_) return;
+      if (!tasks_.empty()) {
+        RunOneQueuedTask(lock);
+        continue;
+      }
       seen = job_seq_;
       Job* job = job_;
       if (job == nullptr) continue;  // raced with job completion
@@ -127,6 +192,8 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable wake_cv_;
   std::condition_variable done_cv_;
+  std::deque<std::function<void()>> tasks_;  // async Submit queue
+  size_t tasks_outstanding_ = 0;             // queued + running tasks
   Job* job_ = nullptr;
   uint64_t job_seq_ = 0;
   bool stop_ = false;

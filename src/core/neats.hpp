@@ -76,14 +76,13 @@ struct NeatsOptions {
   uint64_t chunk_size = 0;
 };
 
-/// Number of bits used to store one correction of a fragment whose residuals
-/// span [lo, hi] (two's-complement style, bias 2^(b-1)).
-inline int ResidualBits(int64_t lo, int64_t hi) {
-  int bits = 0;
-  if (lo < 0) bits = CeilLog2(static_cast<uint64_t>(-lo)) + 1;
-  if (hi > 0) bits = std::max(bits, CeilLog2(static_cast<uint64_t>(hi) + 1) + 1);
-  return bits;
-}
+/// A half-open index range [from, from + len) of the decompressed series —
+/// the unit of the multi-range query APIs (Neats::DecompressRanges and the
+/// store layer's batch surface).
+struct IndexRange {
+  uint64_t from = 0;
+  uint64_t len = 0;
+};
 
 /// A lossless, randomly-accessible compressed representation of an integer
 /// time series.
@@ -165,6 +164,53 @@ class Neats {
         static_cast<int64_t>(ReadBits(corrections_.data(), o, bits)) - bias;
     return pred + c - shift_;
   }
+
+  /// Batched Algorithm 3: decodes the values at positions `idx` — which must
+  /// be non-decreasing (duplicates allowed; callers with unsorted probes sort
+  /// first, as NeatsStore::AccessBatch does) — into out[0..idx.size()).
+  /// Consecutive probes covered by the same fragment decode from one cached
+  /// state: the fragment is resolved by the Elias-Fano PredecessorScanner
+  /// (a forward high-bits walk between nearby probes, a plain bucket scan
+  /// across far jumps — never more than scalar Access pays) and its
+  /// directory record is read once per fragment run, so the per-probe cost
+  /// of a dense sorted batch approaches the predict + correction read
+  /// alone. Unlike the cursor path, the fragment *end* is never computed —
+  /// the scanner itself reports when a probe crosses into the next
+  /// fragment, saving the extra select per fragment that sparse batches
+  /// would otherwise pay over scalar Access.
+  void AccessBatch(std::span<const uint64_t> idx, int64_t* out) const {
+    FragState st;
+    size_t cur = SIZE_MAX;
+    if (starts_mode_ == StartsIndex::kEliasFano) {
+      EliasFano::PredecessorScanner scanner(starts_ef_);
+      for (size_t p = 0; p < idx.size(); ++p) {
+        NEATS_DCHECK(idx[p] < n_ && (p == 0 || idx[p - 1] <= idx[p]));
+        auto [i, start] = scanner.Next(idx[p]);
+        if (i != cur) {
+          st = LoadFragmentState(i, start);
+          cur = i;
+        }
+        out[p] = DecodeFragValue(st, idx[p]);
+      }
+      return;
+    }
+    for (size_t p = 0; p < idx.size(); ++p) {
+      NEATS_DCHECK(idx[p] < n_ && (p == 0 || idx[p - 1] <= idx[p]));
+      size_t i = FragmentIndexOf(idx[p]);
+      if (i != cur) {
+        st = LoadFragmentState(i, FragmentStart(i));
+        cur = i;
+      }
+      out[p] = DecodeFragValue(st, idx[p]);
+    }
+  }
+
+  /// Multi-range decompression: concatenates the values of every range into
+  /// `out` (sized to the sum of the lengths), sharing one cursor across the
+  /// whole batch — consecutive ranges that land in nearby fragments reuse
+  /// the cached decode state through the cursor's monotone-seek hop chain
+  /// instead of paying a fresh rank per range.
+  void DecompressRanges(std::span<const IndexRange> ranges, int64_t* out) const;
 
   /// Sequential-access cursor over the decompressed values; see the class
   /// definition below. Iteration and monotone seeks skip the per-call
@@ -738,14 +784,14 @@ class Neats {
     int64_t bias = 0;
   };
 
-  /// Loads fragment i given its start (already known to sequential callers —
-  /// the next start is the previous end). Everything else comes out of the
-  /// fragment's directory record in one read.
-  FragState LoadFragment(size_t i, uint64_t start) const {
+  /// The decode-relevant fields of fragment i (everything but `end`), from
+  /// one directory record read. The batch kernel caches exactly this — it
+  /// learns about fragment transitions from the predecessor scanner, so it
+  /// never pays the extra starts select that computing `end` would cost.
+  FragState LoadFragmentState(size_t i, uint64_t start) const {
     const FragmentDirectory::Record& rec = directory_[i];
     FragState s;
     s.start = start;
-    s.end = FragmentEnd(i);
     s.kind = kind_table_[rec.kind];
     s.params = params_[rec.kind].data() + rec.param_index;
     s.bits = rec.correction_bits;
@@ -755,9 +801,30 @@ class Neats {
     return s;
   }
 
+  /// Loads fragment i given its start (already known to sequential callers —
+  /// the next start is the previous end). Everything else comes out of the
+  /// fragment's directory record in one read.
+  FragState LoadFragment(size_t i, uint64_t start) const {
+    FragState s = LoadFragmentState(i, start);
+    s.end = FragmentEnd(i);
+    return s;
+  }
+
   /// Loads fragment i from scratch (one starts access + the record read).
   FragState LoadFragment(size_t i) const {
     return LoadFragment(i, FragmentStart(i));
+  }
+
+  /// Decodes the value at position k of the loaded fragment `s`
+  /// (s.start <= k < s.end) — the one-value decode shared by Cursor::Value
+  /// and the batch kernel's per-group loop.
+  int64_t DecodeFragValue(const FragState& s, uint64_t k) const {
+    int64_t pred = PredictFloor(s.kind, s.params,
+                                static_cast<int64_t>(k - s.origin) + 1);
+    uint64_t o = s.corr_base + (k - s.start) * static_cast<uint64_t>(s.bits);
+    int64_t c =
+        static_cast<int64_t>(ReadBits(corrections_.data(), o, s.bits)) - s.bias;
+    return pred + c - shift_;
   }
 
   // Tight per-kind decode loop; KIND is a compile-time constant so the
@@ -891,14 +958,7 @@ class Neats::Cursor {
   /// The value at the current position (the cursor does not advance).
   int64_t Value() const {
     NEATS_DCHECK(!done());
-    int64_t pred = PredictFloor(st_.kind, st_.params,
-                                static_cast<int64_t>(pos_ - st_.origin) + 1);
-    uint64_t o =
-        st_.corr_base + (pos_ - st_.start) * static_cast<uint64_t>(st_.bits);
-    int64_t c = static_cast<int64_t>(
-                    ReadBits(neats_->corrections_.data(), o, st_.bits)) -
-                st_.bias;
-    return pred + c - neats_->shift_;
+    return neats_->DecodeFragValue(st_, pos_);
   }
 
   /// The value at the current position, then advances by one.
@@ -990,6 +1050,19 @@ inline void Neats::DecompressRange(uint64_t k, uint64_t len,
   if (len == 0) return;
   Cursor cursor(*this, k);
   cursor.Read(len, out);
+}
+
+inline void Neats::DecompressRanges(std::span<const IndexRange> ranges,
+                                    int64_t* out) const {
+  if (ranges.empty()) return;
+  Cursor cursor(*this, ranges[0].from);
+  uint64_t off = 0;
+  for (const IndexRange& r : ranges) {
+    NEATS_DCHECK(r.from + r.len <= n_);
+    cursor.Seek(r.from);
+    cursor.Read(r.len, out + off);
+    off += r.len;
+  }
 }
 
 inline int64_t Neats::RangeSum(uint64_t from, uint64_t len) const {

@@ -40,6 +40,16 @@ inline int CorrectionBits(int64_t eps) {
   return CeilLog2(2 * static_cast<uint64_t>(eps) + 1);
 }
 
+/// Number of bits used to store one correction of a fragment whose residuals
+/// span [lo, hi] (two's-complement style, bias 2^(b-1)). This is the width
+/// BuildLayout actually stores — CorrectionBits(eps) is only its upper bound.
+inline int ResidualBits(int64_t lo, int64_t hi) {
+  int bits = 0;
+  if (lo < 0) bits = CeilLog2(static_cast<uint64_t>(-lo)) + 1;
+  if (hi > 0) bits = std::max(bits, CeilLog2(static_cast<uint64_t>(hi) + 1) + 1);
+  return bits;
+}
+
 /// Tuning knobs of the partitioner.
 struct PartitionOptions {
   /// Set F of function kinds to combine. The paper's default: linear,
@@ -238,6 +248,58 @@ std::vector<Fragment> PartitionImpl(std::span<const int64_t> values,
 
 }  // namespace internal
 
+/// The bit size BuildLayout will actually charge for `frag` — corrections at
+/// the width of the real residual range (not the CorrectionBits(eps) bound
+/// the partitioner plans with) plus parameters and per-fragment metadata.
+inline uint64_t StoredFragmentBits(std::span<const int64_t> values,
+                                   const Fragment& frag,
+                                   const PartitionOptions& options) {
+  int64_t lo = 0, hi = 0;
+  for (uint64_t k = frag.start; k < frag.end; ++k) {
+    int64_t r = values[k] - frag.Predict(k);
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  return frag.length() * static_cast<uint64_t>(ResidualBits(lo, hi)) +
+         static_cast<uint64_t>(NumParams(frag.kind)) *
+             static_cast<uint64_t>(options.bits_per_parameter) +
+         static_cast<uint64_t>(options.fragment_overhead_bits);
+}
+
+namespace internal {
+
+/// Boundary-merge pass of the chunked partitioner: when the fragment ending
+/// at a chunk boundary and the one starting it share (kind, eps), refit the
+/// union from a's start and keep the merged fragment when the fit is still
+/// feasible AND the stored encoding does not grow (the merged residual width
+/// can exceed either part's, so feasibility alone is not enough). Returns
+/// the merged fragment through `out`; false leaves the pair split. The
+/// refit's origin is a.start, so a suffix-born `a` loses its displaced
+/// origin — correct, since the refit re-verifies the union from scratch.
+inline bool TryMergeAtBoundary(std::span<const int64_t> values,
+                               const Fragment& a, const Fragment& b,
+                               const PartitionOptions& options, Fragment* out) {
+  if (a.kind != b.kind || a.epsilon != b.epsilon || a.end != b.start) {
+    return false;
+  }
+  FragmentBuilder builder(a.start, a.kind, a.epsilon,
+                          values[a.start]);
+  for (uint64_t k = a.start; k < b.end; ++k) {
+    if (!builder.TryExtend(k, values[k])) return false;
+  }
+  Fragment merged = builder.Finish();
+  NEATS_DCHECK(merged.end == b.end);
+  if (StoredFragmentBits(values, merged, options) >
+      StoredFragmentBits(values, a, options) +
+          StoredFragmentBits(values, b, options)) {
+    return false;
+  }
+  *out = merged;
+  return true;
+}
+
+}  // namespace internal
+
 /// Partitions `values` to minimise the bit size of the lossless NeaTS
 /// encoding (functions + corrections). Returns contiguous fragments covering
 /// [0, n).
@@ -253,12 +315,19 @@ inline std::vector<Fragment> PartitionLossless(std::span<const int64_t> values,
 
 /// Chunked variant of PartitionLossless: cuts the series into disjoint
 /// blocks of `chunk_size` values, partitions each block independently (the
-/// blocks run concurrently on `num_threads` threads), and concatenates the
-/// per-block fragment lists. The result is a valid partition of the whole
-/// series and is deterministic — identical for every thread count — because
-/// the block boundaries are fixed and each block's partition is
-/// deterministic. It can differ from the global partition (fragments never
-/// span a block boundary), trading a sliver of compression ratio for
+/// blocks run concurrently on `num_threads` threads), and stitches the
+/// per-block fragment lists with a boundary-merge pass: adjacent fragments
+/// meeting at a block boundary that share (kind, eps) are re-fitted as one
+/// and merged whenever the union is still feasible and not larger — so a
+/// fit that happens to span a boundary (a long trend cut mid-flight) is
+/// recovered instead of paying two parameter sets and two metadata rows.
+/// Merged fragments cascade across further boundaries up to a fixed span
+/// cap (kMaxMergeSpanChunks blocks), which keeps the stitch pass linear.
+/// The result is a valid partition of the whole series and is deterministic
+/// — identical for every thread count — because the block boundaries are
+/// fixed, each block's partition is deterministic, and the merge pass runs
+/// serially on the stitched list. It can still differ from the global
+/// partition, trading a (now smaller) sliver of compression ratio for
 /// near-linear compression scaling.
 ///
 /// When `options.epsilons` is empty the E set is derived once from the whole
@@ -297,9 +366,29 @@ inline std::vector<Fragment> PartitionLosslessChunked(
     for (size_t c = 0; c < num_chunks; ++c) run_chunk(c);
   }
 
+  // Boundary-merge stitch. The cascade is capped: once a merged fragment
+  // spans kMaxMergeSpanChunks blocks, further boundaries keep the split.
+  // Every attempt costs O(merged length) (refit + residual-width scans),
+  // so without the cap a fit spanning k blocks would cost O(k^2 * chunk)
+  // across its boundaries — the cap bounds the whole pass at O(n) with a
+  // small constant, and gives back only ~one fragment's metadata per
+  // kMaxMergeSpanChunks blocks on endlessly mergeable input.
+  constexpr uint64_t kMaxMergeSpanChunks = 16;
+  const uint64_t max_merge_len = kMaxMergeSpanChunks * chunk_size;
   std::vector<Fragment> result;
   for (std::vector<Fragment>& frags : per_chunk) {
-    result.insert(result.end(), frags.begin(), frags.end());
+    size_t at = 0;
+    if (!result.empty() && !frags.empty() &&
+        result.back().length() + frags.front().length() <= max_merge_len) {
+      Fragment merged;
+      if (internal::TryMergeAtBoundary(values, result.back(), frags.front(),
+                                       chunk_options, &merged)) {
+        result.back() = merged;  // cascades: a block-spanning merge may
+        at = 1;                  // merge again at the next boundary
+      }
+    }
+    result.insert(result.end(), frags.begin() + static_cast<ptrdiff_t>(at),
+                  frags.end());
   }
   return result;
 }

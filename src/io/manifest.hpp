@@ -1,0 +1,124 @@
+// The store manifest: the small routing file at the root of a NeatsStore
+// directory (docs/FORMAT.md, "Store directory layout").
+//
+// A store directory holds one format-v3 NeaTS blob per sealed shard plus
+// MANIFEST.neats, which records the target shard size and, per shard, the
+// global index range it covers and the byte size of its blob. The manifest
+// is what OpenDir routes by: shard k serves global indices
+// [shards[k].first, shards[k].first + shards[k].count), the blob lives in
+// ShardFileName(k), and the recorded blob_bytes is cross-checked against
+// the actual file before the blob is mapped — a manifest/blob mismatch
+// aborts instead of serving a half-written store.
+//
+// The wire format reuses the flat word grammar of format v2/v3 (WordWriter/
+// WordReader): magic "NEATSMF\0", a version word, the target shard size,
+// the shard count, then three words per shard. Loads are hardened the same
+// way as blob loads — counts are bounded by the backing bytes, coverage
+// must be contiguous from index 0, and every violation aborts loudly
+// (NEATS_REQUIRE), matching the clobber-sweep contract of the other
+// loaders.
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "succinct/storage.hpp"
+
+namespace neats {
+
+/// Parsed (or to-be-written) contents of a store directory's manifest file.
+struct StoreManifest {
+  /// One sealed shard: global index range and serialized blob size.
+  struct Shard {
+    uint64_t first = 0;       // global index of the shard's first value
+    uint64_t count = 0;       // number of values in the shard (> 0)
+    uint64_t blob_bytes = 0;  // byte size of the shard's v3 blob file
+  };
+
+  uint64_t shard_size = 0;  // target values per sealed shard (> 0)
+  std::vector<Shard> shards;
+
+  /// Total sealed values (the index one past the last shard).
+  uint64_t total() const {
+    return shards.empty() ? 0 : shards.back().first + shards.back().count;
+  }
+
+  /// Name of the manifest file inside a store directory.
+  static const char* FileName() { return "MANIFEST.neats"; }
+
+  /// Blob file name of shard `index` inside a store directory, zero-padded
+  /// so directory listings sort in shard order.
+  static std::string ShardFileName(size_t index) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "shard-%06zu.neats", index);
+    return buf;
+  }
+
+  void Serialize(std::vector<uint8_t>* out) const {
+    out->clear();
+    WordWriter w(out);
+    w.Put(kMagic);
+    w.Put(kVersion);
+    w.Put(shard_size);
+    w.Put(shards.size());
+    for (const Shard& s : shards) {
+      w.Put(s.first);
+      w.Put(s.count);
+      w.Put(s.blob_bytes);
+    }
+  }
+
+  /// Parses Serialize output. Aborts (NEATS_REQUIRE) on anything that is not
+  /// a well-formed manifest: wrong magic/version, a shard count the bytes
+  /// cannot back, zero-sized shards, or coverage that is not contiguous
+  /// from global index 0.
+  static StoreManifest Deserialize(std::span<const uint8_t> bytes) {
+    NEATS_REQUIRE(bytes.size() >= 8, "not a NeaTS store manifest");
+    uint64_t magic;
+    std::memcpy(&magic, bytes.data(), 8);
+    NEATS_REQUIRE(magic == kMagic, "not a NeaTS store manifest");
+    WordReader r(bytes, /*borrow=*/false);
+    r.Get();  // magic, checked above
+    NEATS_REQUIRE(r.Get() == kVersion,
+                  "unsupported NeaTS store manifest version");
+    StoreManifest m;
+    m.shard_size = r.Get();
+    NEATS_REQUIRE(m.shard_size > 0 && m.shard_size <= (uint64_t{1} << 56),
+                  "corrupt NeaTS store manifest");
+    uint64_t count = r.Get();
+    NEATS_REQUIRE(count <= (bytes.size() - r.position()) / 24,
+                  "corrupt NeaTS store manifest");
+    m.shards.reserve(count);
+    uint64_t next_first = 0;
+    for (uint64_t i = 0; i < count; ++i) {
+      Shard s;
+      s.first = r.Get();
+      s.count = r.Get();
+      s.blob_bytes = r.Get();
+      // Contiguous coverage from 0 and the same wrap guard as the blob
+      // loaders: a forged count cannot push `first + count` past 2^56.
+      NEATS_REQUIRE(s.first == next_first && s.count > 0 &&
+                        s.count <= (uint64_t{1} << 56) - s.first &&
+                        s.blob_bytes > 0,
+                    "corrupt NeaTS store manifest");
+      next_first = s.first + s.count;
+      m.shards.push_back(s);
+    }
+    NEATS_REQUIRE(r.position() == bytes.size(),
+                  "corrupt NeaTS store manifest");
+    return m;
+  }
+
+ private:
+  // Little-endian "NEATSMF\0" — same ASCII-sniffable convention as the blob
+  // magics ("NEATSv2", "NEATSL2").
+  static constexpr uint64_t kMagic = 0x00464D535441454EULL;
+  static constexpr uint64_t kVersion = 1;
+};
+
+}  // namespace neats

@@ -1,0 +1,518 @@
+// The serving layer: a long (and growing) series as a set of sealed NeaTS
+// shards behind one routing index, plus a write-ahead hot tail for streaming
+// ingest (the storage-engine deployment of Sec. IV-C1, grown into a
+// subsystem).
+//
+// Shape of the store:
+//
+//   [ shard 0 ][ shard 1 ] ... [ shard s-1 ][ pending seals ][ hot tail ]
+//     sealed NeaTS blobs, immutable           raw chunks       raw vector
+//     (owned, or mmap'd zero-copy)            compressing in
+//                                             the background
+//
+// Append() buffers into the hot tail; every time the tail reaches
+// `shard_size` values a chunk is cut off and handed to the thread pool,
+// which compresses it into a new NeaTS shard in the background (the raw
+// values stay queryable until the seal lands, so queries never wait on a
+// compressor). Flush() seals the remaining tail, drains the pool and — for
+// a directory-backed store — writes one format-v3 blob per shard plus a
+// MANIFEST.neats routing file (src/io/manifest.hpp); OpenDir() maps those
+// blobs back zero-copy through MmapFile + Neats::View.
+//
+// Every query routes through the in-memory routing index (shard ->
+// [first, first+count)) and stitches across shard boundaries:
+//
+//   Access(i)              one shard lookup + one Neats::Access
+//   AccessBatch(idx, out)  probes of any order: argsorted, grouped per
+//                          shard, then resolved by the per-shard
+//                          fragment-grouped batch kernel (Neats::AccessBatch)
+//                          — one Elias-Fano predecessor step and one
+//                          directory record per *group*, not per probe
+//   DecompressRange(s)     per-shard cursor scans, stitched
+//   RangeSum /             exact and corrections-free approximate sums,
+//   ApproximateRangeSum    combined across the covered shards
+//
+// Threading contract: one writer (Append/Flush) at a time, like a standard
+// container; read queries may run concurrently with the *background seals*
+// (sealing only writes fields queries never touch) but not with the writer.
+
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/thread_pool.hpp"
+#include "core/neats.hpp"
+#include "io/manifest.hpp"
+#include "io/mmap_file.hpp"
+#include "io/text_io.hpp"
+
+namespace neats {
+
+/// Tuning knobs of a NeatsStore.
+struct NeatsStoreOptions {
+  /// Values per sealed shard. Smaller shards seal sooner and parallelize
+  /// better; larger shards amortize per-shard metadata and compress a bit
+  /// tighter. Ignored by OpenDir (the manifest's value wins, so a store
+  /// keeps its geometry across reopen).
+  uint64_t shard_size = uint64_t{1} << 16;
+
+  /// Compression options for sealing a shard (passed to Neats::Compress).
+  NeatsOptions neats;
+
+  /// Worker threads of the background sealer. 1 = a pool with no extra
+  /// workers (seals run inline at the Append that cuts the chunk);
+  /// 0 = one per hardware thread.
+  int seal_threads = 1;
+};
+
+/// A sharded, append-able, randomly-accessible compressed series store.
+class NeatsStore {
+ public:
+  NeatsStore() : NeatsStore(NeatsStoreOptions{}) {}
+
+  explicit NeatsStore(const NeatsStoreOptions& options)
+      : options_(options),
+        pool_(std::make_unique<ThreadPool>(
+            ResolveNumThreads(options.seal_threads))) {
+    NEATS_REQUIRE(options_.shard_size > 0, "shard_size must be positive");
+  }
+
+  /// A directory-backed store rooted at `dir` (created if missing): sealed
+  /// shards are written there as v3 blobs and served zero-copy via mmap
+  /// once sealed; Flush() writes the manifest that OpenDir routes by.
+  /// Refuses a directory that already holds a manifest — a fresh store's
+  /// seals would overwrite the existing store's blobs out from under it;
+  /// reopen with OpenDir (or clear the directory) instead.
+  static NeatsStore CreateDir(const std::string& dir,
+                              const NeatsStoreOptions& options = {}) {
+    std::filesystem::create_directories(dir);
+    NEATS_REQUIRE(
+        !std::filesystem::exists(dir + "/" + StoreManifest::FileName()),
+        "directory already holds a store — use OpenDir");
+    NeatsStore store(options);
+    store.dir_ = dir;
+    return store;
+  }
+
+  /// Opens a flushed store directory: parses the manifest, maps every shard
+  /// blob zero-copy (MmapFile + Neats::View) and cross-checks each against
+  /// its manifest row (blob byte size, value count). The store is fully
+  /// queryable and appendable afterwards; `options` supplies the
+  /// compression knobs for future seals (the manifest's shard_size wins).
+  static NeatsStore OpenDir(const std::string& dir,
+                            const NeatsStoreOptions& options = {}) {
+    NeatsStore store(options);
+    store.dir_ = dir;
+    StoreManifest manifest = StoreManifest::Deserialize(
+        ReadFile(dir + "/" + StoreManifest::FileName()));
+    store.options_.shard_size = manifest.shard_size;
+    store.shards_.reserve(manifest.shards.size());
+    for (size_t s = 0; s < manifest.shards.size(); ++s) {
+      const StoreManifest::Shard& row = manifest.shards[s];
+      Shard shard;
+      shard.first = row.first;
+      shard.count = row.count;
+      shard.blob_bytes = row.blob_bytes;
+      shard.map = MmapFile::Open(dir + "/" + StoreManifest::ShardFileName(s));
+      NEATS_REQUIRE(shard.map.size() == row.blob_bytes,
+                    "store shard blob disagrees with manifest");
+      shard.neats = Neats::View(shard.map.bytes());
+      NEATS_REQUIRE(shard.neats.size() == row.count,
+                    "store shard blob disagrees with manifest");
+      store.shards_.push_back(std::move(shard));
+    }
+    store.sealed_total_ = manifest.total();
+    store.next_ordinal_ = store.shards_.size();
+    return store;
+  }
+
+  NeatsStore(NeatsStore&&) = default;
+
+  /// Move assignment first drains this store's own background seals: their
+  /// tasks hold pointers into the pending chunks about to be destroyed, so
+  /// a memberwise move while a seal is in flight would be a use-after-free.
+  NeatsStore& operator=(NeatsStore&& o) {
+    if (this != &o) {
+      if (pool_ != nullptr) pool_->DrainTasks();
+      options_ = std::move(o.options_);
+      dir_ = std::move(o.dir_);
+      shards_ = std::move(o.shards_);
+      sealed_total_ = o.sealed_total_;
+      pending_ = std::move(o.pending_);
+      pending_total_ = o.pending_total_;
+      tail_ = std::move(o.tail_);
+      next_ordinal_ = o.next_ordinal_;
+      pool_ = std::move(o.pool_);
+    }
+    return *this;
+  }
+
+  /// Waits for in-flight background seals (their tasks reference the
+  /// pending chunks this object owns). Does NOT flush: an unflushed
+  /// directory store simply keeps its already-written shard blobs and the
+  /// previous manifest.
+  ~NeatsStore() {
+    if (pool_ != nullptr) pool_->DrainTasks();
+  }
+
+  // --- Ingest -------------------------------------------------------------
+
+  /// Appends `values`; every full `shard_size` chunk is sealed into a new
+  /// NeaTS shard in the background and only the sub-shard remainder is
+  /// buffered in the hot tail. Full chunks are cut straight from the
+  /// incoming span (after topping up whatever the tail already holds), so
+  /// a bulk append of many shards' worth of data is linear — the tail is
+  /// never repeatedly erased from the front. Also promotes any seals that
+  /// completed since the last call, so the sealed prefix advances without
+  /// ever blocking the append path on a compressor.
+  void Append(std::span<const int64_t> values) {
+    PromoteSealed();
+    const size_t shard = static_cast<size_t>(options_.shard_size);
+    size_t at = 0;
+    if (!tail_.empty()) {  // invariant: tail_.size() < shard
+      const size_t take = std::min(shard - tail_.size(), values.size());
+      tail_.insert(tail_.end(), values.begin(),
+                   values.begin() + static_cast<ptrdiff_t>(take));
+      at = take;
+      if (tail_.size() < shard) return;
+      SealChunk(std::move(tail_));
+      tail_ = {};
+    }
+    while (values.size() - at >= shard) {
+      SealChunk(std::vector<int64_t>(
+          values.begin() + static_cast<ptrdiff_t>(at),
+          values.begin() + static_cast<ptrdiff_t>(at + shard)));
+      at += shard;
+    }
+    tail_.assign(values.begin() + static_cast<ptrdiff_t>(at), values.end());
+  }
+
+  /// Seals the remaining tail (as a final, possibly partial shard), drains
+  /// the background sealer, and — for a directory-backed store — writes the
+  /// manifest. Afterwards every value lives in a sealed shard; appending
+  /// may continue (new shards, manifest rewritten by the next Flush).
+  void Flush() {
+    if (!tail_.empty()) {
+      SealChunk(std::move(tail_));
+      tail_ = {};
+    }
+    pool_->DrainTasks();
+    PromoteSealed();
+    NEATS_DCHECK(pending_.empty());
+    if (!dir_.empty()) WriteManifest();
+  }
+
+  // --- Introspection ------------------------------------------------------
+
+  /// Total number of values in the store (sealed + sealing + hot tail).
+  uint64_t size() const {
+    return sealed_total_ + pending_total_ + tail_.size();
+  }
+
+  /// Sealed-and-promoted shards (everything, after a Flush).
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Chunks currently compressing in the background.
+  size_t num_pending_seals() const { return pending_.size(); }
+
+  /// Values still in the raw hot tail.
+  uint64_t tail_size() const { return tail_.size(); }
+
+  /// Values per sealed shard (from the options, or the manifest after
+  /// OpenDir).
+  uint64_t shard_size() const { return options_.shard_size; }
+
+  /// Compressed size of the sealed shards plus 64 bits per not-yet-sealed
+  /// value (pending chunks and the hot tail are raw).
+  size_t SizeInBits() const {
+    size_t bits = (pending_total_ + tail_.size()) * 64;
+    for (const Shard& s : shards_) bits += s.neats.SizeInBits();
+    return bits;
+  }
+
+  // --- Queries ------------------------------------------------------------
+
+  /// The value at global index i: one routing lookup, then Neats::Access in
+  /// the covering shard (or a raw read from a pending chunk / the tail).
+  int64_t Access(uint64_t i) const {
+    NEATS_DCHECK(i < size());
+    if (i < sealed_total_) {
+      const Shard& s = ShardOf(i);
+      return s.neats.Access(i - s.first);
+    }
+    return AccessUnsealed(i);
+  }
+
+  /// Batched point queries, any probe order, duplicates allowed. Probes are
+  /// argsorted, grouped per shard, and each shard group is resolved by the
+  /// fragment-grouped Neats::AccessBatch kernel; out[j] receives the value
+  /// at idx[j] (the sort is internal, results come back in input order).
+  void AccessBatch(std::span<const uint64_t> idx,
+                   std::span<int64_t> out) const {
+    NEATS_DCHECK(idx.size() == out.size());
+    if (idx.empty()) return;
+    std::vector<size_t> order(idx.size());
+    for (size_t j = 0; j < order.size(); ++j) order[j] = j;
+    std::sort(order.begin(), order.end(),
+              [&idx](size_t a, size_t b) { return idx[a] < idx[b]; });
+    std::vector<uint64_t> local;
+    std::vector<int64_t> local_out;
+    size_t p = 0;
+    while (p < idx.size()) {
+      const uint64_t k = idx[order[p]];
+      NEATS_DCHECK(k < size());
+      if (k >= sealed_total_) {  // pending chunks + tail: raw reads
+        out[order[p]] = AccessUnsealed(k);
+        ++p;
+        continue;
+      }
+      const Shard& s = ShardOf(k);
+      const uint64_t end = s.first + s.count;
+      size_t q = p;
+      local.clear();
+      while (q < idx.size() && idx[order[q]] < end) {
+        local.push_back(idx[order[q]] - s.first);
+        ++q;
+      }
+      local_out.resize(local.size());
+      s.neats.AccessBatch(local, local_out.data());
+      for (size_t j = p; j < q; ++j) out[order[j]] = local_out[j - p];
+      p = q;
+    }
+  }
+
+  /// Decompresses values[from, from + len) into out, stitching across shard
+  /// boundaries (per-shard cursor scans; raw memcpy past the sealed prefix).
+  void DecompressRange(uint64_t from, uint64_t len, int64_t* out) const {
+    NEATS_DCHECK(from + len <= size());
+    while (len > 0) {
+      const uint64_t took = DecompressPrefix(from, len, out);
+      from += took;
+      len -= took;
+      out += took;
+    }
+  }
+
+  /// Multi-range decompression: every range's values, concatenated into
+  /// `out` (sized to the sum of the range lengths).
+  void DecompressRanges(std::span<const IndexRange> ranges,
+                        int64_t* out) const {
+    for (const IndexRange& r : ranges) {
+      DecompressRange(r.from, r.len, out);
+      out += r.len;
+    }
+  }
+
+  /// Exact sum over values[from, from + len), combined across shards.
+  int64_t RangeSum(uint64_t from, uint64_t len) const {
+    NEATS_DCHECK(from + len <= size());
+    int64_t sum = 0;
+    while (len > 0) {
+      if (from < sealed_total_) {
+        const Shard& s = ShardOf(from);
+        const uint64_t take = std::min(len, s.first + s.count - from);
+        sum += s.neats.RangeSum(from - s.first, take);
+        from += take;
+        len -= take;
+        continue;
+      }
+      for (uint64_t k = from; k < from + len; ++k) sum += AccessUnsealed(k);
+      break;
+    }
+    return sum;
+  }
+
+  /// Approximate sum over values[from, from + len) from the learned
+  /// functions alone (Neats::ApproximateRangeSum per covered shard, with
+  /// the error bounds added up); not-yet-sealed values contribute exactly.
+  Neats::ApproximateAggregate ApproximateRangeSum(uint64_t from,
+                                                  uint64_t len) const {
+    NEATS_DCHECK(from + len <= size());
+    Neats::ApproximateAggregate agg{0.0, 0.0};
+    while (len > 0) {
+      if (from < sealed_total_) {
+        const Shard& s = ShardOf(from);
+        const uint64_t take = std::min(len, s.first + s.count - from);
+        Neats::ApproximateAggregate part =
+            s.neats.ApproximateRangeSum(from - s.first, take);
+        agg.value += part.value;
+        agg.error_bound += part.error_bound;
+        from += take;
+        len -= take;
+        continue;
+      }
+      for (uint64_t k = from; k < from + len; ++k) {
+        agg.value += static_cast<double>(AccessUnsealed(k));
+      }
+      break;
+    }
+    return agg;
+  }
+
+ private:
+  /// One sealed shard: its slice of the global index space and the NeaTS
+  /// object serving it — owned right after an in-memory seal, or a
+  /// zero-copy view into `map` for directory-backed shards.
+  struct Shard {
+    uint64_t first = 0;
+    uint64_t count = 0;
+    uint64_t blob_bytes = 0;  // serialized size (directory-backed stores)
+    Neats neats;
+    MmapFile map;  // backs `neats` when the shard is served from disk
+  };
+
+  /// A chunk handed to the background sealer. The raw values keep serving
+  /// queries until the seal is promoted; the seal task writes only
+  /// `sealed`, `blob_bytes` and finally `done` (the publication flag).
+  struct PendingChunk {
+    uint64_t first = 0;
+    size_t ordinal = 0;  // shard number -> blob file name
+    std::vector<int64_t> values;
+    Neats sealed;
+    uint64_t blob_bytes = 0;
+    std::atomic<bool> done{false};
+  };
+
+  /// Routing lookup: the sealed shard covering global index i.
+  const Shard& ShardOf(uint64_t i) const {
+    NEATS_DCHECK(i < sealed_total_);
+    size_t lo = 0, hi = shards_.size() - 1;
+    while (lo < hi) {
+      const size_t mid = (lo + hi + 1) / 2;
+      if (shards_[mid].first <= i) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    return shards_[lo];
+  }
+
+  /// Raw read past the sealed prefix (pending chunks, then the tail).
+  int64_t AccessUnsealed(uint64_t i) const {
+    NEATS_DCHECK(i >= sealed_total_ && i < size());
+    for (const auto& c : pending_) {
+      if (i < c->first + c->values.size()) return c->values[i - c->first];
+    }
+    return tail_[i - sealed_total_ - pending_total_];
+  }
+
+  /// Decompresses as much of [from, from + len) as one contiguous source
+  /// (shard, pending chunk, or tail) covers; returns how many values.
+  uint64_t DecompressPrefix(uint64_t from, uint64_t len, int64_t* out) const {
+    if (from < sealed_total_) {
+      const Shard& s = ShardOf(from);
+      const uint64_t take = std::min(len, s.first + s.count - from);
+      s.neats.DecompressRange(from - s.first, take, out);
+      return take;
+    }
+    for (const auto& c : pending_) {
+      if (from < c->first + c->values.size()) {
+        const uint64_t at = from - c->first;
+        const uint64_t take = std::min<uint64_t>(len, c->values.size() - at);
+        std::copy_n(c->values.data() + at, take, out);
+        return take;
+      }
+    }
+    const uint64_t at = from - sealed_total_ - pending_total_;
+    std::copy_n(tail_.data() + at, len, out);
+    return len;
+  }
+
+  /// Wraps `values` (one chunk, non-empty) into a pending seal and submits
+  /// it to the pool. The lambda captures everything it needs by value
+  /// (plus the stable chunk pointer), so it never touches `this`.
+  void SealChunk(std::vector<int64_t> values) {
+    auto chunk = std::make_unique<PendingChunk>();
+    chunk->first = sealed_total_ + pending_total_;
+    chunk->ordinal = next_ordinal_++;
+    chunk->values = std::move(values);
+    pending_total_ += chunk->values.size();
+    PendingChunk* raw = chunk.get();
+    pending_.push_back(std::move(chunk));
+    pool_->Submit([raw, opts = options_.neats, dir = dir_] {
+      raw->sealed = Neats::Compress(raw->values, opts);
+      if (!dir.empty()) {
+        std::vector<uint8_t> blob;
+        raw->sealed.Serialize(&blob);
+        WriteFile(dir + "/" + StoreManifest::ShardFileName(raw->ordinal),
+                  blob);
+        raw->blob_bytes = blob.size();
+      }
+      raw->done.store(true, std::memory_order_release);
+    });
+  }
+
+  /// Moves completed seals (in order) from the pending queue into the
+  /// routing index. Directory-backed shards are re-opened zero-copy from
+  /// the blob the seal task just wrote, so promoted shards never hold the
+  /// owned representation and the raw chunk memory is released here.
+  void PromoteSealed() {
+    while (!pending_.empty() &&
+           pending_.front()->done.load(std::memory_order_acquire)) {
+      PendingChunk& c = *pending_.front();
+      Shard s;
+      s.first = c.first;
+      s.count = c.values.size();
+      s.blob_bytes = c.blob_bytes;
+      if (!dir_.empty()) {
+        s.map = MmapFile::Open(dir_ + "/" +
+                               StoreManifest::ShardFileName(c.ordinal));
+        s.neats = Neats::View(s.map.bytes());
+      } else {
+        s.neats = std::move(c.sealed);
+      }
+      sealed_total_ += s.count;
+      pending_total_ -= s.count;
+      shards_.push_back(std::move(s));
+      pending_.pop_front();
+    }
+  }
+
+  void WriteManifest() const {
+    StoreManifest manifest;
+    manifest.shard_size = options_.shard_size;
+    manifest.shards.reserve(shards_.size());
+    for (const Shard& s : shards_) {
+      manifest.shards.push_back({s.first, s.count, s.blob_bytes});
+    }
+    std::vector<uint8_t> bytes;
+    manifest.Serialize(&bytes);
+    // Write-to-temp + rename: a process crash mid-Flush can never destroy
+    // the previous manifest — until the atomic rename lands, OpenDir keeps
+    // routing by the old file (which only names fully-written blobs,
+    // since shards are written before the manifest). Power-loss
+    // durability would additionally need fsync of the blob data, the
+    // temp file and the directory (ROADMAP, scale-out).
+    const std::string path = dir_ + "/" + StoreManifest::FileName();
+    const std::string tmp = path + ".tmp";
+    WriteFile(tmp, bytes);
+    std::filesystem::rename(tmp, path);
+  }
+
+  NeatsStoreOptions options_;
+  std::string dir_;  // empty = in-memory store
+
+  std::vector<Shard> shards_;  // sealed + promoted, contiguous from index 0
+  uint64_t sealed_total_ = 0;  // values covered by shards_
+  std::deque<std::unique_ptr<PendingChunk>> pending_;  // seals in flight
+  uint64_t pending_total_ = 0;                         // their value count
+  std::vector<int64_t> tail_;  // write-ahead hot tail (raw)
+  size_t next_ordinal_ = 0;    // next shard blob number
+
+  // Declared last so it is destroyed first: no worker can outlive the
+  // chunks its tasks reference. (~NeatsStore drains explicitly anyway.)
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace neats

@@ -172,6 +172,26 @@ class RankSelect {
     return run;
   }
 
+  /// Position of the first 1 bit at or after `pos`, scanning word-at-a-time.
+  /// Precondition: such a bit exists (pos <= position of the last 1). This is
+  /// the forward-iteration primitive behind EliasFano::PredecessorScanner —
+  /// stepping to the next element's high bit without paying a Select1.
+  size_t NextOne(size_t pos) const {
+    NEATS_DCHECK(pos < nbits_);
+    size_t w = pos >> 6;
+    NEATS_TOUCH(words_.data() + w);
+    uint64_t cur = words_[w] >> (pos & 63);
+    if (cur != 0) return pos + static_cast<size_t>(CountTrailingZeros(cur));
+    while (true) {
+      ++w;
+      NEATS_DCHECK(w < words_.size());
+      NEATS_TOUCH(words_.data() + w);
+      if (words_[w] != 0) {
+        return (w << 6) + static_cast<size_t>(CountTrailingZeros(words_[w]));
+      }
+    }
+  }
+
   bool Get(size_t i) const {
     NEATS_DCHECK(i < nbits_);
     NEATS_TOUCH(words_.data() + (i >> 6));

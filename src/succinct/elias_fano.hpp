@@ -91,6 +91,78 @@ class EliasFano {
     return {s.rank - 1, Access(s.rank - 1)};
   }
 
+  /// Stateful batched predecessor — the entry point behind Neats::AccessBatch.
+  ///
+  /// Feed non-decreasing queries to Next(); each returns {i, Access(i)} for
+  /// the largest element <= x, like Predecessor(x). The first query (and any
+  /// query that jumps far ahead) pays one full bucket scan — nothing more, so
+  /// a batch of far-apart probes costs the same as scalar Predecessor calls —
+  /// while nearby queries advance a forward cursor over the high bitvector
+  /// instead: one Select1 to park the cursor after a reseed (lazy, only once
+  /// a walk actually happens), then a word-wise NextOne per skipped element.
+  /// A dense sorted batch therefore resolves in O(elements walked) total
+  /// rather than O(scan) per probe.
+  class PredecessorScanner {
+   public:
+    explicit PredecessorScanner(const EliasFano& ef) : ef_(&ef) {}
+
+    /// Predecessor {index, value} of `x`. Queries must be non-decreasing
+    /// across calls; precondition as Predecessor (some element <= x).
+    std::pair<size_t, uint64_t> Next(uint64_t x) {
+      NEATS_DCHECK(ef_->size_ > 0);
+      if (idx_ == kUnseeded) {
+        Reseed(x);
+        return cur_;
+      }
+      if (idx_ >= ef_->size_) {  // already at the last element
+        NEATS_DCHECK(cur_.second <= x);
+        return cur_;
+      }
+      // Reseed when x skips more than kResyncBuckets high-bit buckets past
+      // the current predecessor — beyond that, walking the gap element-by-
+      // element could cost more than the O(1) sampled-select scan.
+      if ((x >> ef_->low_bits_) >
+          (cur_.second >> ef_->low_bits_) + kResyncBuckets) {
+        Reseed(x);
+        return cur_;
+      }
+      if (!pos_valid_) {  // first walk since the last reseed: park the cursor
+        pos_ = ef_->high_.Select1(idx_);
+        pos_valid_ = true;
+      }
+      while (idx_ < ef_->size_) {
+        uint64_t succ = ((pos_ - idx_) << ef_->low_bits_) | ef_->low_[idx_];
+        if (succ > x) break;
+        cur_ = {idx_, succ};
+        ++idx_;
+        if (idx_ < ef_->size_) pos_ = ef_->high_.NextOne(pos_ + 1);
+      }
+      NEATS_DCHECK(cur_.second <= x);
+      return cur_;
+    }
+
+   private:
+    static constexpr uint64_t kResyncBuckets = 64;
+    static constexpr size_t kUnseeded = SIZE_MAX;
+
+    void Reseed(uint64_t x) {
+      ScanResult s = ef_->Scan(x);
+      NEATS_DCHECK(s.rank > 0);
+      cur_.first = s.rank - 1;
+      cur_.second = s.rank > s.start ? (s.hb << ef_->low_bits_) |
+                                           ef_->low_[s.rank - 1]
+                                     : ef_->Access(s.rank - 1);
+      idx_ = s.rank;
+      pos_valid_ = false;
+    }
+
+    const EliasFano* ef_;
+    size_t idx_ = kUnseeded;  // index of the successor candidate
+    size_t pos_ = 0;          // position of idx_'s high bit (if pos_valid_)
+    bool pos_valid_ = false;
+    std::pair<size_t, uint64_t> cur_{0, 0};
+  };
+
   /// Payload size in bits.
   size_t SizeInBits() const {
     return low_.SizeInBits() + high_.SizeInBits() + 2 * 64;

@@ -85,6 +85,43 @@ TEST(EliasFano, ExplicitUniverse) {
   EXPECT_EQ(ef.Rank(999), 3u);
 }
 
+// The batched predecessor entry point must agree with the scalar
+// Predecessor on every query of a non-decreasing batch — across dense,
+// sparse and pile-up shapes, and across local steps, long jumps (which
+// trigger the scanner's resync rescan) and repeated queries.
+TEST(EliasFano, PredecessorScannerMatchesScalarPredecessor) {
+  std::mt19937_64 rng(17);
+  for (uint64_t gap_scale : {uint64_t{1}, uint64_t{3}, uint64_t{1000},
+                             uint64_t{1} << 20}) {
+    std::vector<uint64_t> values = {0};  // anchor so every query has a pred
+    uint64_t cur = 0;
+    for (int i = 0; i < 4000; ++i) {
+      cur += rng() % (gap_scale + 1);
+      values.push_back(cur);
+    }
+    // A pile-up: many equal elements in one bucket.
+    for (int i = 0; i < 200; ++i) values.push_back(cur + 5);
+    EliasFano ef(values);
+    std::vector<uint64_t> queries;
+    uint64_t q = 0;
+    const uint64_t top = values.back() + 2 * gap_scale + 10;
+    while (q < top) {
+      queries.push_back(q);
+      if (rng() % 8 == 0) q += top / 7;  // long jump: resync path
+      else q += rng() % (2 * gap_scale + 2);
+      if (rng() % 5 == 0 && !queries.empty()) queries.push_back(queries.back());
+    }
+    queries.push_back(top + 1000);  // past the last element
+    EliasFano::PredecessorScanner scanner(ef);
+    for (uint64_t x : queries) {
+      auto expected = ef.Predecessor(x);
+      auto got = scanner.Next(x);
+      ASSERT_EQ(got.first, expected.first) << "x=" << x;
+      ASSERT_EQ(got.second, expected.second) << "x=" << x;
+    }
+  }
+}
+
 TEST(EliasFano, SpaceIsNearOptimal) {
   // m values over universe u should take about m*(2 + log(u/m)) bits.
   const size_t m = 100000;

@@ -127,6 +127,25 @@ TEST(Neats, ChunkedCompressionIsDeterministicAndLossless) {
   }
 }
 
+TEST(Neats, ChunkedBoundaryMergeBitIdenticalToGlobalOnMergeFriendlyInput) {
+  // On a series the global partitioner covers with one fragment, the
+  // chunked path's boundary-merge pass must collapse the per-chunk
+  // fragments back into that exact fragment — serialized bytes and all.
+  std::vector<int64_t> values;
+  for (size_t i = 0; i < 5000; ++i) {
+    values.push_back(3 * static_cast<int64_t>(i) + 101);
+  }
+  std::vector<uint8_t> global_bytes;
+  Neats::Compress(values).Serialize(&global_bytes);
+  for (uint64_t chunk : {uint64_t{512}, uint64_t{1700}}) {
+    NeatsOptions chunked;
+    chunked.chunk_size = chunk;
+    std::vector<uint8_t> chunked_bytes;
+    Neats::Compress(values, chunked).Serialize(&chunked_bytes);
+    EXPECT_EQ(chunked_bytes, global_bytes) << "chunk=" << chunk;
+  }
+}
+
 TEST(Neats, CursorIterationMatchesAccessEverywhere) {
   std::vector<int64_t> values = MixedKindSeries(5000, 3);
   Neats compressed = Neats::Compress(values);

@@ -1,0 +1,455 @@
+// Tests for the serving layer (src/store/neats_store.hpp) and its batch
+// kernels: AccessBatch / DecompressRanges fuzz against scalar ground truth
+// (random, duplicate, unsorted, cross-shard probe sets), shard-boundary
+// range sums, append -> seal -> reopen byte identity, and the
+// corrupt-manifest clobber sweep matching the blob-hardening suites.
+
+#include "store/neats_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/neats.hpp"
+#include "io/manifest.hpp"
+#include "io/text_io.hpp"
+
+namespace neats {
+namespace {
+
+// A series mixing regimes so shards get genuinely different partitions:
+// exponential growth, a ramp, a noisy plateau, and a quadratic arc.
+std::vector<int64_t> MixedSeries(size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<int64_t> values;
+  values.reserve(n);
+  size_t quarter = n / 4;
+  for (size_t i = 0; i < quarter; ++i) {
+    values.push_back(static_cast<int64_t>(
+        100.0 * std::exp(0.004 * static_cast<double>(i))));
+  }
+  while (values.size() < 2 * quarter) values.push_back(values.back() + 9);
+  while (values.size() < 3 * quarter) {
+    values.push_back(50000 + static_cast<int64_t>(rng() % 64));
+  }
+  while (values.size() < n) {
+    double x = static_cast<double>(values.size() - 3 * quarter);
+    values.push_back(60000 - static_cast<int64_t>(0.02 * x * x) +
+                     static_cast<int64_t>(rng() % 8));
+  }
+  return values;
+}
+
+// A store directory path unique to this test process.
+std::string TempStoreDir(const char* tag) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("neats_store_test_") + tag + "_" +
+           std::to_string(static_cast<unsigned long long>(
+               std::chrono::steady_clock::now().time_since_epoch().count()))))
+      .string();
+}
+
+// Builds an in-memory store by appending `values` in ragged slices. With
+// `flush` false the store is left mid-ingest: sealed shards, pending seals
+// and a non-empty hot tail all present (shard_size chosen accordingly).
+NeatsStore BuildStore(const std::vector<int64_t>& values, uint64_t shard_size,
+                      bool flush) {
+  NeatsStoreOptions options;
+  options.shard_size = shard_size;
+  options.seal_threads = 2;
+  NeatsStore store(options);
+  size_t at = 0;
+  const size_t slices[] = {997, 2011, 499, 3517};
+  size_t s = 0;
+  while (at < values.size()) {
+    size_t n = std::min(slices[s++ % 4], values.size() - at);
+    store.Append({values.data() + at, n});
+    at += n;
+  }
+  if (flush) store.Flush();
+  return store;
+}
+
+// ---------------------------------------------------------------------------
+// Neats::AccessBatch (the fragment-grouped kernel) against scalar Access.
+// ---------------------------------------------------------------------------
+
+TEST(NeatsAccessBatch, SortedProbesMatchScalarAccess) {
+  std::vector<int64_t> values = MixedSeries(20000, 1);
+  for (StartsIndex mode : {StartsIndex::kEliasFano, StartsIndex::kBitVector}) {
+    NeatsOptions options;
+    options.starts_index = mode;
+    Neats compressed = Neats::Compress(values, options);
+    std::mt19937_64 rng(2);
+    for (int trial = 0; trial < 50; ++trial) {
+      size_t count = 1 + rng() % 700;
+      std::vector<uint64_t> idx(count);
+      for (auto& k : idx) k = rng() % values.size();
+      if (trial % 3 == 0) {  // heavy duplicates
+        for (auto& k : idx) k = idx[0] + k % 40;
+        for (auto& k : idx) k = std::min<uint64_t>(k, values.size() - 1);
+      }
+      std::sort(idx.begin(), idx.end());
+      std::vector<int64_t> out(count);
+      compressed.AccessBatch(idx, out.data());
+      for (size_t j = 0; j < count; ++j) {
+        ASSERT_EQ(out[j], values[idx[j]])
+            << "probe " << idx[j] << " trial " << trial;
+      }
+    }
+    // Degenerate batches.
+    std::vector<int64_t> one(1);
+    compressed.AccessBatch(std::vector<uint64_t>{0}, one.data());
+    EXPECT_EQ(one[0], values[0]);
+    compressed.AccessBatch(std::vector<uint64_t>{values.size() - 1},
+                           one.data());
+    EXPECT_EQ(one[0], values.back());
+    compressed.AccessBatch(std::span<const uint64_t>(), nullptr);
+  }
+}
+
+TEST(NeatsDecompressRanges, MatchesPerRangeDecompression) {
+  std::vector<int64_t> values = MixedSeries(15000, 3);
+  Neats compressed = Neats::Compress(values);
+  std::mt19937_64 rng(4);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<IndexRange> ranges;
+    size_t total = 0;
+    for (int r = 0; r < 8; ++r) {
+      uint64_t from = rng() % values.size();
+      uint64_t len = rng() % std::min<uint64_t>(400, values.size() - from);
+      ranges.push_back({from, len});
+      total += len;
+    }
+    ranges.push_back({0, 0});  // empty range is legal anywhere in the batch
+    std::vector<int64_t> got(total);
+    compressed.DecompressRanges(ranges, got.data());
+    size_t off = 0;
+    for (const IndexRange& r : ranges) {
+      for (uint64_t j = 0; j < r.len; ++j) {
+        ASSERT_EQ(got[off + j], values[r.from + j])
+            << "range [" << r.from << ", +" << r.len << ") at " << j;
+      }
+      off += r.len;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Store queries against raw ground truth, mid-ingest and flushed.
+// ---------------------------------------------------------------------------
+
+TEST(NeatsStore, AccessBatchFuzzAllTiers) {
+  std::vector<int64_t> values = MixedSeries(30000, 5);
+  // Mid-ingest: ~3 sealed shards, pending seals, and a hot tail.
+  for (bool flush : {false, true}) {
+    NeatsStore store = BuildStore(values, 7000, flush);
+    ASSERT_EQ(store.size(), values.size());
+    std::mt19937_64 rng(6);
+    for (int trial = 0; trial < 40; ++trial) {
+      size_t count = 1 + rng() % 600;
+      std::vector<uint64_t> idx(count);
+      for (auto& k : idx) k = rng() % values.size();
+      switch (trial % 3) {
+        case 0:  // unsorted random — leave as is
+          break;
+        case 1:  // duplicates piled on a shard boundary
+          for (size_t j = 0; j < count; ++j) {
+            idx[j] = (7000 - 2 + j % 5) % values.size();
+          }
+          break;
+        case 2:  // descending
+          std::sort(idx.rbegin(), idx.rend());
+          break;
+      }
+      std::vector<int64_t> out(count);
+      store.AccessBatch(idx, out);
+      for (size_t j = 0; j < count; ++j) {
+        ASSERT_EQ(out[j], values[idx[j]]) << "flush=" << flush << " probe "
+                                          << idx[j] << " trial " << trial;
+        ASSERT_EQ(store.Access(idx[j]), values[idx[j]]);
+      }
+    }
+  }
+}
+
+TEST(NeatsStore, DecompressRangesAcrossShardsAndTiers) {
+  std::vector<int64_t> values = MixedSeries(30000, 7);
+  for (bool flush : {false, true}) {
+    NeatsStore store = BuildStore(values, 7000, flush);
+    std::mt19937_64 rng(8);
+    for (int trial = 0; trial < 30; ++trial) {
+      std::vector<IndexRange> ranges;
+      size_t total = 0;
+      for (int r = 0; r < 6; ++r) {
+        uint64_t from = rng() % values.size();
+        uint64_t len =
+            rng() % std::min<uint64_t>(9000, values.size() - from);
+        ranges.push_back({from, len});
+        total += len;
+      }
+      std::vector<int64_t> got(total);
+      store.DecompressRanges(ranges, got.data());
+      size_t off = 0;
+      for (const IndexRange& r : ranges) {
+        for (uint64_t j = 0; j < r.len; ++j) {
+          ASSERT_EQ(got[off + j], values[r.from + j])
+              << "flush=" << flush << " range [" << r.from << ", +" << r.len
+              << ") at " << j;
+        }
+        off += r.len;
+      }
+    }
+    // The full series in one range.
+    std::vector<int64_t> all(values.size());
+    store.DecompressRange(0, values.size(), all.data());
+    EXPECT_EQ(all, values);
+  }
+}
+
+// Bounded-magnitude series for the aggregate checks: MixedSeries' exponential
+// segment grows to ~1e15, whose prefix sums exceed 2^53 and stop being
+// exactly representable in the double arithmetic ApproximateRangeSum uses —
+// the bound check would then fail on rounding alone, not on routing bugs.
+std::vector<int64_t> BoundedSeries(size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<int64_t> values;
+  values.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    int64_t base = static_cast<int64_t>(i % 5000) * 7 - 12000;
+    values.push_back(base + static_cast<int64_t>(rng() % 256));
+  }
+  return values;
+}
+
+TEST(NeatsStore, RangeSumsAcrossShardBoundaries) {
+  std::vector<int64_t> values = BoundedSeries(30000, 9);
+  std::vector<int64_t> prefix(values.size() + 1, 0);
+  for (size_t i = 0; i < values.size(); ++i) {
+    prefix[i + 1] = prefix[i] + values[i];
+  }
+  for (bool flush : {false, true}) {
+    NeatsStore store = BuildStore(values, 7000, flush);
+    // Spans pinned to shard boundaries, spanning several shards, plus the
+    // whole series.
+    std::vector<IndexRange> spans = {
+        {6999, 2},          // exactly straddles the first boundary
+        {7000, 7000},       // exactly one shard
+        {0, 21000},         // three shards
+        {3500, 21000},      // misaligned, four shards
+        {0, values.size()}, // everything, including pending + tail
+        {20999, 2},         {13999, 7002},
+    };
+    std::mt19937_64 rng(10);
+    for (int t = 0; t < 20; ++t) {
+      uint64_t from = rng() % values.size();
+      spans.push_back(
+          {from, rng() % std::min<uint64_t>(12000, values.size() - from)});
+    }
+    for (const IndexRange& s : spans) {
+      ASSERT_EQ(store.RangeSum(s.from, s.len),
+                prefix[s.from + s.len] - prefix[s.from])
+          << "flush=" << flush << " span [" << s.from << ", +" << s.len << ")";
+      Neats::ApproximateAggregate agg = store.ApproximateRangeSum(s.from, s.len);
+      double exact = static_cast<double>(prefix[s.from + s.len] - prefix[s.from]);
+      ASSERT_LE(std::abs(agg.value - exact), agg.error_bound + 1e-6)
+          << "flush=" << flush << " span [" << s.from << ", +" << s.len << ")";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Durability: append -> seal -> reopen.
+// ---------------------------------------------------------------------------
+
+TEST(NeatsStore, AppendSealReopenRoundTripByteIdentity) {
+  std::vector<int64_t> values = MixedSeries(25000, 11);
+  const uint64_t kShard = 6000;
+  std::string dir = TempStoreDir("roundtrip");
+  {
+    NeatsStoreOptions options;
+    options.shard_size = kShard;
+    options.seal_threads = 2;
+    NeatsStore store = NeatsStore::CreateDir(dir, options);
+    // Ragged appends must not affect the sealed bytes — only shard_size
+    // decides where shards get cut.
+    size_t at = 0;
+    const size_t slices[] = {1, 4099, 811, 9973};
+    size_t s = 0;
+    while (at < values.size()) {
+      size_t n = std::min(slices[s++ % 4], values.size() - at);
+      store.Append({values.data() + at, n});
+      at += n;
+    }
+    store.Flush();
+    EXPECT_EQ(store.num_shards(), (values.size() + kShard - 1) / kShard);
+  }
+
+  // Every shard blob is byte-identical to compressing that slice directly:
+  // the append path adds no hidden state to the sealed form.
+  size_t num_shards = (values.size() + kShard - 1) / kShard;
+  for (size_t s = 0; s < num_shards; ++s) {
+    size_t first = s * kShard;
+    size_t count = std::min<size_t>(kShard, values.size() - first);
+    Neats direct = Neats::Compress({values.data() + first, count});
+    std::vector<uint8_t> expected;
+    direct.Serialize(&expected);
+    std::vector<uint8_t> on_disk =
+        ReadFile(dir + "/" + StoreManifest::ShardFileName(s));
+    ASSERT_EQ(on_disk, expected) << "shard " << s;
+  }
+
+  // Reopen: zero-copy serving, values bit-identical to a one-shot
+  // compression of the full series.
+  NeatsStore reopened = NeatsStore::OpenDir(dir);
+  ASSERT_EQ(reopened.size(), values.size());
+  ASSERT_EQ(reopened.shard_size(), kShard);
+  Neats one_shot = Neats::Compress(values);
+  for (size_t k = 0; k < values.size(); k += 83) {
+    ASSERT_EQ(reopened.Access(k), one_shot.Access(k)) << k;
+    ASSERT_EQ(reopened.Access(k), values[k]) << k;
+  }
+
+  // A second Flush with no new data must rewrite the manifest verbatim.
+  std::vector<uint8_t> manifest_before =
+      ReadFile(dir + "/" + StoreManifest::FileName());
+  reopened.Flush();
+  EXPECT_EQ(ReadFile(dir + "/" + StoreManifest::FileName()), manifest_before);
+
+  // Appending after reopen grows the store and survives another reopen.
+  reopened.Append({values.data(), 1234});
+  reopened.Flush();
+  NeatsStore again = NeatsStore::OpenDir(dir);
+  ASSERT_EQ(again.size(), values.size() + 1234);
+  for (size_t k = 0; k < 1234; k += 13) {
+    ASSERT_EQ(again.Access(values.size() + k), values[k]) << k;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(NeatsStore, MoveAssignmentDrainsInFlightSeals) {
+  // Overwriting a store that still has background seals in flight must not
+  // free the chunks those seal tasks read (the sanitizer job would flag a
+  // use-after-free here if move assignment skipped the drain).
+  std::vector<int64_t> values = MixedSeries(20000, 15);
+  NeatsStoreOptions options;
+  options.shard_size = 4000;
+  options.seal_threads = 2;
+  NeatsStore dst(options);
+  dst.Append(values);  // several chunks immediately handed to the sealer
+  NeatsStore src(options);
+  src.Append({values.data(), 5000});
+  dst = std::move(src);
+  dst.Flush();
+  ASSERT_EQ(dst.size(), 5000u);
+  for (size_t k = 0; k < 5000; k += 97) {
+    ASSERT_EQ(dst.Access(k), values[k]) << k;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Corrupt-store hardening, matching the blob clobber-sweep suites.
+// ---------------------------------------------------------------------------
+
+TEST(NeatsStore, CorruptManifestClobberSweep) {
+  std::vector<int64_t> values = MixedSeries(12000, 13);
+  std::string dir = TempStoreDir("clobber");
+  {
+    NeatsStoreOptions options;
+    options.shard_size = 5000;
+    NeatsStore store = NeatsStore::CreateDir(dir, options);
+    store.Append(values);
+    store.Flush();
+  }
+  const std::string manifest_path = dir + "/" + StoreManifest::FileName();
+  std::vector<uint8_t> good = ReadFile(manifest_path);
+
+  // Truncations must die loudly.
+  for (size_t keep : {size_t{0}, size_t{7}, good.size() / 2, good.size() - 8}) {
+    std::vector<uint8_t> cut(good.begin(),
+                             good.begin() + static_cast<ptrdiff_t>(keep));
+    WriteFile(manifest_path, cut);
+    EXPECT_DEATH(NeatsStore::OpenDir(dir), "manifest") << "keep=" << keep;
+  }
+
+  // Flipping any word of the manifest must either abort with a diagnostic
+  // or (if ever benign) still open into a store that serves correct values
+  // — never a crash or silent misroute.
+  auto ok_or_abort = [](int status) {
+    return (WIFEXITED(status) && WEXITSTATUS(status) == 0) ||
+           (WIFSIGNALED(status) && WTERMSIG(status) == SIGABRT);
+  };
+  for (size_t w = 0; w + 8 <= good.size(); w += 8) {
+    std::vector<uint8_t> evil = good;
+    for (int b = 0; b < 8; ++b) evil[w + static_cast<size_t>(b)] ^= 0xFF;
+    WriteFile(manifest_path, evil);
+    EXPECT_EXIT(
+        {
+          NeatsStore opened = NeatsStore::OpenDir(dir);
+          for (uint64_t k = 0; k < opened.size(); k += 701) {
+            if (opened.Access(k) != values[k]) std::exit(3);
+          }
+          std::exit(0);
+        },
+        ok_or_abort, "") << "clobbered manifest word at byte " << w;
+  }
+  WriteFile(manifest_path, good);
+
+  // A shard blob that disagrees with the manifest (truncated file) must be
+  // rejected by the size cross-check before anything is mapped.
+  const std::string shard0 = dir + "/" + StoreManifest::ShardFileName(0);
+  std::vector<uint8_t> blob = ReadFile(shard0);
+  std::vector<uint8_t> short_blob(blob.begin(), blob.end() - 8);
+  WriteFile(shard0, short_blob);
+  EXPECT_DEATH(NeatsStore::OpenDir(dir), "disagrees with manifest");
+  WriteFile(shard0, blob);
+
+  // Restored, the store opens and serves again.
+  NeatsStore ok = NeatsStore::OpenDir(dir);
+  for (size_t k = 0; k < values.size(); k += 977) {
+    ASSERT_EQ(ok.Access(k), values[k]);
+  }
+
+  // CreateDir must refuse a directory that already holds a store — a
+  // fresh store's seals would clobber the existing blobs out from under
+  // the surviving manifest.
+  EXPECT_DEATH(NeatsStore::CreateDir(dir), "use OpenDir");
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Manifest unit coverage.
+// ---------------------------------------------------------------------------
+
+TEST(StoreManifest, RoundTripAndValidation) {
+  StoreManifest m;
+  m.shard_size = 4096;
+  m.shards = {{0, 4096, 1000}, {4096, 4096, 900}, {8192, 77, 500}};
+  std::vector<uint8_t> bytes;
+  m.Serialize(&bytes);
+  StoreManifest back = StoreManifest::Deserialize(bytes);
+  EXPECT_EQ(back.shard_size, m.shard_size);
+  ASSERT_EQ(back.shards.size(), m.shards.size());
+  for (size_t i = 0; i < m.shards.size(); ++i) {
+    EXPECT_EQ(back.shards[i].first, m.shards[i].first);
+    EXPECT_EQ(back.shards[i].count, m.shards[i].count);
+    EXPECT_EQ(back.shards[i].blob_bytes, m.shards[i].blob_bytes);
+  }
+  EXPECT_EQ(back.total(), 8192u + 77u);
+
+  // Non-contiguous coverage is rejected.
+  StoreManifest holey = m;
+  holey.shards[1].first = 5000;
+  std::vector<uint8_t> bad;
+  holey.Serialize(&bad);
+  EXPECT_DEATH(StoreManifest::Deserialize(bad), "corrupt");
+}
+
+}  // namespace
+}  // namespace neats
