@@ -2,7 +2,11 @@
 // numbers every perf PR is judged against — compression MB/s (single-thread
 // and, when the build supports it, multi-threaded chunked mode), random
 // access ns/op, full-scan decompression MB/s, and bits per value — measured
-// on a spread of the synthetic dataset generators.
+// on a spread of the synthetic dataset generators. Schema 5 adds a nested
+// per-codec table per dataset (bits_per_value + random_access_ns for every
+// registered SeriesCodec), measured through the same type-erased registry
+// API the store serves shards with — the paper's comparison columns from
+// one uniform surface.
 //
 //   $ ./build/bench_bench_report [output.json]
 //
@@ -35,6 +39,15 @@
 #define NEATS_BENCH_HAS_STORE 1
 #else
 #define NEATS_BENCH_HAS_STORE 0
+#endif
+
+// The codec registry (and the public facade) arrived with schema 5; same
+// paired-build guard.
+#if __has_include("neats/neats.hpp")
+#include "neats/neats.hpp"
+#define NEATS_BENCH_HAS_CODECS 1
+#else
+#define NEATS_BENCH_HAS_CODECS 0
 #endif
 
 namespace neats::bench {
@@ -75,6 +88,15 @@ struct Row {
   double batch_access_ns_b512 = 0;     // (0 if the build lacks the kernel)
   double store_append_mbps = 0;        // NeatsStore streaming append +
                                        // Flush, end to end (0 if absent)
+
+  /// One entry per registered SeriesCodec (schema 5): serialized bits per
+  /// value and scalar random-access ns through the type-erased registry.
+  struct CodecRow {
+    std::string name;
+    double bits_per_value = 0;
+    double random_access_ns = 0;
+  };
+  std::vector<CodecRow> codecs;
 };
 
 double RawMegabytes(size_t n) {
@@ -236,6 +258,34 @@ void MeasureBatchAccess(const N& compressed, const std::vector<uint64_t>& idx,
   }
 }
 
+// The per-codec comparison columns (schema 5): every registered codec
+// compresses the dataset and serves the same probe set through the
+// registry's SealedSeries surface — the uniform API the store queries by.
+// bits_per_value is the actual serialized blob size.
+void MeasureCodecTable(const Dataset& ds, const std::vector<uint64_t>& idx,
+                       Row* row) {
+#if NEATS_BENCH_HAS_CODECS
+  for (CodecId id : CodecRegistry::All()) {
+    std::unique_ptr<SealedSeries> sealed =
+        CodecRegistry::Compress(id, ds.values, {});
+    std::vector<uint8_t> blob;
+    sealed->Serialize(&blob);
+    Row::CodecRow cr;
+    cr.name = CodecName(id);
+    cr.bits_per_value = 8.0 * static_cast<double>(blob.size()) /
+                        static_cast<double>(ds.values.size());
+    cr.random_access_ns = AccessNs(idx, [&](uint64_t i) {
+      return static_cast<uint64_t>(sealed->Access(i));
+    });
+    row->codecs.push_back(std::move(cr));
+  }
+#else
+  (void)ds;
+  (void)idx;
+  (void)row;
+#endif
+}
+
 // Streaming ingest end to end: append the series in 4096-value slices into
 // an in-memory NeatsStore (background sealing on one extra worker) and
 // Flush; MB/s over the raw series size. One pass — sealing is
@@ -324,6 +374,9 @@ Row MeasureDataset(const DatasetSpec& spec) {
   MeasureBatchAccess<Neats>(compressed, idx, &row);
   MeasureStoreAppend(ds, mb, &row);
 
+  // --- The per-codec comparison table (schema 5). ---
+  MeasureCodecTable(ds, idx, &row);
+
   // --- Succinct substrate microbenchmarks (select + Elias-Fano rank). ---
   MeasureSelectMicro(row.n, 42, &row);
 
@@ -369,7 +422,7 @@ void WriteJson(const std::vector<Row>& rows, const char* path) {
     std::fprintf(stderr, "cannot open %s\n", path);
     std::exit(1);
   }
-  std::fprintf(f, "{\n  \"bench\": \"neats\",\n  \"schema\": 4,\n");
+  std::fprintf(f, "{\n  \"bench\": \"neats\",\n  \"schema\": 5,\n");
   std::fprintf(f, "  \"hardware_threads\": %u,\n",
                std::thread::hardware_concurrency());
   std::fprintf(f, "  \"has_scaling_knobs\": %s,\n",
@@ -396,7 +449,8 @@ void WriteJson(const std::vector<Row>& rows, const char* path) {
                  "\"batch_access_ns_b8\": %.1f, "
                  "\"batch_access_ns_b64\": %.1f, "
                  "\"batch_access_ns_b512\": %.1f, "
-                 "\"store_append_mbps\": %.3f}%s\n",
+                 "\"store_append_mbps\": %.3f, "
+                 "\"codecs\": [",
                  r.code.c_str(), r.n, r.bits_per_value, r.compress_mbps_1t,
                  r.compress_mbps_1t_chunked, r.compress_mbps_4t_chunked,
                  r.scan_mbps, r.cursor_scan_mbps, r.access_ns,
@@ -404,8 +458,16 @@ void WriteJson(const std::vector<Row>& rows, const char* path) {
                  r.select1_ns, r.ef_rank_ns, r.dir_lines_touched,
                  r.legacy_lines_touched, r.batch_access_ns_b8,
                  r.batch_access_ns_b64, r.batch_access_ns_b512,
-                 r.store_append_mbps,
-                 i + 1 < rows.size() ? "," : "");
+                 r.store_append_mbps);
+    for (size_t c = 0; c < r.codecs.size(); ++c) {
+      std::fprintf(f,
+                   "{\"codec\": \"%s\", \"bits_per_value\": %.3f, "
+                   "\"random_access_ns\": %.1f}%s",
+                   r.codecs[c].name.c_str(), r.codecs[c].bits_per_value,
+                   r.codecs[c].random_access_ns,
+                   c + 1 < r.codecs.size() ? ", " : "");
+    }
+    std::fprintf(f, "]}%s\n", i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -441,6 +503,10 @@ int main(int argc, char** argv) {
         r.access_ns, r.access_ns_legacy, r.access_ns_mmap,
         r.batch_access_ns_b8, r.batch_access_ns_b64, r.batch_access_ns_b512,
         r.range_sum_mbps, r.store_append_mbps, r.select1_ns, r.ef_rank_ns);
+    for (const Row::CodecRow& c : r.codecs) {
+      std::printf("    codec %-18s %7.2f bits/value  access %.0f ns\n",
+                  c.name.c_str(), c.bits_per_value, c.random_access_ns);
+    }
   }
   FillCacheLineColumns(argv[0], &rows);
   for (const Row& r : rows) {

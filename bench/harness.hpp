@@ -26,9 +26,9 @@
 #include "baselines/leco.hpp"
 #include "baselines/tsxor.hpp"
 #include "common/timer.hpp"
-#include "core/neats.hpp"
 #include "core/variants.hpp"
 #include "datasets/generators.hpp"
+#include "neats/neats.hpp"
 
 namespace neats::bench {
 

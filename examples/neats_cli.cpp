@@ -9,6 +9,10 @@
 // integers by the detected fractional precision (stored in the container).
 // Flat-format (v2/v3) files are opened zero-copy: the file is mmap'd and queries run
 // straight against the mapping. Legacy v1 files fall back to Deserialize.
+//
+// Built on the public facade (neats/neats.hpp): every open/load path is
+// Status-returning, so a bad path or corrupt blob prints a diagnostic and
+// exits 1 instead of crashing.
 
 #include <cinttypes>
 #include <cstdio>
@@ -17,9 +21,7 @@
 #include <vector>
 
 #include "common/timer.hpp"
-#include "core/neats.hpp"
-#include "io/mmap_file.hpp"
-#include "io/text_io.hpp"
+#include "neats/neats.hpp"
 
 namespace {
 
@@ -48,22 +50,36 @@ struct OpenedBlob {
   bool zero_copy = false;
 };
 
-OpenedBlob OpenBlob(const char* path) {
-  OpenedBlob b;
-  b.map = neats::MmapFile::Open(path);
-  std::span<const uint8_t> bytes = b.map.bytes();
-  NEATS_REQUIRE(bytes.size() >= 16, "not a NeaTS container file");
-  uint64_t d = 0;
-  std::memcpy(&d, bytes.data(), 8);
-  b.digits = static_cast<int>(d);
-  std::span<const uint8_t> blob = bytes.subspan(8);
-  if (Neats::IsZeroCopyOpenable(blob)) {
-    b.neats = Neats::View(blob);
-    b.zero_copy = true;
-  } else {
-    b.neats = Neats::Deserialize(blob);
+/// Status-returning open (neats::Checked turns any loader rejection into a
+/// failed Result instead of a crash).
+neats::Result<OpenedBlob> OpenBlob(const char* path) {
+  return neats::Checked([&] {
+    OpenedBlob b;
+    b.map = neats::MmapFile::Open(path);
+    std::span<const uint8_t> bytes = b.map.bytes();
+    NEATS_REQUIRE(bytes.size() >= 16, "not a NeaTS container file");
+    uint64_t d = 0;
+    std::memcpy(&d, bytes.data(), 8);
+    b.digits = static_cast<int>(d);
+    std::span<const uint8_t> blob = bytes.subspan(8);
+    if (Neats::IsZeroCopyOpenable(blob)) {
+      b.neats = Neats::View(blob);
+      b.zero_copy = true;
+    } else {
+      b.neats = Neats::Deserialize(blob);
+    }
+    return b;
+  });
+}
+
+/// Unwraps a facade Result or exits with the failure message.
+template <typename T>
+T MustOpen(neats::Result<T> result) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().message().c_str());
+    std::exit(1);
   }
-  return b;
+  return std::move(result.value());
 }
 
 void PrintValue(int64_t scaled, int digits) {
@@ -99,7 +115,7 @@ int main(int argc, char** argv) {
   std::string cmd = argv[1];
 
   if (cmd == "compress" && argc == 4) {
-    neats::ParsedSeries series = neats::LoadDecimalFile(argv[2]);
+    neats::ParsedSeries series = MustOpen(neats::LoadDecimalSeries(argv[2]));
     neats::Timer timer;
     Neats compressed = Neats::Compress(series.values);
     double secs = timer.ElapsedSeconds();
@@ -115,7 +131,7 @@ int main(int argc, char** argv) {
   }
 
   if (cmd == "decompress" && argc == 4) {
-    OpenedBlob blob = OpenBlob(argv[2]);
+    OpenedBlob blob = MustOpen(OpenBlob(argv[2]));
     int digits = blob.digits;
     std::vector<int64_t> values;
     blob.neats.Decompress(&values);
@@ -139,7 +155,7 @@ int main(int argc, char** argv) {
   }
 
   if (cmd == "access" && (argc == 4 || argc == 5)) {
-    OpenedBlob blob = OpenBlob(argv[2]);
+    OpenedBlob blob = MustOpen(OpenBlob(argv[2]));
     const Neats& compressed = blob.neats;
     uint64_t index = std::strtoull(argv[3], nullptr, 10);
     uint64_t count = argc == 5 ? std::strtoull(argv[4], nullptr, 10) : 1;
@@ -156,7 +172,7 @@ int main(int argc, char** argv) {
   }
 
   if (cmd == "info" && argc == 3) {
-    OpenedBlob blob = OpenBlob(argv[2]);
+    OpenedBlob blob = MustOpen(OpenBlob(argv[2]));
     const Neats& compressed = blob.neats;
     std::printf("values:      %" PRIu64 "\n", compressed.size());
     std::printf("fragments:   %zu\n", compressed.num_fragments());

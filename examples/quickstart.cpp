@@ -9,7 +9,7 @@
 #include <random>
 #include <vector>
 
-#include "core/neats.hpp"
+#include "neats/neats.hpp"
 
 int main() {
   // A little synthetic series: exponential growth, then a linear ramp,

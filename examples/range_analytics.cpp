@@ -10,8 +10,8 @@
 #include <vector>
 
 #include "common/timer.hpp"
-#include "core/neats.hpp"
 #include "datasets/generators.hpp"
+#include "neats/neats.hpp"
 
 namespace {
 

@@ -11,8 +11,8 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/neats_lossy.hpp"
 #include "datasets/generators.hpp"
+#include "neats/neats.hpp"
 
 int main() {
   // A day of 1 Hz "IR biological temperature" readings (2 decimal digits).

@@ -1,10 +1,14 @@
-// A miniature time-series storage engine built on the serving layer
-// (src/store/neats_store.hpp), the deployment pattern of Sec. IV-C1 grown
-// into a subsystem: values stream into a write-ahead hot tail, full chunks
-// seal into NeaTS shards in the background (thread pool), Flush() persists
-// one format-v3 blob per shard plus a manifest, and OpenDir() serves the
-// whole store zero-copy through mmap — point, batch, multi-range and
-// (approximate) aggregate queries all route through one sharded index.
+// A miniature time-series storage engine built on the public facade
+// (neats/neats.hpp) and the serving layer underneath it, the deployment
+// pattern of Sec. IV-C1 grown into a subsystem: values stream into a
+// write-ahead hot tail, full chunks seal into compressed shards in the
+// background (thread pool) — under the `auto` seal policy each chunk is
+// compressed with every candidate codec and the smallest blob wins, so one
+// store mixes codecs per shard — Flush() persists one blob per shard plus a
+// manifest (v2, with per-shard codec ids), and OpenStoreDir() serves the
+// whole store zero-copy (where the codec supports it) through mmap: point,
+// batch, multi-range and (approximate) aggregate queries all route through
+// one sharded index, whatever codec holds each shard.
 //
 //   $ ./build/example_storage_engine
 
@@ -17,12 +21,26 @@
 
 #include "common/timer.hpp"
 #include "datasets/generators.hpp"
-#include "store/neats_store.hpp"
+#include "neats/neats.hpp"
 
 int main() {
   const size_t kShardLen = 50000;
   const size_t kShards = 6;
-  neats::Dataset ds = neats::MakeDataset("AP", kShardLen * kShards);
+  neats::Dataset ds = neats::MakeDataset("AP", kShardLen * (kShards - 1));
+  // Give the last shard a regime NeaTS is the wrong tool for — short runs
+  // of repeated random levels, where an XOR codec pays one bit per repeat —
+  // so the auto seal policy below has a real choice to make.
+  {
+    std::uint64_t state = 0x9E3779B97F4A7C15ull;
+    std::int64_t level = 0;
+    for (size_t i = 0; i < kShardLen; ++i) {
+      if (i % 40 == 0) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        level = static_cast<std::int64_t>(state >> 16);
+      }
+      ds.values.push_back(level);
+    }
+  }
   const double raw_mb =
       static_cast<double>(ds.values.size()) * 8.0 / (1024.0 * 1024.0);
 
@@ -37,11 +55,22 @@ int main() {
 
   bool ok = true;
   {
-    // --- Ingestion: ragged appends, background sealing. ---
+    // --- Ingestion: ragged appends, background sealing, auto codec. ---
     neats::NeatsStoreOptions options;
     options.shard_size = kShardLen;
     options.seal_threads = 0;  // one sealer per hardware thread
-    neats::NeatsStore store = neats::NeatsStore::CreateDir(dir, options);
+    options.seal_policy = neats::SealPolicy::kAuto;
+    options.codec_candidates = {neats::CodecId::kNeats,
+                                neats::CodecId::kLeco,
+                                neats::CodecId::kGorilla};
+    neats::Result<neats::NeatsStore> created =
+        neats::CreateStoreDir(dir, options);
+    if (!created.ok()) {
+      std::fprintf(stderr, "create failed: %s\n",
+                   created.status().message().c_str());
+      return 1;
+    }
+    neats::NeatsStore store = std::move(created.value());
 
     neats::Timer timer;
     size_t at = 0;
@@ -76,10 +105,27 @@ int main() {
                     (64.0 * static_cast<double>(ds.values.size())));
   }
 
-  // --- Reopen zero-copy and serve every query shape. ---
-  neats::NeatsStore store = neats::NeatsStore::OpenDir(dir);
+  // --- Reopen (zero-copy where the shard codec supports it) and serve
+  // every query shape through the Status-returning facade path. ---
+  neats::Result<neats::NeatsStore> reopened = neats::OpenStoreDir(dir);
+  if (!reopened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 reopened.status().message().c_str());
+    return 1;
+  }
+  neats::NeatsStore store = std::move(reopened.value());
   ok &= store.size() == ds.values.size();
   ok &= store.num_shards() == kShards;
+
+  // The auto policy's per-shard choices (recorded in manifest v2).
+  std::printf("per-shard codecs:");
+  bool mixed = false;
+  for (size_t s = 0; s < store.num_shards(); ++s) {
+    std::printf(" %s", neats::CodecName(store.shard_codec(s)));
+    mixed |= store.shard_codec(s) != store.shard_codec(0);
+  }
+  std::printf("%s\n", mixed ? "  (mixed-codec store)" : "");
+  ok &= mixed;
 
   // Point queries across shard boundaries.
   for (size_t probe : {size_t{0}, kShardLen - 1, kShardLen,
@@ -142,7 +188,10 @@ int main() {
 
   // Append after reopen: the store keeps growing across sessions.
   store.Append({ds.values.data(), 1000});
-  store.Flush();
+  if (neats::Status flushed = neats::FlushStore(store); !flushed.ok()) {
+    std::fprintf(stderr, "flush failed: %s\n", flushed.message().c_str());
+    return 1;
+  }
   ok &= store.size() == ds.values.size() + 1000;
   ok &= store.Access(ds.values.size() + 123) == ds.values[123];
   std::printf("append-after-reopen (+1000 values, re-flushed): %s\n",

@@ -18,8 +18,10 @@
 #include <span>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/bits.hpp"
 #include "succinct/bit_stream.hpp"
+#include "succinct/storage.hpp"
 
 namespace neats {
 
@@ -83,6 +85,80 @@ class Alp {
       bits += blk.exceptions.size() * (16 + 64);
     }
     return bits;
+  }
+
+  /// Appends the blocks to a flat word writer (no magic — the caller frames
+  /// it; see src/codecs/alp_codec.hpp for the framed SeriesCodec wrapper).
+  void SerializeInto(WordWriter& w) const {
+    w.Put(n_);
+    w.Put(blocks_.size());
+    for (const Block& blk : blocks_) {
+      w.Put(static_cast<uint64_t>(blk.count) |
+            (static_cast<uint64_t>(static_cast<uint8_t>(blk.exponent)) << 16) |
+            (static_cast<uint64_t>(blk.width) << 24));
+      w.Put(static_cast<uint64_t>(blk.base));
+      w.Put(blk.packed.size());
+      w.PutCells(blk.packed.data(), blk.packed.size());
+      w.Put(blk.exceptions.size());
+      for (const Exception& ex : blk.exceptions) {
+        w.Put(ex.position);
+        w.Put(ex.raw);
+      }
+    }
+  }
+
+  /// Inverse of SerializeInto. Every count, width and exception position is
+  /// validated against the block geometry before any decode can trust it —
+  /// DecodeBlock writes out[ex.position] unchecked, so a forged position
+  /// must never survive the load.
+  static Alp LoadFrom(WordReader& r) {
+    Alp out;
+    out.n_ = r.Get();
+    NEATS_REQUIRE(out.n_ <= (uint64_t{1} << 56), "corrupt ALP blob");
+    size_t num_blocks = r.Get();
+    NEATS_REQUIRE(num_blocks == CeilDiv(out.n_, kVector), "corrupt ALP blob");
+    out.blocks_.reserve(num_blocks);
+    for (size_t b = 0; b < num_blocks; ++b) {
+      Block blk;
+      uint64_t head = r.Get();
+      blk.count = static_cast<uint16_t>(head & 0xFFFF);
+      blk.exponent = static_cast<int8_t>((head >> 16) & 0xFF);
+      blk.width = static_cast<uint8_t>((head >> 24) & 0xFF);
+      size_t expected =
+          std::min<size_t>(kVector, out.n_ - b * kVector);
+      NEATS_REQUIRE(blk.count == expected && (head >> 32) == 0 &&
+                        blk.exponent >= -1 && blk.exponent <= kMaxExponent &&
+                        blk.width <= 64,
+                    "corrupt ALP blob");
+      blk.base = static_cast<int64_t>(r.Get());
+      Storage<uint64_t> packed = r.GetCells<uint64_t>(r.Get());
+      size_t want_words =
+          blk.exponent < 0
+              ? 0
+              : CeilDiv(static_cast<uint64_t>(blk.count) * blk.width, 64);
+      NEATS_REQUIRE(packed.size() == want_words, "corrupt ALP blob");
+      blk.packed.assign(packed.data(), packed.data() + packed.size());
+      size_t num_ex = r.Get();
+      NEATS_REQUIRE(num_ex <= blk.count &&
+                        (blk.exponent >= 0 || num_ex == blk.count),
+                    "corrupt ALP blob");
+      blk.exceptions.reserve(num_ex);
+      for (size_t e = 0; e < num_ex; ++e) {
+        Exception ex;
+        uint64_t pos = r.Get();
+        // Strictly increasing and in range: duplicates could leave output
+        // slots uninitialized in an all-exception block (DecodeBlock fills
+        // exactly the listed positions there).
+        NEATS_REQUIRE(pos < blk.count &&
+                          (e == 0 || pos > blk.exceptions.back().position),
+                      "corrupt ALP blob");
+        ex.position = static_cast<uint16_t>(pos);
+        ex.raw = r.Get();
+        blk.exceptions.push_back(ex);
+      }
+      out.blocks_.push_back(std::move(blk));
+    }
+    return out;
   }
 
  private:
@@ -195,7 +271,11 @@ class Alp {
     const uint64_t* words = blk.packed.data();
     uint64_t o = 0;
     for (size_t i = 0; i < blk.count; ++i, o += static_cast<uint64_t>(width)) {
-      int64_t d = blk.base + static_cast<int64_t>(ReadBits(words, o, width));
+      // Unsigned add: base + residual cannot overflow for blobs this
+      // encoder wrote, but a forged blob can pick any base — wraparound is
+      // defined (and decodes to garbage), signed overflow would be UB.
+      int64_t d = static_cast<int64_t>(static_cast<uint64_t>(blk.base) +
+                                       ReadBits(words, o, width));
       out[i] = static_cast<double>(d) / div;
     }
     for (const Exception& ex : blk.exceptions) {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "succinct/storage.hpp"
 
 namespace neats {
 
@@ -80,6 +81,34 @@ class Blockwise {
     size_t bits = 2 * 64;
     for (const Codec& block : blocks_) bits += block.SizeInBits() + 64;
     return bits;
+  }
+
+  /// Appends the wrapper geometry plus every block (Codec::SerializeInto)
+  /// to a flat word writer; the caller frames it with a magic + version.
+  void SerializeInto(WordWriter& w) const {
+    w.Put(n_);
+    w.Put(block_values_);
+    for (const Codec& block : blocks_) block.SerializeInto(w);
+  }
+
+  /// Inverse of SerializeInto; the block count is derived from the stored
+  /// geometry and every block's decoded length is checked against its slice.
+  static Blockwise LoadFrom(WordReader& r) {
+    Blockwise out;
+    out.n_ = r.Get();
+    out.block_values_ = r.Get();
+    NEATS_REQUIRE(out.n_ <= (uint64_t{1} << 56) && out.block_values_ > 0,
+                  "corrupt block-wise blob");
+    size_t blocks = out.n_ == 0 ? 0 : (out.n_ - 1) / out.block_values_ + 1;
+    out.blocks_.reserve(blocks);
+    for (size_t b = 0; b < blocks; ++b) {
+      out.blocks_.push_back(Codec::LoadFrom(r));
+      size_t expected =
+          std::min(out.block_values_, out.n_ - b * out.block_values_);
+      NEATS_REQUIRE(out.blocks_.back().size() == expected,
+                    "corrupt block-wise blob");
+    }
+    return out;
   }
 
  private:

@@ -18,8 +18,10 @@
 #include <span>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/bits.hpp"
 #include "succinct/bit_stream.hpp"
+#include "succinct/storage.hpp"
 
 namespace neats {
 
@@ -110,6 +112,9 @@ class Chimp {
           int sig = static_cast<int>(reader.Read(6));
           if (sig == 0) sig = 64;
           int tz = 64 - lz - sig;
+          // A corrupt stream can encode lz + sig > 64; a negative shift
+          // would be UB, so reject the stream instead of decoding it.
+          NEATS_REQUIRE(tz >= 0, "corrupt Chimp stream");
           prev ^= reader.Read(sig) << tz;
           break;
         }
@@ -128,6 +133,30 @@ class Chimp {
 
   size_t size() const { return n_; }
   size_t SizeInBits() const { return bits_ + 64; }
+
+  /// Appends the stream to a flat word writer (no magic — the caller frames
+  /// it; see src/codecs/xor_codec.hpp for the framed SeriesCodec wrapper).
+  void SerializeInto(WordWriter& w) const {
+    w.Put(n_);
+    w.Put(bits_);
+    w.Put(words_.size());
+    w.PutCells(words_.data(), words_.size());
+  }
+
+  /// Inverse of SerializeInto; rejects streams whose word count cannot back
+  /// the declared bit size.
+  static Chimp LoadFrom(WordReader& r) {
+    Chimp out;
+    out.n_ = r.Get();
+    out.bits_ = r.Get();
+    NEATS_REQUIRE(out.n_ <= (uint64_t{1} << 56), "corrupt Chimp stream");
+    Storage<uint64_t> words = r.GetCells<uint64_t>(r.Get());
+    NEATS_REQUIRE(words.size() == CeilDiv(out.bits_, 64) &&
+                      (out.n_ == 0) == (out.bits_ == 0),
+                  "corrupt Chimp stream");
+    out.words_.assign(words.data(), words.data() + words.size());
+    return out;
+  }
 
  private:
   size_t n_ = 0;

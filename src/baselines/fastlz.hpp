@@ -69,7 +69,9 @@ class FastLz {
           lit += b;
         } while (b == 255);
       }
-      std::memcpy(out.data() + op, in.data() + ip, lit);
+      // Guarded: memcpy's pointer arguments must be non-null even for a
+      // zero-length copy, and out.data() is null when out is empty.
+      if (lit > 0) std::memcpy(out.data() + op, in.data() + ip, lit);
       ip += lit;
       op += lit;
       if (ip >= in.size()) break;  // final sequence has no match

@@ -14,8 +14,10 @@
 #include <span>
 #include <vector>
 
+#include "common/assert.hpp"
 #include "common/bits.hpp"
 #include "succinct/bit_stream.hpp"
+#include "succinct/storage.hpp"
 
 namespace neats {
 
@@ -81,6 +83,9 @@ class Gorilla {
         int len = static_cast<int>(reader.Read(6));
         if (len == 0) len = 64;
         tz = 64 - lz - len;
+        // A corrupt stream can encode lz + len > 64; a negative shift below
+        // would be UB, so reject the stream instead of decoding it.
+        NEATS_REQUIRE(tz >= 0, "corrupt Gorilla stream");
         prev ^= reader.Read(len) << tz;
       } else {
         int len = 64 - lz - tz;
@@ -92,6 +97,30 @@ class Gorilla {
 
   size_t size() const { return n_; }
   size_t SizeInBits() const { return bits_ + 64; }
+
+  /// Appends the stream to a flat word writer (no magic — the caller frames
+  /// it; see src/codecs/xor_codec.hpp for the framed SeriesCodec wrapper).
+  void SerializeInto(WordWriter& w) const {
+    w.Put(n_);
+    w.Put(bits_);
+    w.Put(words_.size());
+    w.PutCells(words_.data(), words_.size());
+  }
+
+  /// Inverse of SerializeInto; rejects streams whose word count cannot back
+  /// the declared bit size.
+  static Gorilla LoadFrom(WordReader& r) {
+    Gorilla out;
+    out.n_ = r.Get();
+    out.bits_ = r.Get();
+    NEATS_REQUIRE(out.n_ <= (uint64_t{1} << 56), "corrupt Gorilla stream");
+    Storage<uint64_t> words = r.GetCells<uint64_t>(r.Get());
+    NEATS_REQUIRE(words.size() == CeilDiv(out.bits_, 64) &&
+                      (out.n_ == 0) == (out.bits_ == 0),
+                  "corrupt Gorilla stream");
+    out.words_.assign(words.data(), words.data() + words.size());
+    return out;
+  }
 
  private:
   size_t n_ = 0;

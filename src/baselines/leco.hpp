@@ -14,6 +14,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <vector>
 
@@ -22,6 +23,7 @@
 #include "succinct/bit_stream.hpp"
 #include "succinct/elias_fano.hpp"
 #include "succinct/packed_array.hpp"
+#include "succinct/storage.hpp"
 
 namespace neats {
 
@@ -97,27 +99,40 @@ class Leco {
     int bits = static_cast<int>(widths_[f]);
     uint64_t o = offsets_.Access(f) +
                  (i - start) * static_cast<uint64_t>(bits);
-    int64_t r = static_cast<int64_t>(ReadBits(residual_words_.data(), o, bits));
-    return PredictAt(f, i - start) + bases_[f] + r;
+    uint64_t r = ReadBits(residual_words_.data(), o, bits);
+    return Reassemble(PredictAt(f, i - start), bases_[f], r);
   }
 
   void Decompress(std::vector<int64_t>* out) const {
     out->resize(n_);
-    size_t m = slopes_.size();
-    for (size_t f = 0; f < m; ++f) {
+    if (n_ > 0) DecompressRange(0, n_, out->data());
+  }
+
+  /// Decompresses values[from, from + len) into out: one rank to find the
+  /// first fragment, then a fragment-at-a-time scan (no per-value rank).
+  void DecompressRange(size_t from, size_t len, int64_t* out) const {
+    if (len == 0) return;
+    NEATS_DCHECK(from + len <= n_);
+    const size_t m = slopes_.size();
+    size_t f = starts_.Rank(from) - 1;
+    size_t produced = 0;
+    while (produced < len) {
       uint64_t start = starts_.Access(f);
       uint64_t end = f + 1 < m ? starts_.Access(f + 1) : n_;
+      uint64_t lo = std::max<uint64_t>(from + produced, start);
+      uint64_t hi = std::min<uint64_t>(from + len, end);
       int bits = static_cast<int>(widths_[f]);
-      uint64_t o = offsets_.Access(f);
+      uint64_t o = offsets_.Access(f) +
+                   (lo - start) * static_cast<uint64_t>(bits);
       int64_t base = bases_[f];
       double slope = slopes_[f], intercept = intercepts_[f];
-      for (uint64_t k = start; k < end; ++k, o += static_cast<uint64_t>(bits)) {
-        int64_t pred = static_cast<int64_t>(
-            std::floor(slope * static_cast<double>(k - start) + intercept));
-        int64_t r = static_cast<int64_t>(
-            ReadBits(residual_words_.data(), o, bits));
-        (*out)[k] = pred + base + r;
+      for (uint64_t k = lo; k < hi; ++k, o += static_cast<uint64_t>(bits)) {
+        int64_t pred = FloorToInt64(
+            slope * static_cast<double>(k - start) + intercept);
+        out[produced++] =
+            Reassemble(pred, base, ReadBits(residual_words_.data(), o, bits));
       }
+      ++f;
     }
   }
 
@@ -127,7 +142,90 @@ class Leco {
            slopes_.size() * (64 + 64 + 64) + 64;
   }
 
+  /// Serializes in the flat word grammar of format v2/v3 (docs/FORMAT.md):
+  /// magic "NEATSLC", version, n, m, the succinct sections, then the
+  /// residual words and per-fragment model arrays. Every section is word
+  /// aligned, so View opens the blob zero-copy.
+  void Serialize(std::vector<uint8_t>* out) const {
+    out->clear();
+    WordWriter w(out);
+    w.Put(kMagic);
+    w.Put(kFormatVersion);
+    w.Put(n_);
+    w.Put(slopes_.size());
+    if (!slopes_.empty()) {
+      starts_.Serialize(w);
+      widths_.Serialize(w);
+      offsets_.Serialize(w);
+    }
+    w.PutArray(residual_words_);
+    w.PutArray(slopes_);
+    w.PutArray(intercepts_);
+    w.PutArray(bases_);
+  }
+
+  /// Rebuilds from Serialize output into owned storage.
+  static Leco Deserialize(std::span<const uint8_t> bytes) {
+    return Load(bytes, /*borrow=*/false);
+  }
+
+  /// Opens a blob zero-copy; `bytes` must be 8-byte aligned and outlive the
+  /// returned object.
+  static Leco View(std::span<const uint8_t> bytes) {
+    return Load(bytes, /*borrow=*/true);
+  }
+
  private:
+  /// Shared body of Deserialize and View, hardened like the NeaTS loaders:
+  /// the fragment geometry is cross-checked (contiguous starts, offset
+  /// deltas equal to length*width, residual words backing the final offset)
+  /// so Access can trust the packed arrays without per-query bounds checks.
+  static Leco Load(std::span<const uint8_t> bytes, bool borrow) {
+    WordReader r(bytes, borrow);
+    NEATS_REQUIRE(r.Get() == kMagic, "not a LeCo blob");
+    NEATS_REQUIRE(r.Get() == kFormatVersion,
+                  "unsupported LeCo format version");
+    Leco out;
+    out.n_ = r.Get();
+    size_t m = r.Get();
+    NEATS_REQUIRE(out.n_ <= (uint64_t{1} << 56) && m <= out.n_ &&
+                      (m > 0 || out.n_ == 0),
+                  "corrupt LeCo blob");
+    uint64_t total_bits = 0;
+    if (m > 0) {
+      out.starts_ = EliasFano::Load(r);
+      out.widths_ = PackedArray::Load(r);
+      out.offsets_ = EliasFano::Load(r);
+      NEATS_REQUIRE(out.starts_.size() == m && out.starts_.Access(0) == 0 &&
+                        out.starts_.Access(m - 1) < out.n_ &&
+                        out.widths_.size() == m &&
+                        out.offsets_.size() == m + 1 &&
+                        out.offsets_.Access(0) == 0,
+                    "corrupt LeCo blob");
+      uint64_t prev_start = 0, prev_off = 0;
+      for (size_t f = 1; f <= m; ++f) {
+        uint64_t start = f < m ? out.starts_.Access(f) : out.n_;
+        uint64_t off = out.offsets_.Access(f);
+        uint64_t width = out.widths_[f - 1];
+        NEATS_REQUIRE(start > prev_start && off >= prev_off && width <= 64 &&
+                          off - prev_off == (start - prev_start) * width,
+                      "corrupt LeCo blob");
+        prev_start = start;
+        prev_off = off;
+      }
+      total_bits = out.offsets_.Access(m);
+    }
+    out.residual_words_ = r.GetArray<uint64_t>();
+    NEATS_REQUIRE(out.residual_words_.size() == CeilDiv(total_bits, 64),
+                  "corrupt LeCo blob");
+    out.slopes_ = r.GetArray<double>();
+    out.intercepts_ = r.GetArray<double>();
+    out.bases_ = r.GetArray<int64_t>();
+    NEATS_REQUIRE(out.slopes_.size() == m && out.intercepts_.size() == m &&
+                      out.bases_.size() == m,
+                  "corrupt LeCo blob");
+    return out;
+  }
   static constexpr uint64_t kStep = 256;
   static constexpr uint64_t kMaxFragment = 8192;  // caps the O(len^2) growth
 
@@ -183,17 +281,16 @@ class Leco {
     size_t m = boundaries.size();
     std::vector<uint64_t> starts(boundaries), widths(m), offsets(m + 1);
     BitWriter residuals;
-    slopes_.resize(m);
-    intercepts_.resize(m);
-    bases_.resize(m);
+    std::vector<double> slopes(m), intercepts(m);
+    std::vector<int64_t> bases(m);
     for (size_t f = 0; f < m; ++f) {
       uint64_t start = boundaries[f];
       uint64_t end = f + 1 < m ? boundaries[f + 1] : values.size();
       Fit fit = FitRangeLs(values, start, end);
       int bits = BitWidth(static_cast<uint64_t>(fit.max_r - fit.min_r));
-      slopes_[f] = fit.slope;
-      intercepts_[f] = fit.intercept;
-      bases_[f] = fit.min_r;
+      slopes[f] = fit.slope;
+      intercepts[f] = fit.intercept;
+      bases[f] = fit.min_r;
       widths[f] = static_cast<uint64_t>(bits);
       offsets[f] = residuals.bit_size();
       for (uint64_t k = start; k < end; ++k) {
@@ -207,21 +304,51 @@ class Leco {
     starts_ = EliasFano(starts, n_);
     widths_ = PackedArray::FromValues(widths);
     offsets_ = EliasFano(offsets, offsets[m] + 1);
-    residual_words_ = residuals.TakeWords();
+    residual_words_ = Storage<uint64_t>(residuals.TakeWords());
+    slopes_ = Storage<double>(std::move(slopes));
+    intercepts_ = Storage<double>(std::move(intercepts));
+    bases_ = Storage<int64_t>(std::move(bases));
   }
 
   int64_t PredictAt(size_t f, uint64_t local) const {
-    return static_cast<int64_t>(std::floor(
-        slopes_[f] * static_cast<double>(local) + intercepts_[f]));
+    return FloorToInt64(slopes_[f] * static_cast<double>(local) +
+                        intercepts_[f]);
   }
+
+  /// Range-guarded floor-to-int64. The guard never fires for models this
+  /// encoder fitted (predictions stay near the data); it exists for forged
+  /// blobs, whose stored slope/intercept doubles are arbitrary — an
+  /// out-of-range or NaN cast would be UB.
+  static int64_t FloorToInt64(double x) {
+    double fl = std::floor(x);
+    if (!(fl >= -9223372036854775808.0 && fl < 9223372036854775808.0)) {
+      return 0;
+    }
+    return static_cast<int64_t>(fl);
+  }
+
+  /// prediction + base + residual via unsigned adds: wraparound (possible
+  /// only with forged base/residual words) is defined, signed overflow
+  /// would be UB.
+  static int64_t Reassemble(int64_t pred, int64_t base, uint64_t residual) {
+    return static_cast<int64_t>(static_cast<uint64_t>(pred) +
+                                static_cast<uint64_t>(base) + residual);
+  }
+
+  // Little-endian "NEATSLC\0" — ASCII-readable at the head of the blob,
+  // like the other magics of the format family.
+  static constexpr uint64_t kMagic = 0x00434C535441454EULL;
+  static constexpr uint64_t kFormatVersion = 1;
 
   size_t n_ = 0;
   EliasFano starts_;
   PackedArray widths_;
   EliasFano offsets_;
-  std::vector<uint64_t> residual_words_;
-  std::vector<double> slopes_, intercepts_;
-  std::vector<int64_t> bases_;
+  // Storage-backed payload arrays: owned after Compress/Deserialize, spans
+  // into the caller's buffer after View (same policy as the NeaTS core).
+  Storage<uint64_t> residual_words_;
+  Storage<double> slopes_, intercepts_;
+  Storage<int64_t> bases_;
 };
 
 }  // namespace neats

@@ -1,0 +1,168 @@
+// AlpCodec — ALP adapted to the int64 SeriesCodec surface (codec id 3).
+//
+// The store's values are decimal-scaled integers, which is exactly the data
+// shape ALP was built for once they are viewed as doubles: d = (double)v
+// encodes with exponent 0 as a frame-of-reference pseudo-decimal, so ALP
+// behaves like a per-1024-vector FOR/bit-packing codec here. Values whose
+// int64 -> double conversion is not exact (|v| > 2^53 territory) are carried
+// in a sorted exception list next to the ALP payload and patched on every
+// query, keeping the codec exact over the full ±2^61 range.
+//
+// Random access decodes the containing 1024-value vector (vector-at-a-time,
+// as in the original engine), so AccessBatch inherits the scalar default;
+// DecompressRange decodes each covered vector once. Not zero-copy: the ALP
+// block payload deserializes into owned vectors.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "baselines/alp.hpp"
+#include "common/assert.hpp"
+#include "core/codec_id.hpp"
+#include "core/series_codec.hpp"
+#include "succinct/storage.hpp"
+
+namespace neats {
+
+/// Exact int64 SeriesCodec over ALP pseudo-decimal vectors.
+class AlpCodec : public ScalarCodecBase<AlpCodec> {
+ public:
+  AlpCodec() = default;
+
+  static constexpr bool kZeroCopyView = false;
+
+  static AlpCodec Compress(std::span<const int64_t> values,
+                           const NeatsOptions& options = {}) {
+    (void)options;  // ALP has no NeaTS-shaped knobs
+    AlpCodec out;
+    out.n_ = values.size();
+    std::vector<double> doubles(values.size());
+    for (size_t k = 0; k < values.size(); ++k) {
+      doubles[k] = static_cast<double>(values[k]);
+      if (!RoundTrips(values[k], doubles[k])) {
+        out.exc_pos_.push_back(k);
+        out.exc_val_.push_back(values[k]);
+        doubles[k] = 0.0;  // encode a cheap placeholder instead
+      }
+    }
+    out.alp_ = Alp::Compress(doubles);
+    return out;
+  }
+
+  uint64_t size() const { return n_; }
+  size_t num_exceptions() const { return exc_pos_.size(); }
+
+  int64_t Access(uint64_t k) const {
+    NEATS_DCHECK(k < n_);
+    auto it = std::lower_bound(exc_pos_.begin(), exc_pos_.end(), k);
+    if (it != exc_pos_.end() && *it == k) {
+      return exc_val_[static_cast<size_t>(it - exc_pos_.begin())];
+    }
+    return CastBack(alp_.Access(k));
+  }
+
+  /// Decodes each covered ALP vector once, then patches the exceptions.
+  void DecompressRange(uint64_t from, uint64_t len, int64_t* out) const {
+    if (len == 0) return;
+    NEATS_DCHECK(from + len <= n_);
+    std::vector<double> buffer(len);
+    alp_.DecompressRange(from, len, buffer.data());
+    auto it = std::lower_bound(exc_pos_.begin(), exc_pos_.end(), from);
+    for (uint64_t j = 0; j < len; ++j) {
+      if (it != exc_pos_.end() && *it == from + j) {
+        out[j] = exc_val_[static_cast<size_t>(it - exc_pos_.begin())];
+        ++it;
+        continue;
+      }
+      out[j] = CastBack(buffer[j]);
+    }
+  }
+
+  /// ALP's bit estimate plus the exception list and framing.
+  size_t SizeInBits() const {
+    return alp_.SizeInBits() + exc_pos_.size() * 2 * 64 + 5 * 64;
+  }
+
+  void Serialize(std::vector<uint8_t>* out) const {
+    out->clear();
+    WordWriter w(out);
+    w.Put(kMagic);
+    w.Put(kFormatVersion);
+    w.Put(exc_pos_.size());
+    for (size_t e = 0; e < exc_pos_.size(); ++e) {
+      w.Put(exc_pos_[e]);
+      w.Put(static_cast<uint64_t>(exc_val_[e]));
+    }
+    alp_.SerializeInto(w);
+  }
+
+  static AlpCodec Deserialize(std::span<const uint8_t> bytes) {
+    WordReader r(bytes, /*borrow=*/false);
+    NEATS_REQUIRE(r.Get() == kMagic, "not an ALP blob");
+    NEATS_REQUIRE(r.Get() == kFormatVersion,
+                  "unsupported ALP format version");
+    AlpCodec out;
+    size_t num_exc = r.Get();
+    NEATS_REQUIRE(num_exc <= (bytes.size() - r.position()) / 16,
+                  "corrupt ALP blob");
+    out.exc_pos_.reserve(num_exc);
+    out.exc_val_.reserve(num_exc);
+    for (size_t e = 0; e < num_exc; ++e) {
+      out.exc_pos_.push_back(r.Get());
+      out.exc_val_.push_back(static_cast<int64_t>(r.Get()));
+    }
+    out.alp_ = Alp::LoadFrom(r);
+    NEATS_REQUIRE(r.position() == bytes.size(), "corrupt ALP blob");
+    out.n_ = out.alp_.size();
+    // Exception positions must be strictly increasing and in range — the
+    // query paths binary-search them unchecked.
+    for (size_t e = 0; e < num_exc; ++e) {
+      NEATS_REQUIRE(out.exc_pos_[e] < out.n_ &&
+                        (e == 0 || out.exc_pos_[e - 1] < out.exc_pos_[e]),
+                    "corrupt ALP blob");
+    }
+    return out;
+  }
+
+  /// ALP blocks deserialize into owned vectors, so View is an owning load.
+  static AlpCodec View(std::span<const uint8_t> bytes) {
+    return Deserialize(bytes);
+  }
+
+ private:
+  /// True iff (double)v reconstructs v exactly via the cast back.
+  static bool RoundTrips(int64_t v, double d) {
+    if (!(d >= -9223372036854775808.0 && d < 9223372036854775808.0)) {
+      return false;
+    }
+    return static_cast<int64_t>(d) == v;
+  }
+
+  /// Range-guarded double -> int64 cast. Non-exception slots round-trip by
+  /// construction, so the guard never fires on blobs this encoder wrote —
+  /// it exists for forged blobs, where an out-of-range or NaN double would
+  /// make the raw cast UB (the guarded value is garbage, which is all a
+  /// corrupt payload is entitled to).
+  static int64_t CastBack(double d) {
+    if (!(d >= -9223372036854775808.0 && d < 9223372036854775808.0)) {
+      return 0;
+    }
+    return static_cast<int64_t>(d);
+  }
+
+  static constexpr uint64_t kMagic = MagicWord("NEATSAP\0");
+  static constexpr uint64_t kFormatVersion = 1;
+
+  uint64_t n_ = 0;
+  Alp alp_;
+  std::vector<uint64_t> exc_pos_;  // sorted global indices
+  std::vector<int64_t> exc_val_;
+};
+
+static_assert(SeriesCodec<AlpCodec>);
+
+}  // namespace neats

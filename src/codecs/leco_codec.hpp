@@ -1,0 +1,73 @@
+// LecoCodec — LeCo adapted to the SeriesCodec surface (codec id 2).
+//
+// LeCo is already int64-native with real random access (Elias-Fano rank to
+// the fragment, one residual read), so the adaptation is thin: the baseline
+// grew Serialize/Deserialize/View and a fragment-at-a-time DecompressRange
+// (src/baselines/leco.hpp), and this wrapper supplies the remaining batch /
+// multi-range / range-sum surface through the CRTP defaults. Zero-copy: the
+// LeCo payload arrays are Storage-backed, so View serves from the caller's
+// buffer just like the NeaTS core.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "baselines/leco.hpp"
+#include "common/assert.hpp"
+#include "core/codec_id.hpp"
+#include "core/series_codec.hpp"
+
+namespace neats {
+
+/// Exact int64 SeriesCodec over LeCo linear fits + packed residuals.
+class LecoCodec : public ScalarCodecBase<LecoCodec> {
+ public:
+  LecoCodec() = default;
+
+  static constexpr bool kZeroCopyView = true;
+
+  static LecoCodec Compress(std::span<const int64_t> values,
+                            const NeatsOptions& options = {}) {
+    (void)options;  // LeCo's partitioner is heuristic, no NeaTS knobs apply
+    LecoCodec out;
+    out.leco_ = Leco::Compress(values);
+    return out;
+  }
+
+  uint64_t size() const { return leco_.size(); }
+  size_t num_fragments() const { return leco_.num_fragments(); }
+
+  int64_t Access(uint64_t k) const {
+    NEATS_DCHECK(k < leco_.size());
+    return leco_.Access(k);
+  }
+
+  void DecompressRange(uint64_t from, uint64_t len, int64_t* out) const {
+    leco_.DecompressRange(from, len, out);
+  }
+
+  size_t SizeInBits() const { return leco_.SizeInBits(); }
+
+  void Serialize(std::vector<uint8_t>* out) const { leco_.Serialize(out); }
+
+  static LecoCodec Deserialize(std::span<const uint8_t> bytes) {
+    LecoCodec out;
+    out.leco_ = Leco::Deserialize(bytes);
+    return out;
+  }
+
+  static LecoCodec View(std::span<const uint8_t> bytes) {
+    LecoCodec out;
+    out.leco_ = Leco::View(bytes);
+    return out;
+  }
+
+ private:
+  Leco leco_;
+};
+
+static_assert(SeriesCodec<LecoCodec>);
+
+}  // namespace neats

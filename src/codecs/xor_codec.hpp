@@ -1,0 +1,113 @@
+// GorillaCodec / ChimpCodec — the XOR-stream compressors adapted to the
+// int64 SeriesCodec surface (codec ids 4 and 5).
+//
+// Gorilla and Chimp operate on raw 64-bit patterns (each value XOR-ed with a
+// reference), so the adaptation is exact by construction: every int64 is
+// bit_cast to a double on the way in and back on the way out — no numeric
+// conversion, no exceptions list. The streams have no native random access,
+// so they run block-wise (Blockwise, 1000 values per block, the paper's
+// Sec. IV-A2 harness): Access decodes the containing block, DecompressRange
+// decodes each covered block once. Not zero-copy: blocks deserialize into
+// owned vectors.
+//
+// These codecs earn their registry slot on step-and-repeat data: a repeated
+// value costs Gorilla a single bit, which beats NeaTS's per-fragment
+// function parameters when runs are short (see the mixed-codec store test).
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "baselines/blockwise.hpp"
+#include "baselines/chimp.hpp"
+#include "baselines/gorilla.hpp"
+#include "common/assert.hpp"
+#include "core/codec_id.hpp"
+#include "core/series_codec.hpp"
+#include "succinct/storage.hpp"
+
+namespace neats {
+
+/// Exact int64 SeriesCodec over a block-wise XOR stream codec (Gorilla,
+/// Chimp — anything with Compress(span<double>)/Decompress/SerializeInto).
+template <typename Xor, uint64_t kMagic>
+class XorSeriesCodec : public ScalarCodecBase<XorSeriesCodec<Xor, kMagic>> {
+ public:
+  XorSeriesCodec() = default;
+
+  static constexpr bool kZeroCopyView = false;
+
+  static XorSeriesCodec Compress(std::span<const int64_t> values,
+                                 const NeatsOptions& options = {}) {
+    (void)options;  // the XOR streams have no NeaTS-shaped knobs
+    XorSeriesCodec out;
+    out.n_ = values.size();
+    std::vector<double> doubles(values.size());
+    for (size_t k = 0; k < values.size(); ++k) {
+      doubles[k] = std::bit_cast<double>(values[k]);
+    }
+    out.blocks_ = Blockwise<Xor>::Compress(doubles);
+    return out;
+  }
+
+  uint64_t size() const { return n_; }
+
+  int64_t Access(uint64_t k) const {
+    NEATS_DCHECK(k < n_);
+    return std::bit_cast<int64_t>(blocks_.Access(k));
+  }
+
+  void DecompressRange(uint64_t from, uint64_t len, int64_t* out) const {
+    if (len == 0) return;
+    NEATS_DCHECK(from + len <= n_);
+    std::vector<double> buffer(len);
+    blocks_.DecompressRange(from, len, buffer.data());
+    for (uint64_t j = 0; j < len; ++j) {
+      out[j] = std::bit_cast<int64_t>(buffer[j]);
+    }
+  }
+
+  size_t SizeInBits() const { return blocks_.SizeInBits() + 2 * 64; }
+
+  void Serialize(std::vector<uint8_t>* out) const {
+    out->clear();
+    WordWriter w(out);
+    w.Put(kMagic);
+    w.Put(kFormatVersion);
+    blocks_.SerializeInto(w);
+  }
+
+  static XorSeriesCodec Deserialize(std::span<const uint8_t> bytes) {
+    WordReader r(bytes, /*borrow=*/false);
+    NEATS_REQUIRE(r.Get() == kMagic, "not a XOR-stream blob");
+    NEATS_REQUIRE(r.Get() == kFormatVersion,
+                  "unsupported XOR-stream format version");
+    XorSeriesCodec out;
+    out.blocks_ = Blockwise<Xor>::LoadFrom(r);
+    NEATS_REQUIRE(r.position() == bytes.size(), "corrupt XOR-stream blob");
+    out.n_ = out.blocks_.size();
+    return out;
+  }
+
+  /// The blocks deserialize into owned vectors, so View is an owning load.
+  static XorSeriesCodec View(std::span<const uint8_t> bytes) {
+    return Deserialize(bytes);
+  }
+
+ private:
+  static constexpr uint64_t kFormatVersion = 1;
+
+  uint64_t n_ = 0;
+  Blockwise<Xor> blocks_;
+};
+
+using GorillaCodec = XorSeriesCodec<Gorilla, MagicWord("NEATSGO\0")>;
+using ChimpCodec = XorSeriesCodec<Chimp, MagicWord("NEATSCH\0")>;
+
+static_assert(SeriesCodec<GorillaCodec>);
+static_assert(SeriesCodec<ChimpCodec>);
+
+}  // namespace neats

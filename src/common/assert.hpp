@@ -1,24 +1,43 @@
 // Lightweight runtime checks.
 //
 // NEATS_REQUIRE guards public-API preconditions and stays active in release
-// builds (the cost is negligible next to the work the callers do).
+// builds (the cost is negligible next to the work the callers do). A failed
+// check throws neats::Error; left uncaught it terminates the process with
+// the message on stderr (the historical abort behaviour), while the public
+// facade (neats/neats.hpp) catches it at the open/load boundaries and turns
+// it into a Status instead of a crash.
 // NEATS_DCHECK guards internal invariants and compiles away under NDEBUG.
 
 #pragma once
 
-#include <cstdio>
-#include <cstdlib>
+#include <stdexcept>
+#include <string>
 
-namespace neats::internal {
+namespace neats {
+
+/// The error every failed NEATS_REQUIRE throws. what() carries the check's
+/// message plus its source location, so an uncaught failure terminates with
+/// a self-explanatory line and a caught one converts into a Status verbatim.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace internal {
 
 [[noreturn]] inline void FailRequire(const char* expr, const char* file, int line,
                                      const char* msg) {
-  std::fprintf(stderr, "NEATS_REQUIRE failed: %s at %s:%d%s%s\n", expr, file, line,
-               msg[0] ? " — " : "", msg);
-  std::abort();
+  std::string what(msg[0] ? msg : expr);
+  what += " [NEATS_REQUIRE ";
+  what += file;
+  what += ":";
+  what += std::to_string(line);
+  what += "]";
+  throw Error(what);
 }
 
-}  // namespace neats::internal
+}  // namespace internal
+}  // namespace neats
 
 #define NEATS_REQUIRE(cond, msg)                                         \
   do {                                                                   \

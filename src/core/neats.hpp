@@ -355,6 +355,10 @@ class Neats {
   /// (i.e. it was produced by View rather than Compress/Deserialize).
   bool borrowed() const { return corrections_.borrowed(); }
 
+  /// SeriesCodec trait: View genuinely borrows the caller's buffer, so a
+  /// store shard mapped from disk serves with no deserialization copy.
+  static constexpr bool kZeroCopyView = true;
+
   /// Dispatch probe: true when `bytes` carries the flat-format magic
   /// (shared by v2 and v3) at an 8-byte-aligned address, i.e. the blob
   /// should be routed to View rather than the legacy-v1 Deserialize path.

@@ -1,22 +1,27 @@
 // The store manifest: the small routing file at the root of a NeatsStore
 // directory (docs/FORMAT.md, "Store directory layout").
 //
-// A store directory holds one format-v3 NeaTS blob per sealed shard plus
+// A store directory holds one compressed blob per sealed shard plus
 // MANIFEST.neats, which records the target shard size and, per shard, the
-// global index range it covers and the byte size of its blob. The manifest
-// is what OpenDir routes by: shard k serves global indices
-// [shards[k].first, shards[k].first + shards[k].count), the blob lives in
-// ShardFileName(k), and the recorded blob_bytes is cross-checked against
-// the actual file before the blob is mapped — a manifest/blob mismatch
-// aborts instead of serving a half-written store.
+// global index range it covers, the byte size of its blob, and — since
+// manifest v2 — the CodecId that compressed it (the codec registry routes
+// open/query per shard by this word, which is what makes mixed-codec stores
+// possible). The manifest is what OpenDir routes by: shard k serves global
+// indices [shards[k].first, shards[k].first + shards[k].count), the blob
+// lives in ShardFileName(k), and the recorded blob_bytes is cross-checked
+// against the actual file before the blob is opened — a manifest/blob
+// mismatch aborts instead of serving a half-written store.
 //
 // The wire format reuses the flat word grammar of format v2/v3 (WordWriter/
 // WordReader): magic "NEATSMF\0", a version word, the target shard size,
-// the shard count, then three words per shard. Loads are hardened the same
-// way as blob loads — counts are bounded by the backing bytes, coverage
-// must be contiguous from index 0, and every violation aborts loudly
-// (NEATS_REQUIRE), matching the clobber-sweep contract of the other
-// loaders.
+// the shard count, then one row per shard — three words in version 1
+// (first, count, blob_bytes; every shard is NeaTS), four in version 2 (the
+// codec id appended). Version 1 manifests load forever (additive-revision
+// policy, ROADMAP); writes always emit version 2. Loads are hardened the
+// same way as blob loads — counts are bounded by the backing bytes,
+// coverage must be contiguous from index 0, codec ids must be assigned, and
+// every violation aborts loudly (NEATS_REQUIRE), matching the clobber-sweep
+// contract of the other loaders.
 
 #pragma once
 
@@ -27,17 +32,19 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "core/codec_id.hpp"
 #include "succinct/storage.hpp"
 
 namespace neats {
 
 /// Parsed (or to-be-written) contents of a store directory's manifest file.
 struct StoreManifest {
-  /// One sealed shard: global index range and serialized blob size.
+  /// One sealed shard: global index range, blob size, and its codec.
   struct Shard {
     uint64_t first = 0;       // global index of the shard's first value
     uint64_t count = 0;       // number of values in the shard (> 0)
-    uint64_t blob_bytes = 0;  // byte size of the shard's v3 blob file
+    uint64_t blob_bytes = 0;  // byte size of the shard's blob file
+    CodecId codec = CodecId::kNeats;  // codec that compressed the blob (v2)
   };
 
   uint64_t shard_size = 0;  // target values per sealed shard (> 0)
@@ -70,13 +77,15 @@ struct StoreManifest {
       w.Put(s.first);
       w.Put(s.count);
       w.Put(s.blob_bytes);
+      w.Put(static_cast<uint64_t>(s.codec));
     }
   }
 
-  /// Parses Serialize output. Aborts (NEATS_REQUIRE) on anything that is not
-  /// a well-formed manifest: wrong magic/version, a shard count the bytes
-  /// cannot back, zero-sized shards, or coverage that is not contiguous
-  /// from global index 0.
+  /// Parses Serialize output (version 2) or a legacy version-1 manifest
+  /// (whose shards are all NeaTS). Aborts (NEATS_REQUIRE) on anything that
+  /// is not a well-formed manifest: wrong magic/version, a shard count the
+  /// bytes cannot back, zero-sized shards, an unassigned codec id, or
+  /// coverage that is not contiguous from global index 0.
   static StoreManifest Deserialize(std::span<const uint8_t> bytes) {
     NEATS_REQUIRE(bytes.size() >= 8, "not a NeaTS store manifest");
     uint64_t magic;
@@ -84,14 +93,16 @@ struct StoreManifest {
     NEATS_REQUIRE(magic == kMagic, "not a NeaTS store manifest");
     WordReader r(bytes, /*borrow=*/false);
     r.Get();  // magic, checked above
-    NEATS_REQUIRE(r.Get() == kVersion,
+    const uint64_t version = r.Get();
+    NEATS_REQUIRE(version == 1 || version == kVersion,
                   "unsupported NeaTS store manifest version");
+    const size_t row_words = version == 1 ? 3 : 4;
     StoreManifest m;
     m.shard_size = r.Get();
     NEATS_REQUIRE(m.shard_size > 0 && m.shard_size <= (uint64_t{1} << 56),
                   "corrupt NeaTS store manifest");
     uint64_t count = r.Get();
-    NEATS_REQUIRE(count <= (bytes.size() - r.position()) / 24,
+    NEATS_REQUIRE(count <= (bytes.size() - r.position()) / (8 * row_words),
                   "corrupt NeaTS store manifest");
     m.shards.reserve(count);
     uint64_t next_first = 0;
@@ -100,6 +111,11 @@ struct StoreManifest {
       s.first = r.Get();
       s.count = r.Get();
       s.blob_bytes = r.Get();
+      if (version >= 2) {
+        uint64_t codec = r.Get();
+        NEATS_REQUIRE(IsValidCodecId(codec), "corrupt NeaTS store manifest");
+        s.codec = static_cast<CodecId>(codec);
+      }
       // Contiguous coverage from 0 and the same wrap guard as the blob
       // loaders: a forged count cannot push `first + count` past 2^56.
       NEATS_REQUIRE(s.first == next_first && s.count > 0 &&
@@ -118,7 +134,7 @@ struct StoreManifest {
   // Little-endian "NEATSMF\0" — same ASCII-sniffable convention as the blob
   // magics ("NEATSv2", "NEATSL2").
   static constexpr uint64_t kMagic = 0x00464D535441454EULL;
-  static constexpr uint64_t kVersion = 1;
+  static constexpr uint64_t kVersion = 2;
 };
 
 }  // namespace neats

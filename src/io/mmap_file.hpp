@@ -97,6 +97,34 @@ class MmapFile {
   std::span<const uint8_t> bytes() const { return {data_, size_}; }
   size_t size() const { return size_; }
 
+  /// Page-cache access hints for the mapping.
+  enum class Advice {
+    kNormal,      // default readahead
+    kSequential,  // aggressive readahead, drop-behind (full scans)
+    kRandom,      // disable readahead (point queries)
+    kWillNeed,    // prefetch the pages now (an imminent batch/range query)
+  };
+
+  /// Forwards `advice` to madvise over the whole mapping. Purely a hint —
+  /// errors are ignored, and the heap-buffer fallback (no POSIX mmap) is a
+  /// no-op. The store layer calls this to prefetch the shard(s) a batched
+  /// query is about to walk (ROADMAP, scale-out).
+  void Advise(Advice advice) const {
+#if NEATS_HAS_MMAP
+    if (data_ == nullptr) return;
+    int flag = MADV_NORMAL;
+    switch (advice) {
+      case Advice::kNormal: flag = MADV_NORMAL; break;
+      case Advice::kSequential: flag = MADV_SEQUENTIAL; break;
+      case Advice::kRandom: flag = MADV_RANDOM; break;
+      case Advice::kWillNeed: flag = MADV_WILLNEED; break;
+    }
+    (void)::madvise(const_cast<uint8_t*>(data_), size_, flag);
+#else
+    (void)advice;
+#endif
+  }
+
  private:
   void Reset() {
 #if NEATS_HAS_MMAP

@@ -12,6 +12,14 @@
 
 #include "common/assert.hpp"
 
+#if defined(__unix__) || defined(__APPLE__)
+#define NEATS_HAS_FSYNC 1
+#include <fcntl.h>
+#include <unistd.h>
+#else
+#define NEATS_HAS_FSYNC 0
+#endif
+
 namespace neats {
 
 /// A decimal time series parsed from text.
@@ -78,6 +86,49 @@ inline void WriteFile(const std::string& path,
   NEATS_REQUIRE(out.good(), "cannot open output file");
   out.write(reinterpret_cast<const char*>(bytes.data()),
             static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Writes bytes to a file and fsyncs the data to stable storage before
+/// returning (POSIX; elsewhere this degrades to WriteFile). The store layer
+/// uses this for sealed shard blobs and the manifest temp file so a
+/// power loss after Flush cannot surface a manifest that names
+/// partially-persisted blobs.
+inline void WriteFileDurable(const std::string& path,
+                             const std::vector<uint8_t>& bytes) {
+#if NEATS_HAS_FSYNC
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  NEATS_REQUIRE(fd >= 0, "cannot open output file");
+  size_t at = 0;
+  while (at < bytes.size()) {
+    ssize_t wrote = ::write(fd, bytes.data() + at, bytes.size() - at);
+    if (wrote < 0) {
+      ::close(fd);
+      NEATS_REQUIRE(false, "short write");
+    }
+    at += static_cast<size_t>(wrote);
+  }
+  bool synced = ::fsync(fd) == 0;
+  ::close(fd);
+  NEATS_REQUIRE(synced, "fsync failed");
+#else
+  WriteFile(path, bytes);
+#endif
+}
+
+/// fsyncs a directory, persisting the entries (creations, renames) inside
+/// it. No-op where directory fds are unavailable.
+inline void SyncDir(const std::string& dir) {
+#if NEATS_HAS_FSYNC
+  int fd = ::open(dir.c_str(), O_RDONLY);
+  NEATS_REQUIRE(fd >= 0, "cannot open directory for fsync");
+  bool synced = ::fsync(fd) == 0;
+  ::close(fd);
+  // Some filesystems refuse fsync on directories; treat that as a hint
+  // miss, not an error — the rename itself is still atomic.
+  (void)synced;
+#else
+  (void)dir;
+#endif
 }
 
 /// Reads a whole file as bytes.

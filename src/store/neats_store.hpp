@@ -1,34 +1,47 @@
-// The serving layer: a long (and growing) series as a set of sealed NeaTS
-// shards behind one routing index, plus a write-ahead hot tail for streaming
-// ingest (the storage-engine deployment of Sec. IV-C1, grown into a
-// subsystem).
+// The serving layer: a long (and growing) series as a set of sealed,
+// independently-compressed shards behind one routing index, plus a
+// write-ahead hot tail for streaming ingest (the storage-engine deployment
+// of Sec. IV-C1, grown into a subsystem).
 //
 // Shape of the store:
 //
 //   [ shard 0 ][ shard 1 ] ... [ shard s-1 ][ pending seals ][ hot tail ]
-//     sealed NeaTS blobs, immutable           raw chunks       raw vector
-//     (owned, or mmap'd zero-copy)            compressing in
-//                                             the background
+//     sealed codec blobs, immutable            raw chunks       raw vector
+//     (owned, or mmap'd zero-copy where        compressing in
+//      the codec supports it)                  the background
+//
+// Every shard is a SealedSeries — any codec of the registry
+// (src/codecs/codec_registry.hpp) can serve one, and shards of one store may
+// use different codecs. The seal policy decides: kFixed compresses every
+// chunk with `options.codec`; kAuto compresses each chunk with every
+// candidate codec and keeps the smallest blob, so the store adapts per shard
+// to whatever regime the data is in (the paper's comparison table as a live
+// engineering choice). The per-shard codec id travels in MANIFEST.neats
+// (manifest v2, src/io/manifest.hpp).
 //
 // Append() buffers into the hot tail; every time the tail reaches
 // `shard_size` values a chunk is cut off and handed to the thread pool,
-// which compresses it into a new NeaTS shard in the background (the raw
-// values stay queryable until the seal lands, so queries never wait on a
+// which compresses it into a new shard in the background (the raw values
+// stay queryable until the seal lands, so queries never wait on a
 // compressor). Flush() seals the remaining tail, drains the pool and — for
-// a directory-backed store — writes one format-v3 blob per shard plus a
-// MANIFEST.neats routing file (src/io/manifest.hpp); OpenDir() maps those
-// blobs back zero-copy through MmapFile + Neats::View.
+// a directory-backed store — writes one blob per shard plus the manifest;
+// blobs and the manifest are fsync'd (write-to-temp + rename + directory
+// fsync), so a completed Flush survives power loss. OpenDir() routes by the
+// manifest and re-opens every blob zero-copy where its codec supports
+// borrowing (Neats, LeCo, NeatsLossyExact), deserializing the rest.
 //
 // Every query routes through the in-memory routing index (shard ->
 // [first, first+count)) and stitches across shard boundaries:
 //
-//   Access(i)              one shard lookup + one Neats::Access
+//   Access(i)              one shard lookup + one codec Access
 //   AccessBatch(idx, out)  probes of any order: argsorted, grouped per
-//                          shard, then resolved by the per-shard
-//                          fragment-grouped batch kernel (Neats::AccessBatch)
-//                          — one Elias-Fano predecessor step and one
-//                          directory record per *group*, not per probe
-//   DecompressRange(s)     per-shard cursor scans, stitched
+//                          shard (with an mmap WILLNEED prefetch hint per
+//                          routed shard), then resolved by the shard
+//                          codec's batch kernel
+//   DecompressRange(s)     per-shard scans, stitched; consecutive ranges
+//                          covered by the same shard go to the codec as one
+//                          DecompressRanges call, so one cursor serves the
+//                          whole group instead of re-seeking per range
 //   RangeSum /             exact and corrections-free approximate sums,
 //   ApproximateRangeSum    combined across the covered shards
 //
@@ -49,14 +62,22 @@
 #include <utility>
 #include <vector>
 
+#include "codecs/codec_registry.hpp"
 #include "common/assert.hpp"
 #include "common/thread_pool.hpp"
+#include "core/codec_id.hpp"
 #include "core/neats.hpp"
 #include "io/manifest.hpp"
 #include "io/mmap_file.hpp"
 #include "io/text_io.hpp"
 
 namespace neats {
+
+/// How a chunk's codec is chosen at seal time.
+enum class SealPolicy {
+  kFixed,  // every shard uses NeatsStoreOptions::codec
+  kAuto,   // compress with every candidate codec, keep the smallest blob
+};
 
 /// Tuning knobs of a NeatsStore.
 struct NeatsStoreOptions {
@@ -66,13 +87,26 @@ struct NeatsStoreOptions {
   /// keeps its geometry across reopen).
   uint64_t shard_size = uint64_t{1} << 16;
 
-  /// Compression options for sealing a shard (passed to Neats::Compress).
+  /// Compression options passed to the sealing codec (NeaTS uses all of
+  /// them; other codecs take what applies, e.g. partition epsilons for
+  /// NeatsLossyExact).
   NeatsOptions neats;
 
   /// Worker threads of the background sealer. 1 = a pool with no extra
   /// workers (seals run inline at the Append that cuts the chunk);
   /// 0 = one per hardware thread.
   int seal_threads = 1;
+
+  /// Codec selection per sealed chunk (see SealPolicy).
+  SealPolicy seal_policy = SealPolicy::kFixed;
+
+  /// The codec of every shard under SealPolicy::kFixed.
+  CodecId codec = CodecId::kNeats;
+
+  /// Candidate set of SealPolicy::kAuto, tried in order (a strictly smaller
+  /// blob wins; ties keep the earlier candidate, so the choice is
+  /// deterministic). Empty = every registered codec.
+  std::vector<CodecId> codec_candidates;
 };
 
 /// A sharded, append-able, randomly-accessible compressed series store.
@@ -85,10 +119,18 @@ class NeatsStore {
         pool_(std::make_unique<ThreadPool>(
             ResolveNumThreads(options.seal_threads))) {
     NEATS_REQUIRE(options_.shard_size > 0, "shard_size must be positive");
+    // Validated here, where the caller can catch — a bad id discovered
+    // inside a background seal task would terminate the process instead.
+    NEATS_REQUIRE(IsValidCodecId(static_cast<uint64_t>(options_.codec)),
+                  "unknown codec id");
+    for (CodecId id : options_.codec_candidates) {
+      NEATS_REQUIRE(IsValidCodecId(static_cast<uint64_t>(id)),
+                    "unknown codec id");
+    }
   }
 
   /// A directory-backed store rooted at `dir` (created if missing): sealed
-  /// shards are written there as v3 blobs and served zero-copy via mmap
+  /// shards are written there as codec blobs and served zero-copy via mmap
   /// once sealed; Flush() writes the manifest that OpenDir routes by.
   /// Refuses a directory that already holds a manifest — a fresh store's
   /// seals would overwrite the existing store's blobs out from under it;
@@ -104,11 +146,15 @@ class NeatsStore {
     return store;
   }
 
-  /// Opens a flushed store directory: parses the manifest, maps every shard
-  /// blob zero-copy (MmapFile + Neats::View) and cross-checks each against
-  /// its manifest row (blob byte size, value count). The store is fully
-  /// queryable and appendable afterwards; `options` supplies the
-  /// compression knobs for future seals (the manifest's shard_size wins).
+  /// Opens a flushed store directory: parses the manifest, opens every
+  /// shard blob through the codec registry — zero-copy (MmapFile + View)
+  /// where the shard's codec supports borrowing — and cross-checks each
+  /// against its manifest row (blob byte size, value count). The store is
+  /// fully queryable and appendable afterwards; `options` supplies the
+  /// compression knobs *and seal policy* for future seals (the manifest
+  /// persists per-shard geometry and codec ids, not the policy that chose
+  /// them — a caller who wants kAuto after reopen passes it again; the
+  /// manifest's shard_size wins).
   static NeatsStore OpenDir(const std::string& dir,
                             const NeatsStoreOptions& options = {}) {
     NeatsStore store(options);
@@ -123,12 +169,17 @@ class NeatsStore {
       shard.first = row.first;
       shard.count = row.count;
       shard.blob_bytes = row.blob_bytes;
+      shard.codec = row.codec;
       shard.map = MmapFile::Open(dir + "/" + StoreManifest::ShardFileName(s));
       NEATS_REQUIRE(shard.map.size() == row.blob_bytes,
                     "store shard blob disagrees with manifest");
-      shard.neats = Neats::View(shard.map.bytes());
-      NEATS_REQUIRE(shard.neats.size() == row.count,
+      shard.series = CodecRegistry::Open(row.codec, shard.map.bytes(),
+                                         /*allow_view=*/true);
+      NEATS_REQUIRE(shard.series->size() == row.count,
                     "store shard blob disagrees with manifest");
+      // A codec that deserialized into owned storage no longer needs the
+      // mapping; drop it so the address space mirrors what actually serves.
+      if (!CodecRegistry::ZeroCopyView(row.codec)) shard.map = MmapFile();
       store.shards_.push_back(std::move(shard));
     }
     store.sealed_total_ = manifest.total();
@@ -168,13 +219,13 @@ class NeatsStore {
   // --- Ingest -------------------------------------------------------------
 
   /// Appends `values`; every full `shard_size` chunk is sealed into a new
-  /// NeaTS shard in the background and only the sub-shard remainder is
-  /// buffered in the hot tail. Full chunks are cut straight from the
-  /// incoming span (after topping up whatever the tail already holds), so
-  /// a bulk append of many shards' worth of data is linear — the tail is
-  /// never repeatedly erased from the front. Also promotes any seals that
-  /// completed since the last call, so the sealed prefix advances without
-  /// ever blocking the append path on a compressor.
+  /// shard in the background and only the sub-shard remainder is buffered
+  /// in the hot tail. Full chunks are cut straight from the incoming span
+  /// (after topping up whatever the tail already holds), so a bulk append
+  /// of many shards' worth of data is linear — the tail is never repeatedly
+  /// erased from the front. Also promotes any seals that completed since
+  /// the last call, so the sealed prefix advances without ever blocking the
+  /// append path on a compressor.
   void Append(std::span<const int64_t> values) {
     PromoteSealed();
     const size_t shard = static_cast<size_t>(options_.shard_size);
@@ -199,8 +250,9 @@ class NeatsStore {
 
   /// Seals the remaining tail (as a final, possibly partial shard), drains
   /// the background sealer, and — for a directory-backed store — writes the
-  /// manifest. Afterwards every value lives in a sealed shard; appending
-  /// may continue (new shards, manifest rewritten by the next Flush).
+  /// manifest durably. Afterwards every value lives in a sealed shard;
+  /// appending may continue (new shards, manifest rewritten by the next
+  /// Flush).
   void Flush() {
     if (!tail_.empty()) {
       SealChunk(std::move(tail_));
@@ -222,6 +274,9 @@ class NeatsStore {
   /// Sealed-and-promoted shards (everything, after a Flush).
   size_t num_shards() const { return shards_.size(); }
 
+  /// The codec serving sealed shard `s` (what the manifest records).
+  CodecId shard_codec(size_t s) const { return shards_[s].codec; }
+
   /// Chunks currently compressing in the background.
   size_t num_pending_seals() const { return pending_.size(); }
 
@@ -236,27 +291,28 @@ class NeatsStore {
   /// value (pending chunks and the hot tail are raw).
   size_t SizeInBits() const {
     size_t bits = (pending_total_ + tail_.size()) * 64;
-    for (const Shard& s : shards_) bits += s.neats.SizeInBits();
+    for (const Shard& s : shards_) bits += s.series->SizeInBits();
     return bits;
   }
 
   // --- Queries ------------------------------------------------------------
 
-  /// The value at global index i: one routing lookup, then Neats::Access in
-  /// the covering shard (or a raw read from a pending chunk / the tail).
+  /// The value at global index i: one routing lookup, then the covering
+  /// shard codec's Access (or a raw read from a pending chunk / the tail).
   int64_t Access(uint64_t i) const {
     NEATS_DCHECK(i < size());
     if (i < sealed_total_) {
       const Shard& s = ShardOf(i);
-      return s.neats.Access(i - s.first);
+      return s.series->Access(i - s.first);
     }
     return AccessUnsealed(i);
   }
 
   /// Batched point queries, any probe order, duplicates allowed. Probes are
   /// argsorted, grouped per shard, and each shard group is resolved by the
-  /// fragment-grouped Neats::AccessBatch kernel; out[j] receives the value
-  /// at idx[j] (the sort is internal, results come back in input order).
+  /// shard codec's batch kernel (after a WILLNEED prefetch hint on the
+  /// shard's mapping); out[j] receives the value at idx[j] (the sort is
+  /// internal, results come back in input order).
   void AccessBatch(std::span<const uint64_t> idx,
                    std::span<int64_t> out) const {
     NEATS_DCHECK(idx.size() == out.size());
@@ -284,15 +340,16 @@ class NeatsStore {
         local.push_back(idx[order[q]] - s.first);
         ++q;
       }
+      s.map.Advise(MmapFile::Advice::kWillNeed);
       local_out.resize(local.size());
-      s.neats.AccessBatch(local, local_out.data());
+      s.series->AccessBatch(local, local_out.data());
       for (size_t j = p; j < q; ++j) out[order[j]] = local_out[j - p];
       p = q;
     }
   }
 
   /// Decompresses values[from, from + len) into out, stitching across shard
-  /// boundaries (per-shard cursor scans; raw memcpy past the sealed prefix).
+  /// boundaries (per-shard scans; raw memcpy past the sealed prefix).
   void DecompressRange(uint64_t from, uint64_t len, int64_t* out) const {
     NEATS_DCHECK(from + len <= size());
     while (len > 0) {
@@ -304,13 +361,51 @@ class NeatsStore {
   }
 
   /// Multi-range decompression: every range's values, concatenated into
-  /// `out` (sized to the sum of the range lengths).
+  /// `out` (sized to the sum of the range lengths). Consecutive (sub)ranges
+  /// covered by the same sealed shard are batched into one codec-level
+  /// DecompressRanges call, so the codec reuses a single cursor across the
+  /// group (its monotone-seek hop chain) instead of paying a fresh rank per
+  /// range; each routed shard also gets a WILLNEED prefetch hint before its
+  /// group is decoded.
   void DecompressRanges(std::span<const IndexRange> ranges,
                         int64_t* out) const {
+    std::vector<IndexRange> group;  // shard-local coordinates
+    const Shard* cur = nullptr;
+    int64_t* group_out = nullptr;
+    auto flush = [&] {
+      if (cur == nullptr) return;
+      cur->map.Advise(MmapFile::Advice::kWillNeed);
+      cur->series->DecompressRanges(group, group_out);
+      group.clear();
+      cur = nullptr;
+    };
     for (const IndexRange& r : ranges) {
-      DecompressRange(r.from, r.len, out);
-      out += r.len;
+      uint64_t from = r.from;
+      uint64_t len = r.len;
+      NEATS_DCHECK(from + len <= size());
+      while (len > 0) {
+        if (from < sealed_total_) {
+          const Shard& s = ShardOf(from);
+          const uint64_t take = std::min(len, s.first + s.count - from);
+          if (&s != cur) {
+            flush();
+            cur = &s;
+            group_out = out;
+          }
+          group.push_back({from - s.first, take});
+          out += take;
+          from += take;
+          len -= take;
+          continue;
+        }
+        flush();
+        const uint64_t took = DecompressPrefix(from, len, out);
+        from += took;
+        len -= took;
+        out += took;
+      }
     }
+    flush();
   }
 
   /// Exact sum over values[from, from + len), combined across shards.
@@ -321,7 +416,7 @@ class NeatsStore {
       if (from < sealed_total_) {
         const Shard& s = ShardOf(from);
         const uint64_t take = std::min(len, s.first + s.count - from);
-        sum += s.neats.RangeSum(from - s.first, take);
+        sum += s.series->RangeSum(from - s.first, take);
         from += take;
         len -= take;
         continue;
@@ -332,9 +427,10 @@ class NeatsStore {
     return sum;
   }
 
-  /// Approximate sum over values[from, from + len) from the learned
-  /// functions alone (Neats::ApproximateRangeSum per covered shard, with
-  /// the error bounds added up); not-yet-sealed values contribute exactly.
+  /// Approximate sum over values[from, from + len): Neats shards answer
+  /// from the learned functions alone (with the error bounds added up),
+  /// shards of codecs without an estimator — and not-yet-sealed values —
+  /// contribute exactly.
   Neats::ApproximateAggregate ApproximateRangeSum(uint64_t from,
                                                   uint64_t len) const {
     NEATS_DCHECK(from + len <= size());
@@ -344,7 +440,7 @@ class NeatsStore {
         const Shard& s = ShardOf(from);
         const uint64_t take = std::min(len, s.first + s.count - from);
         Neats::ApproximateAggregate part =
-            s.neats.ApproximateRangeSum(from - s.first, take);
+            s.series->ApproximateRangeSum(from - s.first, take);
         agg.value += part.value;
         agg.error_bound += part.error_bound;
         from += take;
@@ -360,26 +456,34 @@ class NeatsStore {
   }
 
  private:
-  /// One sealed shard: its slice of the global index space and the NeaTS
-  /// object serving it — owned right after an in-memory seal, or a
-  /// zero-copy view into `map` for directory-backed shards.
+  /// One sealed shard: its slice of the global index space and the
+  /// type-erased series serving it — owned right after an in-memory seal,
+  /// or borrowing `map` when the codec opened the blob zero-copy.
   struct Shard {
     uint64_t first = 0;
     uint64_t count = 0;
-    uint64_t blob_bytes = 0;  // serialized size (directory-backed stores)
-    Neats neats;
-    MmapFile map;  // backs `neats` when the shard is served from disk
+    uint64_t blob_bytes = 0;  // serialized size (equals the blob file size)
+    CodecId codec = CodecId::kNeats;
+    std::unique_ptr<SealedSeries> series;
+    MmapFile map;  // backs `series` when the shard is served from disk
   };
 
   /// A chunk handed to the background sealer. The raw values keep serving
   /// queries until the seal is promoted; the seal task writes only
-  /// `sealed`, `blob_bytes` and finally `done` (the publication flag).
+  /// `sealed`, `codec`, `blob_bytes`, `error` and finally `done` (the
+  /// publication flag). A task must never let an exception escape into the
+  /// pool (ThreadPool tasks must not throw), so a failed seal — disk full
+  /// while writing the blob, a compressor precondition — lands in `error`
+  /// and is rethrown on the caller's thread at the next promotion, where
+  /// the facade (neats::FlushStore) converts it into a Status.
   struct PendingChunk {
     uint64_t first = 0;
     size_t ordinal = 0;  // shard number -> blob file name
     std::vector<int64_t> values;
-    Neats sealed;
+    std::unique_ptr<SealedSeries> sealed;
+    CodecId codec = CodecId::kNeats;
     uint64_t blob_bytes = 0;
+    std::string error;  // non-empty = the seal failed with this message
     std::atomic<bool> done{false};
   };
 
@@ -413,7 +517,8 @@ class NeatsStore {
     if (from < sealed_total_) {
       const Shard& s = ShardOf(from);
       const uint64_t take = std::min(len, s.first + s.count - from);
-      s.neats.DecompressRange(from - s.first, take, out);
+      s.map.Advise(MmapFile::Advice::kWillNeed);
+      s.series->DecompressRange(from - s.first, take, out);
       return take;
     }
     for (const auto& c : pending_) {
@@ -429,6 +534,43 @@ class NeatsStore {
     return len;
   }
 
+  /// Compresses one chunk per the seal policy: kFixed uses the configured
+  /// codec; kAuto tries every candidate and keeps the one with the smallest
+  /// serialized blob (strictly smaller wins, ties keep the earlier
+  /// candidate — deterministic for a fixed candidate order). Returns the
+  /// sealed series together with its blob.
+  struct SealResult {
+    CodecId codec = CodecId::kNeats;
+    std::unique_ptr<SealedSeries> series;
+    std::vector<uint8_t> blob;
+  };
+  static SealResult SealValues(std::span<const int64_t> values,
+                               const NeatsStoreOptions& options) {
+    SealResult best;
+    if (options.seal_policy == SealPolicy::kFixed) {
+      best.codec = options.codec;
+      best.series = CodecRegistry::Compress(options.codec, values,
+                                            options.neats);
+      best.series->Serialize(&best.blob);
+      return best;
+    }
+    std::vector<CodecId> candidates = options.codec_candidates;
+    if (candidates.empty()) candidates = CodecRegistry::All();
+    std::vector<uint8_t> blob;
+    for (CodecId id : candidates) {
+      std::unique_ptr<SealedSeries> series =
+          CodecRegistry::Compress(id, values, options.neats);
+      series->Serialize(&blob);
+      if (best.series == nullptr || blob.size() < best.blob.size()) {
+        best.codec = id;
+        best.series = std::move(series);
+        best.blob = std::move(blob);
+        blob = {};
+      }
+    }
+    return best;
+  }
+
   /// Wraps `values` (one chunk, non-empty) into a pending seal and submits
   /// it to the pool. The lambda captures everything it needs by value
   /// (plus the stable chunk pointer), so it never touches `this`.
@@ -440,37 +582,54 @@ class NeatsStore {
     pending_total_ += chunk->values.size();
     PendingChunk* raw = chunk.get();
     pending_.push_back(std::move(chunk));
-    pool_->Submit([raw, opts = options_.neats, dir = dir_] {
-      raw->sealed = Neats::Compress(raw->values, opts);
-      if (!dir.empty()) {
-        std::vector<uint8_t> blob;
-        raw->sealed.Serialize(&blob);
-        WriteFile(dir + "/" + StoreManifest::ShardFileName(raw->ordinal),
-                  blob);
-        raw->blob_bytes = blob.size();
+    pool_->Submit([raw, opts = options_, dir = dir_] {
+      try {
+        SealResult sealed = SealValues(raw->values, opts);
+        raw->codec = sealed.codec;
+        raw->sealed = std::move(sealed.series);
+        raw->blob_bytes = sealed.blob.size();
+        if (!dir.empty()) {
+          // Durable before publication: the blob bytes are on stable
+          // storage before any manifest can name them.
+          WriteFileDurable(
+              dir + "/" + StoreManifest::ShardFileName(raw->ordinal),
+              sealed.blob);
+        }
+      } catch (const std::exception& e) {
+        raw->error = e.what();  // rethrown at promotion, on a caller thread
       }
       raw->done.store(true, std::memory_order_release);
     });
   }
 
   /// Moves completed seals (in order) from the pending queue into the
-  /// routing index. Directory-backed shards are re-opened zero-copy from
-  /// the blob the seal task just wrote, so promoted shards never hold the
-  /// owned representation and the raw chunk memory is released here.
+  /// routing index. Directory-backed shards whose codec supports borrowing
+  /// are re-opened zero-copy from the blob the seal task just wrote, so
+  /// they never hold the owned representation; everything else keeps the
+  /// owned object from the seal. The raw chunk memory is released here.
   void PromoteSealed() {
     while (!pending_.empty() &&
            pending_.front()->done.load(std::memory_order_acquire)) {
       PendingChunk& c = *pending_.front();
+      // A failed seal surfaces here, on the caller's thread, as the same
+      // neats::Error contract every loader uses (the facade turns it into
+      // a Status). The chunk stays pending — its raw values keep serving
+      // queries, and every later Append/Flush re-reports the failure.
+      if (!c.error.empty()) {
+        throw Error("background seal failed: " + c.error);
+      }
       Shard s;
       s.first = c.first;
       s.count = c.values.size();
       s.blob_bytes = c.blob_bytes;
-      if (!dir_.empty()) {
+      s.codec = c.codec;
+      if (!dir_.empty() && CodecRegistry::ZeroCopyView(c.codec)) {
         s.map = MmapFile::Open(dir_ + "/" +
                                StoreManifest::ShardFileName(c.ordinal));
-        s.neats = Neats::View(s.map.bytes());
+        s.series = CodecRegistry::Open(c.codec, s.map.bytes(),
+                                       /*allow_view=*/true);
       } else {
-        s.neats = std::move(c.sealed);
+        s.series = std::move(c.sealed);
       }
       sealed_total_ += s.count;
       pending_total_ -= s.count;
@@ -484,20 +643,21 @@ class NeatsStore {
     manifest.shard_size = options_.shard_size;
     manifest.shards.reserve(shards_.size());
     for (const Shard& s : shards_) {
-      manifest.shards.push_back({s.first, s.count, s.blob_bytes});
+      manifest.shards.push_back({s.first, s.count, s.blob_bytes, s.codec});
     }
     std::vector<uint8_t> bytes;
     manifest.Serialize(&bytes);
     // Write-to-temp + rename: a process crash mid-Flush can never destroy
     // the previous manifest — until the atomic rename lands, OpenDir keeps
-    // routing by the old file (which only names fully-written blobs,
-    // since shards are written before the manifest). Power-loss
-    // durability would additionally need fsync of the blob data, the
-    // temp file and the directory (ROADMAP, scale-out).
+    // routing by the old file (which only names fully-written blobs, since
+    // shards are written and fsync'd before the manifest). The temp file is
+    // fsync'd before the rename and the directory after it, so a completed
+    // Flush also survives power loss (ROADMAP, scale-out durability).
     const std::string path = dir_ + "/" + StoreManifest::FileName();
     const std::string tmp = path + ".tmp";
-    WriteFile(tmp, bytes);
+    WriteFileDurable(tmp, bytes);
     std::filesystem::rename(tmp, path);
+    SyncDir(dir_);
   }
 
   NeatsStoreOptions options_;

@@ -113,9 +113,13 @@ class BitReader {
   BitReader(const uint64_t* words, size_t bit_size)
       : words_(words), bit_size_(bit_size) {}
 
-  /// Reads the next `width` bits and advances the cursor.
+  /// Reads the next `width` bits and advances the cursor. The bound stays a
+  /// hard check in release builds: the XOR decoders walk streams whose step
+  /// widths come from the (possibly corrupt) stream itself, so an overrun
+  /// must fail loudly instead of reading past the backing words.
   uint64_t Read(int width) {
-    NEATS_DCHECK(pos_ + static_cast<size_t>(width) <= bit_size_);
+    NEATS_REQUIRE(pos_ + static_cast<size_t>(width) <= bit_size_,
+                  "corrupt bit stream (overrun)");
     uint64_t v = ReadBits(words_, pos_, width);
     pos_ += static_cast<size_t>(width);
     return v;

@@ -1,0 +1,43 @@
+// Shared helper for the corrupt-input suites: NEATS_REQUIRE rejections are
+// neats::Error throws (caught by the facade, fatal when uncaught), so the
+// tests assert on the thrown message instead of forking death tests.
+
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "common/assert.hpp"
+
+namespace neats::testing {
+
+/// Runs `fn`; returns the neats::Error message it throws, or nullopt if it
+/// completed (any other exception propagates and fails the test).
+template <typename F>
+std::optional<std::string> ErrorMessageOf(F&& fn) {
+  try {
+    fn();
+  } catch (const ::neats::Error& e) {
+    return e.what();
+  }
+  return std::nullopt;
+}
+
+}  // namespace neats::testing
+
+/// Expects `stmt` to throw a neats::Error whose message contains `substr`.
+/// Completing without a throw fails even for an empty `substr` — "it threw
+/// *something*" is the minimum the corrupt-blob sweeps assert.
+#define EXPECT_NEATS_ERROR(stmt, substr)                                    \
+  do {                                                                      \
+    std::optional<std::string> neats_error_msg_ =                           \
+        ::neats::testing::ErrorMessageOf([&] { stmt; });                    \
+    EXPECT_TRUE(neats_error_msg_.has_value())                               \
+        << "expected neats::Error, but the statement completed";            \
+    EXPECT_TRUE(neats_error_msg_.has_value() &&                             \
+                neats_error_msg_->find(substr) != std::string::npos)        \
+        << "expected neats::Error containing \"" << substr << "\", got \""  \
+        << neats_error_msg_.value_or("<none>") << "\"";                     \
+  } while (0)

@@ -7,6 +7,7 @@
 #include "core/neats.hpp"
 #include "datasets/generators.hpp"
 #include "io/text_io.hpp"
+#include "require_error.hpp"
 
 namespace neats {
 namespace {
@@ -69,7 +70,7 @@ TEST(Serialization, AllDatasets) {
 
 TEST(Serialization, RejectsGarbage) {
   std::vector<uint8_t> junk(64, 0xAB);
-  EXPECT_DEATH(Neats::Deserialize(junk), "not a NeaTS blob");
+  EXPECT_NEATS_ERROR(Neats::Deserialize(junk), "not a NeaTS blob");
 }
 
 TEST(TextIo, ParsesDecimalsWithMixedPrecision) {

@@ -13,11 +13,8 @@
 
 #include <gtest/gtest.h>
 
-#include <sys/wait.h>
-
 #include <algorithm>
 #include <bit>
-#include <csignal>
 #include <cstring>
 #include <random>
 #include <vector>
@@ -27,6 +24,7 @@
 #include "datasets/generators.hpp"
 #include "io/mmap_file.hpp"
 #include "io/text_io.hpp"
+#include "require_error.hpp"
 #include "succinct/bit_vector.hpp"
 #include "succinct/elias_fano.hpp"
 
@@ -395,8 +393,8 @@ TEST(FormatV2, RejectsTruncatedAndCorruptBlobs) {
   for (size_t keep : {bytes.size() / 4, bytes.size() / 2, bytes.size() - 8}) {
     std::vector<uint8_t> cut(bytes.begin(),
                              bytes.begin() + static_cast<ptrdiff_t>(keep));
-    EXPECT_DEATH(Neats::Deserialize(cut), "NeaTS blob") << "keep=" << keep;
-    EXPECT_DEATH(Neats::View(cut), "NeaTS blob") << "keep=" << keep;
+    EXPECT_NEATS_ERROR(Neats::Deserialize(cut), "NeaTS blob");
+    EXPECT_NEATS_ERROR(Neats::View(cut), "NeaTS blob");
   }
 
   // An inflated n (header word 2) must be rejected outright — both the
@@ -405,42 +403,36 @@ TEST(FormatV2, RejectsTruncatedAndCorruptBlobs) {
   for (uint64_t evil_n : {uint64_t{1} << 60, uint64_t{8000 * 2}}) {
     std::vector<uint8_t> evil = bytes;
     std::memcpy(evil.data() + 16, &evil_n, 8);
-    EXPECT_DEATH(Neats::Deserialize(evil), "corrupt NeaTS blob");
-    EXPECT_DEATH(Neats::View(evil), "corrupt NeaTS blob");
+    EXPECT_NEATS_ERROR(Neats::Deserialize(evil), "corrupt NeaTS blob");
+    EXPECT_NEATS_ERROR(Neats::View(evil), "corrupt NeaTS blob");
   }
 
   // Clobbering a count/size word must either be caught by a loader
-  // REQUIRE (abort) or — when the word was plain payload — load fine and
+  // REQUIRE (throw) or — when the word was plain payload — load fine and
   // stay queryable. Sweep word positions across the blob; every outcome
-  // other than clean-exit-or-abort (e.g. a segfault from an unchecked
+  // other than clean-load-or-throw (e.g. a segfault from an unchecked
   // count) fails. The sanitizer CI job backs up the payload-word case.
-  auto ok_or_abort = [](int status) {
-    return (WIFEXITED(status) && WEXITSTATUS(status) == 0) ||
-           (WIFSIGNALED(status) && WTERMSIG(status) == SIGABRT);
-  };
   for (size_t w = 8; w + 8 <= bytes.size(); w += 8 * 97) {
     std::vector<uint8_t> evil = bytes;
     for (int b = 0; b < 8; ++b) evil[w + static_cast<size_t>(b)] = 0xFF;
-    EXPECT_EXIT(
-        {
-          Neats loaded = Neats::Deserialize(evil);
-          for (uint64_t k = 0; k < loaded.size();
-               k += 1 + loaded.size() / 13) {
-            loaded.Access(k);
-          }
-          std::exit(0);
-        },
-        ok_or_abort, "") << "clobbered word at byte " << w;
+    try {
+      Neats loaded = Neats::Deserialize(evil);
+      for (uint64_t k = 0; k < loaded.size(); k += 1 + loaded.size() / 13) {
+        loaded.Access(k);
+      }
+    } catch (const Error&) {
+      // A loader check caught the clobber — the expected common case.
+    }
   }
 }
 
 TEST(FormatV2, ViewRejectsV1AndGarbage) {
   Neats original = Neats::Compress(TestSeries(2000, 44));
   std::vector<uint8_t> v1 = NeatsTestPeer::SerializeV1(original);
-  EXPECT_DEATH(Neats::View(v1), "format-v2");
+  EXPECT_NEATS_ERROR(Neats::View(v1), "format-v2");
   std::vector<uint8_t> junk(64, 0xAB);
-  EXPECT_DEATH(Neats::View(junk), "format-v2");
-  EXPECT_DEATH(Neats::Deserialize(junk), "not a NeaTS blob");
+  EXPECT_NEATS_ERROR(Neats::View(junk), "format-v2");
+  EXPECT_NEATS_ERROR(Neats::Deserialize(junk), "not a NeaTS blob");
 }
 
 TEST(FormatV2, LossyRoundTripAndView) {
@@ -566,7 +558,7 @@ TEST(FormatV3, LossyDirectoryMatchesLegacyPath) {
 TEST(FormatV3, ClobberSweepDirectorySection) {
   // Flip every word of the trailing directory section: the count word, the
   // five width words, the alignment pad (zero on the wire) and the packed
-  // records are all covered by loader checks, so every flip must die with a
+  // records are all covered by loader checks, so every flip must throw a
   // diagnostic (or, at worst, load into a still-consistent structure) —
   // never load a directory that disagrees with the S/B/O/K/D ground truth.
   Neats original = Neats::Compress(TestSeries(5000, 123));
@@ -574,27 +566,21 @@ TEST(FormatV3, ClobberSweepDirectorySection) {
   original.Serialize(&bytes);
   const size_t dir_start = NeatsTestPeer::SerializeV2(original).size();
   ASSERT_LT(dir_start, bytes.size());
-  auto ok_or_abort = [](int status) {
-    return (WIFEXITED(status) && WEXITSTATUS(status) == 0) ||
-           (WIFSIGNALED(status) && WTERMSIG(status) == SIGABRT);
-  };
   for (size_t w = dir_start; w + 8 <= bytes.size(); w += 8) {
     std::vector<uint8_t> evil = bytes;
     for (int b = 0; b < 8; ++b) evil[w + static_cast<size_t>(b)] ^= 0xFF;
-    EXPECT_EXIT(
-        {
-          Neats loaded = Neats::Deserialize(evil);
-          Neats viewed = Neats::View(evil);
-          for (uint64_t k = 0; k < loaded.size();
-               k += 1 + loaded.size() / 13) {
-            if (loaded.Access(k) != loaded.AccessViaLegacyStructures(k) ||
-                viewed.Access(k) != loaded.Access(k)) {
-              std::exit(3);
-            }
-          }
-          std::exit(0);
-        },
-        ok_or_abort, "") << "clobbered directory word at byte " << w;
+    try {
+      Neats loaded = Neats::Deserialize(evil);
+      Neats viewed = Neats::View(evil);
+      for (uint64_t k = 0; k < loaded.size(); k += 1 + loaded.size() / 13) {
+        ASSERT_EQ(loaded.Access(k), loaded.AccessViaLegacyStructures(k))
+            << "clobbered directory word at byte " << w;
+        ASSERT_EQ(viewed.Access(k), loaded.Access(k))
+            << "clobbered directory word at byte " << w;
+      }
+    } catch (const Error&) {
+      // The loader rejected the clobbered directory — the expected case.
+    }
   }
 }
 
