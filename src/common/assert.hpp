@@ -15,12 +15,34 @@
 
 namespace neats {
 
+/// Coarse failure category carried by every neats::Error (and surfaced as
+/// Status::code() at the facade). NEATS_REQUIRE throws kFailed; the
+/// durability/recovery layer throws the typed codes directly: kIo for
+/// filesystem failures (ENOSPC, failed fsync), kUnavailable for a query
+/// that routes into a quarantined shard, kDegraded for operations reporting
+/// on a store that opened with quarantined shards.
+enum class StatusCode {
+  kOk = 0,
+  kFailed = 1,       // generic precondition / corrupt-input rejection
+  kIo = 2,           // filesystem error (ENOSPC, fsync failure, ...)
+  kUnavailable = 3,  // the queried range lives in a quarantined shard
+  kDegraded = 4,     // the store is serving with quarantined shards
+};
+
 /// The error every failed NEATS_REQUIRE throws. what() carries the check's
 /// message plus its source location, so an uncaught failure terminates with
 /// a self-explanatory line and a caught one converts into a Status verbatim.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what,
+                 StatusCode code = StatusCode::kFailed)
+      : std::runtime_error(what), code_(code) {}
+
+  /// The failure category (never kOk).
+  StatusCode code() const { return code_; }
+
+ private:
+  StatusCode code_ = StatusCode::kFailed;
 };
 
 namespace internal {

@@ -1,0 +1,313 @@
+// The IO seam of the durability layer: every file the store layer writes or
+// reads goes through a neats::io::FileSystem, so the same code runs against
+// the production POSIX backend (PosixFileSystem()) and the deterministic
+// fault-injection backend (FaultFs, src/io/fault_fs.hpp) that the
+// crash-recovery harness drives.
+//
+// The interface is deliberately narrow — exactly the syscall surface a
+// crash-consistent store needs, each method a boundary where FaultFs can
+// inject a fault or a kill-point:
+//
+//   Create / OpenAppend  -> WritableFile (sequential Write + Sync + Close)
+//   OpenRead             -> MappedRegion (mmap under POSIX, owned elsewhere)
+//   Exists / FileSize / Remove / Rename / SyncDir / CreateDirs
+//
+// Durability contract (what the store layer relies on): bytes are on stable
+// storage only after a successful WritableFile::Sync; a new or renamed name
+// survives power loss only after SyncDir on its directory; Rename is atomic
+// (the target is always the old or the new file, never a mix). Close never
+// syncs. All failures throw neats::Error with StatusCode::kIo and an
+// errno/strerror context so recovery failures are diagnosable from the
+// message alone.
+
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <span>
+#include <string>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "io/mmap_file.hpp"
+#include "io/text_io.hpp"
+
+#if NEATS_HAS_FSYNC
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace neats::io {
+
+/// Read-only file contents, 8-byte aligned: an mmap'd view (POSIX backend)
+/// or an owned word-aligned buffer (FaultFs, non-POSIX fallback). Move-only;
+/// anything borrowing bytes() must not outlive the region.
+class MappedRegion {
+ public:
+  MappedRegion() = default;
+
+  static MappedRegion FromMmap(MmapFile map) {
+    MappedRegion r;
+    r.map_ = std::move(map);
+    return r;
+  }
+
+  static MappedRegion FromBytes(std::span<const uint8_t> bytes) {
+    MappedRegion r;
+    r.owned_.resize((bytes.size() + 7) / 8, 0);  // word-backed => aligned
+    if (!bytes.empty()) {
+      std::memcpy(r.owned_.data(), bytes.data(), bytes.size());
+    }
+    r.owned_size_ = bytes.size();
+    return r;
+  }
+
+  std::span<const uint8_t> bytes() const {
+    if (owned_size_ > 0 || !owned_.empty()) {
+      return {reinterpret_cast<const uint8_t*>(owned_.data()), owned_size_};
+    }
+    return map_.bytes();
+  }
+  size_t size() const { return bytes().size(); }
+
+  /// Page-cache hint; meaningful only for the mmap backend.
+  void Advise(MmapFile::Advice advice) const { map_.Advise(advice); }
+
+ private:
+  MmapFile map_;
+  std::vector<uint64_t> owned_;
+  size_t owned_size_ = 0;
+};
+
+/// A sequentially-writable file handle. Write appends all of `bytes`
+/// (looping over partial writes and EINTR internally); Sync persists
+/// everything written so far to stable storage; Close releases the handle
+/// without syncing (the destructor closes too).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual void Write(std::span<const uint8_t> bytes) = 0;
+  virtual void Sync() = 0;
+  virtual void Close() = 0;
+};
+
+/// The filesystem the store layer runs against (see file comment).
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Creates (or truncates) `path` for writing.
+  virtual std::unique_ptr<WritableFile> Create(const std::string& path) = 0;
+
+  /// Opens `path` for appending, creating it empty if missing.
+  virtual std::unique_ptr<WritableFile> OpenAppend(
+      const std::string& path) = 0;
+
+  /// Opens `path` read-only; throws (kIo/kFailed) if it cannot be read.
+  virtual MappedRegion OpenRead(const std::string& path) = 0;
+
+  virtual bool Exists(const std::string& path) = 0;
+  virtual uint64_t FileSize(const std::string& path) = 0;
+
+  /// Atomically renames `from` onto `to` (replacing it).
+  virtual void Rename(const std::string& from, const std::string& to) = 0;
+
+  /// Removes `path`; a missing file is not an error.
+  virtual void Remove(const std::string& path) = 0;
+
+  /// Persists the directory's entries (creations, renames, removals).
+  virtual void SyncDir(const std::string& dir) = 0;
+
+  /// mkdir -p.
+  virtual void CreateDirs(const std::string& dir) = 0;
+};
+
+namespace internal {
+
+[[noreturn]] inline void ThrowIo(const std::string& what,
+                                 const std::string& path, int err) {
+  throw Error(what + ": " + path + ": " + std::strerror(err),
+              StatusCode::kIo);
+}
+
+#if NEATS_HAS_FSYNC
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+  ~PosixWritableFile() override { Close(); }
+
+  void Write(std::span<const uint8_t> bytes) override {
+    size_t at = 0;
+    while (at < bytes.size()) {
+      ssize_t wrote = ::write(fd_, bytes.data() + at, bytes.size() - at);
+      if (wrote < 0) {
+        if (errno == EINTR) continue;  // retry the interrupted syscall
+        ThrowIo("write failed", path_, errno);
+      }
+      at += static_cast<size_t>(wrote);  // partial write: keep looping
+    }
+  }
+
+  void Sync() override {
+    if (::fsync(fd_) != 0) ThrowIo("fsync failed", path_, errno);
+  }
+
+  void Close() override {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+class PosixFileSystemImpl final : public FileSystem {
+ public:
+  std::unique_ptr<WritableFile> Create(const std::string& path) override {
+    return OpenFlags(path, O_WRONLY | O_CREAT | O_TRUNC);
+  }
+
+  std::unique_ptr<WritableFile> OpenAppend(const std::string& path) override {
+    return OpenFlags(path, O_WRONLY | O_CREAT | O_APPEND);
+  }
+
+  MappedRegion OpenRead(const std::string& path) override {
+    return MappedRegion::FromMmap(MmapFile::Open(path));
+  }
+
+  bool Exists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  uint64_t FileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) ThrowIo("cannot stat", path, errno);
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  void Rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      ThrowIo("rename to " + to + " failed", from, errno);
+    }
+  }
+
+  void Remove(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      ThrowIo("unlink failed", path, errno);
+    }
+  }
+
+  void SyncDir(const std::string& dir) override { ::neats::SyncDir(dir); }
+
+  void CreateDirs(const std::string& dir) override {
+    std::filesystem::create_directories(dir);
+  }
+
+ private:
+  static std::unique_ptr<WritableFile> OpenFlags(const std::string& path,
+                                                 int flags) {
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) ThrowIo("cannot open for writing", path, errno);
+    return std::make_unique<PosixWritableFile>(fd, path);
+  }
+};
+
+#else  // !NEATS_HAS_FSYNC — stdio fallback; Sync degrades to flush.
+
+class StdioWritableFile final : public WritableFile {
+ public:
+  StdioWritableFile(std::FILE* fp, std::string path)
+      : fp_(fp), path_(std::move(path)) {}
+  ~StdioWritableFile() override { Close(); }
+
+  void Write(std::span<const uint8_t> bytes) override {
+    if (std::fwrite(bytes.data(), 1, bytes.size(), fp_) != bytes.size()) {
+      ThrowIo("write failed", path_, errno);
+    }
+  }
+  void Sync() override { std::fflush(fp_); }
+  void Close() override {
+    if (fp_ != nullptr) std::fclose(fp_);
+    fp_ = nullptr;
+  }
+
+ private:
+  std::FILE* fp_ = nullptr;
+  std::string path_;
+};
+
+class PosixFileSystemImpl final : public FileSystem {
+ public:
+  std::unique_ptr<WritableFile> Create(const std::string& path) override {
+    return OpenMode(path, "wb");
+  }
+  std::unique_ptr<WritableFile> OpenAppend(const std::string& path) override {
+    return OpenMode(path, "ab");
+  }
+  MappedRegion OpenRead(const std::string& path) override {
+    return MappedRegion::FromMmap(MmapFile::Open(path));
+  }
+  bool Exists(const std::string& path) override {
+    std::error_code ec;
+    return std::filesystem::exists(path, ec);
+  }
+  uint64_t FileSize(const std::string& path) override {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    if (ec) ThrowIo("cannot stat", path, ec.value());
+    return static_cast<uint64_t>(size);
+  }
+  void Rename(const std::string& from, const std::string& to) override {
+    std::error_code ec;
+    std::filesystem::rename(from, to, ec);
+    if (ec) ThrowIo("rename to " + to + " failed", from, ec.value());
+  }
+  void Remove(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+  }
+  void SyncDir(const std::string& dir) override { (void)dir; }
+  void CreateDirs(const std::string& dir) override {
+    std::filesystem::create_directories(dir);
+  }
+
+ private:
+  static std::unique_ptr<WritableFile> OpenMode(const std::string& path,
+                                                const char* mode) {
+    std::FILE* fp = std::fopen(path.c_str(), mode);
+    if (fp == nullptr) ThrowIo("cannot open for writing", path, errno);
+    return std::make_unique<StdioWritableFile>(fp, path);
+  }
+};
+
+#endif  // NEATS_HAS_FSYNC
+
+}  // namespace internal
+
+/// The process-wide production filesystem.
+inline FileSystem& PosixFileSystem() {
+  static internal::PosixFileSystemImpl fs;
+  return fs;
+}
+
+/// Create + Write + Sync + Close in one call — the durable blob write the
+/// seal path and the manifest temp file use.
+inline void WriteFileDurableTo(FileSystem& fs, const std::string& path,
+                               std::span<const uint8_t> bytes) {
+  std::unique_ptr<WritableFile> f = fs.Create(path);
+  f->Write(bytes);
+  f->Sync();
+  f->Close();
+}
+
+}  // namespace neats::io

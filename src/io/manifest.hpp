@@ -16,12 +16,18 @@
 // WordReader): magic "NEATSMF\0", a version word, the target shard size,
 // the shard count, then one row per shard — three words in version 1
 // (first, count, blob_bytes; every shard is NeaTS), four in version 2 (the
-// codec id appended). Version 1 manifests load forever (additive-revision
-// policy, ROADMAP); writes always emit version 2. Loads are hardened the
-// same way as blob loads — counts are bounded by the backing bytes,
-// coverage must be contiguous from index 0, codec ids must be assigned, and
-// every violation aborts loudly (NEATS_REQUIRE), matching the clobber-sweep
-// contract of the other loaders.
+// codec id appended), five in version 3 (a blob-CRC word appended: high 32
+// bits 1 when a CRC32C of the blob payload is recorded in the low 32 bits,
+// all-zero when it is not). A version-3 manifest additionally carries the
+// 16-byte CRC32C checksum trailer (io/checksum.hpp) after its payload, so
+// bit rot in the routing file itself is detected before any row is trusted.
+// Version 1 and 2 manifests load forever (additive-revision policy,
+// ROADMAP) but report a warning — they carry no checksums, so the caller
+// knows to upgrade them on the next Flush(). Writes always emit version 3.
+// Loads are hardened the same way as blob loads — counts are bounded by the
+// backing bytes, coverage must be contiguous from index 0, codec ids must
+// be assigned, and every violation aborts loudly (NEATS_REQUIRE), matching
+// the clobber-sweep contract of the other loaders.
 
 #pragma once
 
@@ -33,6 +39,7 @@
 
 #include "common/assert.hpp"
 #include "core/codec_id.hpp"
+#include "io/checksum.hpp"
 #include "succinct/storage.hpp"
 
 namespace neats {
@@ -43,8 +50,10 @@ struct StoreManifest {
   struct Shard {
     uint64_t first = 0;       // global index of the shard's first value
     uint64_t count = 0;       // number of values in the shard (> 0)
-    uint64_t blob_bytes = 0;  // byte size of the shard's blob file
+    uint64_t blob_bytes = 0;  // byte size of the blob's codec payload
     CodecId codec = CodecId::kNeats;  // codec that compressed the blob (v2)
+    uint32_t crc = 0;      // CRC32C of the blob payload, if has_crc (v3)
+    bool has_crc = false;  // false for rows loaded from a v1/v2 manifest
   };
 
   uint64_t shard_size = 0;  // target values per sealed shard (> 0)
@@ -78,31 +87,48 @@ struct StoreManifest {
       w.Put(s.count);
       w.Put(s.blob_bytes);
       w.Put(static_cast<uint64_t>(s.codec));
+      w.Put(s.has_crc ? (uint64_t{1} << 32) | s.crc : 0);
     }
+    AppendChecksumTrailer(out);
   }
 
-  /// Parses Serialize output (version 2) or a legacy version-1 manifest
-  /// (whose shards are all NeaTS). Aborts (NEATS_REQUIRE) on anything that
-  /// is not a well-formed manifest: wrong magic/version, a shard count the
-  /// bytes cannot back, zero-sized shards, an unassigned codec id, or
-  /// coverage that is not contiguous from global index 0.
-  static StoreManifest Deserialize(std::span<const uint8_t> bytes) {
-    NEATS_REQUIRE(bytes.size() >= 8, "not a NeaTS store manifest");
-    uint64_t magic;
+  /// Parses Serialize output (version 3, checksum trailer required) or a
+  /// legacy version-1/2 manifest (no checksums; a warning is appended to
+  /// `warnings` when non-null). Aborts (NEATS_REQUIRE) on anything that is
+  /// not a well-formed manifest: wrong magic/version, a failed checksum, a
+  /// shard count the bytes cannot back, zero-sized shards, an unassigned
+  /// codec id, or coverage that is not contiguous from global index 0.
+  static StoreManifest Deserialize(std::span<const uint8_t> bytes,
+                                   std::vector<std::string>* warnings =
+                                       nullptr) {
+    NEATS_REQUIRE(bytes.size() >= 16, "not a NeaTS store manifest");
+    uint64_t magic, version;
     std::memcpy(&magic, bytes.data(), 8);
+    std::memcpy(&version, bytes.data() + 8, 8);
     NEATS_REQUIRE(magic == kMagic, "not a NeaTS store manifest");
-    WordReader r(bytes, /*borrow=*/false);
-    r.Get();  // magic, checked above
-    const uint64_t version = r.Get();
-    NEATS_REQUIRE(version == 1 || version == kVersion,
+    NEATS_REQUIRE(version >= 1 && version <= kVersion,
                   "unsupported NeaTS store manifest version");
-    const size_t row_words = version == 1 ? 3 : 4;
+    std::span<const uint8_t> payload = bytes;
+    if (version >= 3) {
+      const TrailerInfo trailer = CheckChecksumTrailer(bytes);
+      NEATS_REQUIRE(trailer.state == TrailerState::kValid,
+                    "NeaTS store manifest fails its checksum");
+      payload = trailer.payload;
+    } else if (warnings != nullptr) {
+      warnings->push_back(
+          "manifest is version " + std::to_string(version) +
+          " (no checksums); the next Flush() upgrades it to version 3");
+    }
+    const size_t row_words = version == 1 ? 3 : version == 2 ? 4 : 5;
+    WordReader r(payload, /*borrow=*/false);
+    r.Get();  // magic, checked above
+    r.Get();  // version, checked above
     StoreManifest m;
     m.shard_size = r.Get();
     NEATS_REQUIRE(m.shard_size > 0 && m.shard_size <= (uint64_t{1} << 56),
                   "corrupt NeaTS store manifest");
     uint64_t count = r.Get();
-    NEATS_REQUIRE(count <= (bytes.size() - r.position()) / (8 * row_words),
+    NEATS_REQUIRE(count <= (payload.size() - r.position()) / (8 * row_words),
                   "corrupt NeaTS store manifest");
     m.shards.reserve(count);
     uint64_t next_first = 0;
@@ -116,6 +142,14 @@ struct StoreManifest {
         NEATS_REQUIRE(IsValidCodecId(codec), "corrupt NeaTS store manifest");
         s.codec = static_cast<CodecId>(codec);
       }
+      if (version >= 3) {
+        const uint64_t crc_word = r.Get();
+        NEATS_REQUIRE(crc_word >> 32 <= 1, "corrupt NeaTS store manifest");
+        s.has_crc = (crc_word >> 32) == 1;
+        s.crc = static_cast<uint32_t>(crc_word);
+        NEATS_REQUIRE(s.has_crc || s.crc == 0,
+                      "corrupt NeaTS store manifest");
+      }
       // Contiguous coverage from 0 and the same wrap guard as the blob
       // loaders: a forged count cannot push `first + count` past 2^56.
       NEATS_REQUIRE(s.first == next_first && s.count > 0 &&
@@ -125,7 +159,7 @@ struct StoreManifest {
       next_first = s.first + s.count;
       m.shards.push_back(s);
     }
-    NEATS_REQUIRE(r.position() == bytes.size(),
+    NEATS_REQUIRE(r.position() == payload.size(),
                   "corrupt NeaTS store manifest");
     return m;
   }
@@ -134,7 +168,7 @@ struct StoreManifest {
   // Little-endian "NEATSMF\0" — same ASCII-sniffable convention as the blob
   // magics ("NEATSv2", "NEATSL2").
   static constexpr uint64_t kMagic = 0x00464D535441454EULL;
-  static constexpr uint64_t kVersion = 2;
+  static constexpr uint64_t kVersion = 3;
 };
 
 }  // namespace neats

@@ -11,7 +11,9 @@
 
 #pragma once
 
+#include <cerrno>
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <string>
 #include <utility>
@@ -39,33 +41,48 @@ class MmapFile {
  public:
   MmapFile() = default;
 
-  /// Maps `path` read-only. Aborts (NEATS_REQUIRE) if the file cannot be
-  /// opened — callers validate paths at the CLI boundary.
+  /// Maps `path` read-only. Throws neats::Error (kIo) with the path and the
+  /// strerror text if the file cannot be opened, so recovery failures are
+  /// diagnosable from the message alone.
   static MmapFile Open(const std::string& path) {
     MmapFile f;
 #if NEATS_HAS_MMAP
     int fd = ::open(path.c_str(), O_RDONLY);
-    NEATS_REQUIRE(fd >= 0, "cannot open file for mmap");
+    if (fd < 0) ThrowErrno("cannot open file for mmap", path);
     struct stat st;
-    NEATS_REQUIRE(::fstat(fd, &st) == 0, "cannot stat file for mmap");
+    if (::fstat(fd, &st) != 0) {
+      const int err = errno;
+      ::close(fd);
+      ThrowErrno("cannot stat file for mmap", path, err);
+    }
     f.size_ = static_cast<size_t>(st.st_size);
     if (f.size_ > 0) {
       void* p = ::mmap(nullptr, f.size_, PROT_READ, MAP_PRIVATE, fd, 0);
-      NEATS_REQUIRE(p != MAP_FAILED, "mmap failed");
+      if (p == MAP_FAILED) {
+        const int err = errno;
+        ::close(fd);
+        f.size_ = 0;
+        ThrowErrno("mmap failed", path, err);
+      }
       f.data_ = static_cast<const uint8_t*>(p);
     }
     ::close(fd);
 #else
     std::error_code ec;
     const auto file_size = std::filesystem::file_size(path, ec);
-    NEATS_REQUIRE(!ec, "cannot stat file");
+    if (ec) {
+      throw Error("cannot stat file: " + path + ": " + ec.message(),
+                  StatusCode::kIo);
+    }
     f.size_ = static_cast<size_t>(file_size);
     std::FILE* fp = std::fopen(path.c_str(), "rb");
-    NEATS_REQUIRE(fp != nullptr, "cannot open file");
+    if (fp == nullptr) ThrowErrno("cannot open file", path);
     f.fallback_.resize((f.size_ + 7) / 8);  // word-backed => 8-byte aligned
     if (f.size_ > 0) {
-      NEATS_REQUIRE(std::fread(f.fallback_.data(), 1, f.size_, fp) == f.size_,
-                    "short read");
+      if (std::fread(f.fallback_.data(), 1, f.size_, fp) != f.size_) {
+        std::fclose(fp);
+        throw Error("short read: " + path, StatusCode::kIo);
+      }
       f.data_ = reinterpret_cast<const uint8_t*>(f.fallback_.data());
     }
     std::fclose(fp);
@@ -126,6 +143,13 @@ class MmapFile {
   }
 
  private:
+  [[noreturn]] static void ThrowErrno(const std::string& what,
+                                      const std::string& path,
+                                      int err = errno) {
+    throw Error(what + ": " + path + ": " + std::strerror(err),
+                StatusCode::kIo);
+  }
+
   void Reset() {
 #if NEATS_HAS_MMAP
     if (data_ != nullptr) ::munmap(const_cast<uint8_t*>(data_), size_);

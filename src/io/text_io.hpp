@@ -5,7 +5,9 @@
 #pragma once
 
 #include <cctype>
+#include <cerrno>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -97,19 +99,30 @@ inline void WriteFileDurable(const std::string& path,
                              const std::vector<uint8_t>& bytes) {
 #if NEATS_HAS_FSYNC
   int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  NEATS_REQUIRE(fd >= 0, "cannot open output file");
+  if (fd < 0) {
+    throw Error("cannot open output file: " + path + ": " +
+                    std::strerror(errno),
+                StatusCode::kIo);
+  }
   size_t at = 0;
   while (at < bytes.size()) {
     ssize_t wrote = ::write(fd, bytes.data() + at, bytes.size() - at);
     if (wrote < 0) {
+      if (errno == EINTR) continue;  // interrupted syscall: retry
+      const int err = errno;
       ::close(fd);
-      NEATS_REQUIRE(false, "short write");
+      throw Error("write failed: " + path + ": " + std::strerror(err),
+                  StatusCode::kIo);
     }
-    at += static_cast<size_t>(wrote);
+    at += static_cast<size_t>(wrote);  // partial write: keep looping
   }
-  bool synced = ::fsync(fd) == 0;
+  const bool synced = ::fsync(fd) == 0;
+  const int sync_err = errno;
   ::close(fd);
-  NEATS_REQUIRE(synced, "fsync failed");
+  if (!synced) {
+    throw Error("fsync failed: " + path + ": " + std::strerror(sync_err),
+                StatusCode::kIo);
+  }
 #else
   WriteFile(path, bytes);
 #endif

@@ -27,32 +27,40 @@
 #include "core/neats.hpp"
 #include "core/neats_lossy.hpp"
 #include "core/series_codec.hpp"
+#include "io/checksum.hpp"
+#include "io/fs.hpp"
 #include "io/manifest.hpp"
 #include "io/mmap_file.hpp"
 #include "io/text_io.hpp"
 #include "store/neats_store.hpp"
+#include "store/wal.hpp"
 
 namespace neats {
 
 /// The outcome of a facade operation: OK, or a failure with a message
-/// (the text of the NEATS_REQUIRE that rejected the input).
+/// (the text of the NEATS_REQUIRE that rejected the input) and a coarse
+/// StatusCode (common/assert.hpp) — kIo for filesystem failures,
+/// kUnavailable when a query routed into a quarantined shard, kDegraded
+/// for reports on a partially-healthy store, kFailed otherwise.
 class Status {
  public:
   Status() = default;  // OK
 
   static Status Ok() { return Status(); }
-  static Status Failure(std::string message) {
+  static Status Failure(std::string message,
+                        StatusCode code = StatusCode::kFailed) {
     Status s;
-    s.ok_ = false;
+    s.code_ = code == StatusCode::kOk ? StatusCode::kFailed : code;
     s.message_ = std::move(message);
     return s;
   }
 
-  bool ok() const { return ok_; }
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
  private:
-  bool ok_ = true;
+  StatusCode code_ = StatusCode::kOk;
   std::string message_;
 };
 
@@ -96,7 +104,7 @@ auto Checked(F&& fn) -> Result<decltype(fn())> {
   try {
     return Result<decltype(fn())>(fn());
   } catch (const Error& e) {
-    return Result<decltype(fn())>(Status::Failure(e.what()));
+    return Result<decltype(fn())>(Status::Failure(e.what(), e.code()));
   } catch (const std::exception& e) {
     return Result<decltype(fn())>(Status::Failure(e.what()));
   }
@@ -109,7 +117,7 @@ Status CheckedStatus(F&& fn) {
     fn();
     return Status::Ok();
   } catch (const Error& e) {
-    return Status::Failure(e.what());
+    return Status::Failure(e.what(), e.code());
   } catch (const std::exception& e) {
     return Status::Failure(e.what());
   }
@@ -131,6 +139,23 @@ inline Result<NeatsStore> CreateStoreDir(
 /// Flushes a store, reporting write failures as a Status.
 inline Status FlushStore(NeatsStore& store) {
   return CheckedStatus([&] { store.Flush(); });
+}
+
+/// Scrubs a directory-backed store — re-verifies every shard blob and
+/// repairs quarantined shards from the WAL where possible (see
+/// NeatsStore::Scrub). Returns OK when the store ends fully healthy, and a
+/// kDegraded Status naming the still-quarantined shards otherwise.
+inline Status ScrubStore(NeatsStore& store) {
+  return CheckedStatus([&] {
+    const NeatsStore::RepairReport& report = store.Scrub();
+    if (!report.quarantined.empty()) {
+      std::string msg = "store is degraded; quarantined shard(s):";
+      for (const auto& q : report.quarantined) {
+        msg += " " + std::to_string(q.shard);
+      }
+      throw Error(msg, StatusCode::kDegraded);
+    }
+  });
 }
 
 /// A NeaTS blob opened from a file: the mapping and the series borrowing

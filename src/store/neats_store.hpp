@@ -30,6 +30,26 @@
 // manifest and re-opens every blob zero-copy where its codec supports
 // borrowing (Neats, LeCo, NeatsLossyExact), deserializing the rest.
 //
+// Durability & recovery (docs/ARCHITECTURE.md, "Durability & recovery"):
+//
+//   - Every file operation routes through a neats::io::FileSystem
+//     (NeatsStoreOptions::fs), so the whole layer runs unchanged against
+//     the fault-injection backend (io/fault_fs.hpp) in the crash harness.
+//   - A directory-backed store write-ahead-logs the hot tail: Append()
+//     puts a checksummed record in WAL.neats and fsyncs it before
+//     returning, Flush() resets the log once the manifest durably covers
+//     everything, and OpenDir() replays surviving records (discarding a
+//     torn final record — the expected shape of a crash).
+//   - Sealed blobs and the manifest carry CRC32C trailers (manifest v3).
+//     OpenDir() verifies each shard against its manifest row and
+//     *quarantines* failures — a shard that is corrupt or missing stops
+//     serving, but the store still opens, healthy shards answer queries
+//     bit-identically, and a query routed into the quarantined range
+//     throws a typed Error (StatusCode::kUnavailable) instead of a wrong
+//     value. recovery_report() enumerates the damage; Scrub() re-verifies
+//     every blob and re-seals quarantined shards whose value range is
+//     still covered by intact WAL records.
+//
 // Every query routes through the in-memory routing index (shard ->
 // [first, first+count)) and stitches across shard boundaries:
 //
@@ -67,9 +87,12 @@
 #include "common/thread_pool.hpp"
 #include "core/codec_id.hpp"
 #include "core/neats.hpp"
+#include "io/checksum.hpp"
+#include "io/fs.hpp"
 #include "io/manifest.hpp"
 #include "io/mmap_file.hpp"
 #include "io/text_io.hpp"
+#include "store/wal.hpp"
 
 namespace neats {
 
@@ -107,15 +130,42 @@ struct NeatsStoreOptions {
   /// blob wins; ties keep the earlier candidate, so the choice is
   /// deterministic). Empty = every registered codec.
   std::vector<CodecId> codec_candidates;
+
+  /// The filesystem every store file goes through. Null = the production
+  /// POSIX backend; the crash harness passes an io::FaultFs. Must outlive
+  /// the store.
+  io::FileSystem* fs = nullptr;
+
+  /// Write-ahead-log the hot tail of a directory-backed store (Append
+  /// fsyncs the record before acking). Disabling trades the pre-Flush
+  /// crash guarantee for one fsync less per Append.
+  bool wal = true;
 };
 
 /// A sharded, append-able, randomly-accessible compressed series store.
 class NeatsStore {
  public:
+  /// What OpenDir()/Scrub() found wrong with a store directory and what
+  /// they did about it. Empty everywhere = a fully healthy store.
+  struct RepairReport {
+    /// One quarantined shard: its routing row and why it stopped serving.
+    struct ShardState {
+      size_t shard = 0;      // index (and blob file ordinal)
+      uint64_t first = 0;    // global index range the shard covers
+      uint64_t count = 0;
+      CodecId codec = CodecId::kNeats;
+      std::string error;     // what the verification failed with
+    };
+    std::vector<ShardState> quarantined;  // shards currently not serving
+    std::vector<size_t> repaired;         // shards Scrub() re-sealed
+    std::vector<std::string> warnings;    // non-fatal recovery notes
+  };
+
   NeatsStore() : NeatsStore(NeatsStoreOptions{}) {}
 
   explicit NeatsStore(const NeatsStoreOptions& options)
       : options_(options),
+        fs_(options.fs != nullptr ? options.fs : &io::PosixFileSystem()),
         pool_(std::make_unique<ThreadPool>(
             ResolveNumThreads(options.seal_threads))) {
     NEATS_REQUIRE(options_.shard_size > 0, "shard_size must be positive");
@@ -134,56 +184,63 @@ class NeatsStore {
   /// once sealed; Flush() writes the manifest that OpenDir routes by.
   /// Refuses a directory that already holds a manifest — a fresh store's
   /// seals would overwrite the existing store's blobs out from under it;
-  /// reopen with OpenDir (or clear the directory) instead.
+  /// reopen with OpenDir (or clear the directory) instead. Stale files an
+  /// abandoned store left behind (a WAL, a manifest temp) are removed.
   static NeatsStore CreateDir(const std::string& dir,
                               const NeatsStoreOptions& options = {}) {
-    std::filesystem::create_directories(dir);
-    NEATS_REQUIRE(
-        !std::filesystem::exists(dir + "/" + StoreManifest::FileName()),
-        "directory already holds a store — use OpenDir");
     NeatsStore store(options);
+    store.fs_->CreateDirs(dir);
+    NEATS_REQUIRE(!store.fs_->Exists(dir + "/" + StoreManifest::FileName()),
+                  "directory already holds a store — use OpenDir");
     store.dir_ = dir;
+    store.fs_->Remove(dir + "/" + WalFileName());
+    store.fs_->Remove(dir + "/" + StoreManifest::FileName() +
+                      std::string(".tmp"));
+    // Durably commit an empty manifest right away, so the directory is
+    // OpenDir-able after a crash at ANY later point — including before the
+    // first Flush(), when the WAL holds the only copy of acked appends.
+    store.WriteManifest();
     return store;
   }
 
-  /// Opens a flushed store directory: parses the manifest, opens every
-  /// shard blob through the codec registry — zero-copy (MmapFile + View)
-  /// where the shard's codec supports borrowing — and cross-checks each
-  /// against its manifest row (blob byte size, value count). The store is
-  /// fully queryable and appendable afterwards; `options` supplies the
+  /// Opens a store directory: parses the manifest (any version; pre-v3
+  /// versions add an upgrade warning to the recovery report), verifies and
+  /// opens every shard blob through the codec registry — zero-copy where
+  /// the shard's codec supports borrowing — and replays the write-ahead
+  /// log over the manifested prefix. A shard that fails verification
+  /// (missing blob, size mismatch, bad checksum, codec rejection) is
+  /// *quarantined*, not fatal: the store opens, healthy shards serve, and
+  /// recovery_report() says what happened. Only a damaged manifest — the
+  /// routing root itself — still throws. `options` supplies the
   /// compression knobs *and seal policy* for future seals (the manifest
   /// persists per-shard geometry and codec ids, not the policy that chose
-  /// them — a caller who wants kAuto after reopen passes it again; the
-  /// manifest's shard_size wins).
+  /// them; the manifest's shard_size wins).
   static NeatsStore OpenDir(const std::string& dir,
                             const NeatsStoreOptions& options = {}) {
     NeatsStore store(options);
     store.dir_ = dir;
-    StoreManifest manifest = StoreManifest::Deserialize(
-        ReadFile(dir + "/" + StoreManifest::FileName()));
+    io::FileSystem& fs = *store.fs_;
+    const std::string manifest_path = dir + "/" + StoreManifest::FileName();
+    const std::string tmp = manifest_path + ".tmp";
+    if (fs.Exists(tmp)) {
+      // A crash between the temp write and the rename left this behind;
+      // the real manifest is still authoritative.
+      fs.Remove(tmp);
+      store.report_.warnings.push_back(
+          "removed stale manifest temp file left by an interrupted Flush");
+    }
+    const io::MappedRegion manifest_bytes = fs.OpenRead(manifest_path);
+    const StoreManifest manifest = StoreManifest::Deserialize(
+        manifest_bytes.bytes(), &store.report_.warnings);
     store.options_.shard_size = manifest.shard_size;
     store.shards_.reserve(manifest.shards.size());
     for (size_t s = 0; s < manifest.shards.size(); ++s) {
-      const StoreManifest::Shard& row = manifest.shards[s];
-      Shard shard;
-      shard.first = row.first;
-      shard.count = row.count;
-      shard.blob_bytes = row.blob_bytes;
-      shard.codec = row.codec;
-      shard.map = MmapFile::Open(dir + "/" + StoreManifest::ShardFileName(s));
-      NEATS_REQUIRE(shard.map.size() == row.blob_bytes,
-                    "store shard blob disagrees with manifest");
-      shard.series = CodecRegistry::Open(row.codec, shard.map.bytes(),
-                                         /*allow_view=*/true);
-      NEATS_REQUIRE(shard.series->size() == row.count,
-                    "store shard blob disagrees with manifest");
-      // A codec that deserialized into owned storage no longer needs the
-      // mapping; drop it so the address space mirrors what actually serves.
-      if (!CodecRegistry::ZeroCopyView(row.codec)) shard.map = MmapFile();
-      store.shards_.push_back(std::move(shard));
+      store.shards_.push_back(store.OpenShard(s, manifest.shards[s]));
     }
     store.sealed_total_ = manifest.total();
+    store.manifest_total_ = manifest.total();
     store.next_ordinal_ = store.shards_.size();
+    store.RecoverWal();
     return store;
   }
 
@@ -197,12 +254,17 @@ class NeatsStore {
       if (pool_ != nullptr) pool_->DrainTasks();
       options_ = std::move(o.options_);
       dir_ = std::move(o.dir_);
+      fs_ = o.fs_;
       shards_ = std::move(o.shards_);
       sealed_total_ = o.sealed_total_;
+      manifest_total_ = o.manifest_total_;
       pending_ = std::move(o.pending_);
       pending_total_ = o.pending_total_;
       tail_ = std::move(o.tail_);
       next_ordinal_ = o.next_ordinal_;
+      wal_ = std::move(o.wal_);
+      wal_dirty_ = o.wal_dirty_;
+      report_ = std::move(o.report_);
       pool_ = std::move(o.pool_);
     }
     return *this;
@@ -226,33 +288,20 @@ class NeatsStore {
   /// erased from the front. Also promotes any seals that completed since
   /// the last call, so the sealed prefix advances without ever blocking the
   /// append path on a compressor.
+  ///
+  /// Directory-backed stores log the values to the WAL and fsync it before
+  /// anything else — when Append returns, the data survives a crash.
   void Append(std::span<const int64_t> values) {
     PromoteSealed();
-    const size_t shard = static_cast<size_t>(options_.shard_size);
-    size_t at = 0;
-    if (!tail_.empty()) {  // invariant: tail_.size() < shard
-      const size_t take = std::min(shard - tail_.size(), values.size());
-      tail_.insert(tail_.end(), values.begin(),
-                   values.begin() + static_cast<ptrdiff_t>(take));
-      at = take;
-      if (tail_.size() < shard) return;
-      SealChunk(std::move(tail_));
-      tail_ = {};
-    }
-    while (values.size() - at >= shard) {
-      SealChunk(std::vector<int64_t>(
-          values.begin() + static_cast<ptrdiff_t>(at),
-          values.begin() + static_cast<ptrdiff_t>(at + shard)));
-      at += shard;
-    }
-    tail_.assign(values.begin() + static_cast<ptrdiff_t>(at), values.end());
+    LogToWal(values);
+    AppendImpl(values);
   }
 
   /// Seals the remaining tail (as a final, possibly partial shard), drains
   /// the background sealer, and — for a directory-backed store — writes the
-  /// manifest durably. Afterwards every value lives in a sealed shard;
-  /// appending may continue (new shards, manifest rewritten by the next
-  /// Flush).
+  /// manifest durably and resets the WAL it now supersedes. Afterwards
+  /// every value lives in a sealed shard; appending may continue (new
+  /// shards, manifest rewritten by the next Flush).
   void Flush() {
     if (!tail_.empty()) {
       SealChunk(std::move(tail_));
@@ -261,7 +310,46 @@ class NeatsStore {
     pool_->DrainTasks();
     PromoteSealed();
     NEATS_DCHECK(pending_.empty());
-    if (!dir_.empty()) WriteManifest();
+    if (!dir_.empty()) {
+      WriteManifest();
+      ResetWal();
+    }
+  }
+
+  // --- Recovery -----------------------------------------------------------
+
+  /// What OpenDir() and the last Scrub() found and did.
+  const RepairReport& recovery_report() const { return report_; }
+
+  /// True while any shard is quarantined (queries into its range throw
+  /// kUnavailable; everything else keeps serving).
+  bool degraded() const {
+    for (const Shard& s : shards_) {
+      if (s.series == nullptr) return true;
+    }
+    return false;
+  }
+
+  /// Re-verifies every healthy shard blob against its recorded checksum
+  /// (quarantining new failures) and tries to repair quarantined shards:
+  /// a shard whose value range is still fully covered by intact WAL
+  /// records is re-compressed with its original codec, written durably,
+  /// and returned to service; the manifest is rewritten when anything was
+  /// repaired. Returns the updated report — `repaired` lists the shards
+  /// brought back, `quarantined` what is still down.
+  const RepairReport& Scrub() {
+    NEATS_REQUIRE(!dir_.empty(), "Scrub requires a directory-backed store");
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (shards_[s].series == nullptr) continue;
+      try {
+        VerifyShardBlob(s);
+      } catch (const std::exception& e) {
+        Quarantine(s, e.what());
+      }
+    }
+    RepairFromWal();
+    RebuildQuarantineList();
+    return report_;
   }
 
   // --- Introspection ------------------------------------------------------
@@ -288,10 +376,13 @@ class NeatsStore {
   uint64_t shard_size() const { return options_.shard_size; }
 
   /// Compressed size of the sealed shards plus 64 bits per not-yet-sealed
-  /// value (pending chunks and the hot tail are raw).
+  /// value (pending chunks and the hot tail are raw; a quarantined shard
+  /// counts as raw too — its compressed form is not trustworthy).
   size_t SizeInBits() const {
     size_t bits = (pending_total_ + tail_.size()) * 64;
-    for (const Shard& s : shards_) bits += s.series->SizeInBits();
+    for (const Shard& s : shards_) {
+      bits += s.series != nullptr ? s.series->SizeInBits() : s.count * 64;
+    }
     return bits;
   }
 
@@ -302,7 +393,7 @@ class NeatsStore {
   int64_t Access(uint64_t i) const {
     NEATS_DCHECK(i < size());
     if (i < sealed_total_) {
-      const Shard& s = ShardOf(i);
+      const Shard& s = HealthyShardOf(i);
       return s.series->Access(i - s.first);
     }
     return AccessUnsealed(i);
@@ -332,7 +423,7 @@ class NeatsStore {
         ++p;
         continue;
       }
-      const Shard& s = ShardOf(k);
+      const Shard& s = HealthyShardOf(k);
       const uint64_t end = s.first + s.count;
       size_t q = p;
       local.clear();
@@ -385,7 +476,7 @@ class NeatsStore {
       NEATS_DCHECK(from + len <= size());
       while (len > 0) {
         if (from < sealed_total_) {
-          const Shard& s = ShardOf(from);
+          const Shard& s = HealthyShardOf(from);
           const uint64_t take = std::min(len, s.first + s.count - from);
           if (&s != cur) {
             flush();
@@ -414,7 +505,7 @@ class NeatsStore {
     int64_t sum = 0;
     while (len > 0) {
       if (from < sealed_total_) {
-        const Shard& s = ShardOf(from);
+        const Shard& s = HealthyShardOf(from);
         const uint64_t take = std::min(len, s.first + s.count - from);
         sum += s.series->RangeSum(from - s.first, take);
         from += take;
@@ -437,7 +528,7 @@ class NeatsStore {
     Neats::ApproximateAggregate agg{0.0, 0.0};
     while (len > 0) {
       if (from < sealed_total_) {
-        const Shard& s = ShardOf(from);
+        const Shard& s = HealthyShardOf(from);
         const uint64_t take = std::min(len, s.first + s.count - from);
         Neats::ApproximateAggregate part =
             s.series->ApproximateRangeSum(from - s.first, take);
@@ -458,14 +549,20 @@ class NeatsStore {
  private:
   /// One sealed shard: its slice of the global index space and the
   /// type-erased series serving it — owned right after an in-memory seal,
-  /// or borrowing `map` when the codec opened the blob zero-copy.
+  /// or borrowing `map` when the codec opened the blob zero-copy. A null
+  /// `series` means the shard is quarantined (`quarantine` says why): its
+  /// routing row stays so neighbors keep their slots, but queries into it
+  /// throw kUnavailable.
   struct Shard {
     uint64_t first = 0;
     uint64_t count = 0;
-    uint64_t blob_bytes = 0;  // serialized size (equals the blob file size)
+    uint64_t blob_bytes = 0;  // codec payload size (file minus the trailer)
     CodecId codec = CodecId::kNeats;
-    std::unique_ptr<SealedSeries> series;
-    MmapFile map;  // backs `series` when the shard is served from disk
+    uint32_t crc = 0;      // CRC32C of the blob payload, if has_crc
+    bool has_crc = false;  // false only for unverified legacy (v1/v2) rows
+    std::unique_ptr<SealedSeries> series;  // null = quarantined
+    std::string quarantine;  // why the shard is not serving
+    io::MappedRegion map;  // backs `series` when served from disk
   };
 
   /// A chunk handed to the background sealer. The raw values keep serving
@@ -483,7 +580,9 @@ class NeatsStore {
     std::unique_ptr<SealedSeries> sealed;
     CodecId codec = CodecId::kNeats;
     uint64_t blob_bytes = 0;
+    uint32_t crc = 0;  // CRC32C of the blob payload
     std::string error;  // non-empty = the seal failed with this message
+    StatusCode error_code = StatusCode::kFailed;  // its failure category
     std::atomic<bool> done{false};
   };
 
@@ -502,6 +601,18 @@ class NeatsStore {
     return shards_[lo];
   }
 
+  /// ShardOf, refusing to route into a quarantined shard: the query gets a
+  /// typed kUnavailable error instead of any chance of a wrong value.
+  const Shard& HealthyShardOf(uint64_t i) const {
+    const Shard& s = ShardOf(i);
+    if (s.series == nullptr) {
+      throw Error("shard " + std::to_string(&s - shards_.data()) +
+                      " is quarantined: " + s.quarantine,
+                  StatusCode::kUnavailable);
+    }
+    return s;
+  }
+
   /// Raw read past the sealed prefix (pending chunks, then the tail).
   int64_t AccessUnsealed(uint64_t i) const {
     NEATS_DCHECK(i >= sealed_total_ && i < size());
@@ -515,7 +626,7 @@ class NeatsStore {
   /// (shard, pending chunk, or tail) covers; returns how many values.
   uint64_t DecompressPrefix(uint64_t from, uint64_t len, int64_t* out) const {
     if (from < sealed_total_) {
-      const Shard& s = ShardOf(from);
+      const Shard& s = HealthyShardOf(from);
       const uint64_t take = std::min(len, s.first + s.count - from);
       s.map.Advise(MmapFile::Advice::kWillNeed);
       s.series->DecompressRange(from - s.first, take, out);
@@ -573,7 +684,12 @@ class NeatsStore {
 
   /// Wraps `values` (one chunk, non-empty) into a pending seal and submits
   /// it to the pool. The lambda captures everything it needs by value
-  /// (plus the stable chunk pointer), so it never touches `this`.
+  /// (plus the stable chunk pointer and the filesystem, which outlives the
+  /// store), so it never touches `this`. Note the fault contract: a
+  /// CrashFault from an injected kill-point is NOT a std::exception, so it
+  /// escapes this handler like a real power cut would — the crash harness
+  /// runs with seal_threads = 1 (inline seals) so it unwinds on the caller
+  /// thread instead of terminating a worker.
   void SealChunk(std::vector<int64_t> values) {
     auto chunk = std::make_unique<PendingChunk>();
     chunk->first = sealed_total_ + pending_total_;
@@ -582,21 +698,27 @@ class NeatsStore {
     pending_total_ += chunk->values.size();
     PendingChunk* raw = chunk.get();
     pending_.push_back(std::move(chunk));
-    pool_->Submit([raw, opts = options_, dir = dir_] {
+    pool_->Submit([raw, opts = options_, dir = dir_, fs = fs_] {
       try {
         SealResult sealed = SealValues(raw->values, opts);
         raw->codec = sealed.codec;
         raw->sealed = std::move(sealed.series);
         raw->blob_bytes = sealed.blob.size();
+        raw->crc = Crc32c({sealed.blob.data(), sealed.blob.size()});
         if (!dir.empty()) {
-          // Durable before publication: the blob bytes are on stable
-          // storage before any manifest can name them.
-          WriteFileDurable(
-              dir + "/" + StoreManifest::ShardFileName(raw->ordinal),
-              sealed.blob);
+          // Durable before publication: payload + checksum trailer hit
+          // stable storage before any manifest can name the blob.
+          AppendChecksumTrailer(&sealed.blob);
+          io::WriteFileDurableTo(
+              *fs, dir + "/" + StoreManifest::ShardFileName(raw->ordinal),
+              {sealed.blob.data(), sealed.blob.size()});
         }
+      } catch (const Error& e) {
+        raw->error = e.what();  // rethrown at promotion, caller thread
+        raw->error_code = e.code();
       } catch (const std::exception& e) {
-        raw->error = e.what();  // rethrown at promotion, on a caller thread
+        raw->error = e.what();
+        raw->error_code = StatusCode::kFailed;
       }
       raw->done.store(true, std::memory_order_release);
     });
@@ -616,17 +738,22 @@ class NeatsStore {
       // a Status). The chunk stays pending — its raw values keep serving
       // queries, and every later Append/Flush re-reports the failure.
       if (!c.error.empty()) {
-        throw Error("background seal failed: " + c.error);
+        throw Error("background seal failed: " + c.error, c.error_code);
       }
       Shard s;
       s.first = c.first;
       s.count = c.values.size();
       s.blob_bytes = c.blob_bytes;
       s.codec = c.codec;
+      s.crc = c.crc;
+      s.has_crc = true;
       if (!dir_.empty() && CodecRegistry::ZeroCopyView(c.codec)) {
-        s.map = MmapFile::Open(dir_ + "/" +
-                               StoreManifest::ShardFileName(c.ordinal));
-        s.series = CodecRegistry::Open(c.codec, s.map.bytes(),
+        s.map = fs_->OpenRead(dir_ + "/" +
+                              StoreManifest::ShardFileName(c.ordinal));
+        // The trailer we just wrote; strip it so the codec sees its payload.
+        const TrailerInfo trailer = CheckChecksumTrailer(s.map.bytes());
+        NEATS_DCHECK(trailer.state == TrailerState::kValid);
+        s.series = CodecRegistry::Open(c.codec, trailer.payload,
                                        /*allow_view=*/true);
       } else {
         s.series = std::move(c.sealed);
@@ -638,12 +765,31 @@ class NeatsStore {
     }
   }
 
-  void WriteManifest() const {
+  void WriteManifest() {
     StoreManifest manifest;
     manifest.shard_size = options_.shard_size;
     manifest.shards.reserve(shards_.size());
-    for (const Shard& s : shards_) {
-      manifest.shards.push_back({s.first, s.count, s.blob_bytes, s.codec});
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      Shard& s = shards_[i];
+      if (!s.has_crc && s.series != nullptr) {
+        // Healthy shard from a pre-checksum (v1/v2) manifest: compute its
+        // payload CRC now so the rewritten manifest v3 row covers it.
+        const io::MappedRegion map =
+            fs_->OpenRead(dir_ + "/" + StoreManifest::ShardFileName(i));
+        const TrailerInfo trailer = CheckChecksumTrailer(map.bytes());
+        s.crc = trailer.state == TrailerState::kValid
+                    ? trailer.crc
+                    : Crc32c(map.bytes());  // bare legacy blob: no trailer
+        s.has_crc = true;
+      }
+      StoreManifest::Shard row;
+      row.first = s.first;
+      row.count = s.count;
+      row.blob_bytes = s.blob_bytes;
+      row.codec = s.codec;
+      row.crc = s.crc;
+      row.has_crc = s.has_crc;
+      manifest.shards.push_back(row);
     }
     std::vector<uint8_t> bytes;
     manifest.Serialize(&bytes);
@@ -655,20 +801,328 @@ class NeatsStore {
     // Flush also survives power loss (ROADMAP, scale-out durability).
     const std::string path = dir_ + "/" + StoreManifest::FileName();
     const std::string tmp = path + ".tmp";
-    WriteFileDurable(tmp, bytes);
-    std::filesystem::rename(tmp, path);
-    SyncDir(dir_);
+    io::WriteFileDurableTo(*fs_, tmp, {bytes.data(), bytes.size()});
+    try {
+      fs_->Rename(tmp, path);
+    } catch (...) {
+      try {
+        fs_->Remove(tmp);  // no orphaned temp file after a failed rename
+      } catch (...) {
+        // The cleanup is best-effort; the rename failure is the error.
+      }
+      throw;
+    }
+    fs_->SyncDir(dir_);
+    manifest_total_ = manifest.total();
+  }
+
+  // --- Durability helpers -------------------------------------------------
+
+  /// The Append body shared by the ingest path and WAL replay (replay must
+  /// not re-log what it reads from the WAL).
+  void AppendImpl(std::span<const int64_t> values) {
+    const size_t shard = static_cast<size_t>(options_.shard_size);
+    size_t at = 0;
+    if (!tail_.empty()) {  // invariant: tail_.size() < shard
+      const size_t take = std::min(shard - tail_.size(), values.size());
+      tail_.insert(tail_.end(), values.begin(),
+                   values.begin() + static_cast<ptrdiff_t>(take));
+      at = take;
+      if (tail_.size() < shard) return;
+      SealChunk(std::move(tail_));
+      tail_ = {};
+    }
+    while (values.size() - at >= shard) {
+      SealChunk(std::vector<int64_t>(
+          values.begin() + static_cast<ptrdiff_t>(at),
+          values.begin() + static_cast<ptrdiff_t>(at + shard)));
+      at += shard;
+    }
+    tail_.assign(values.begin() + static_cast<ptrdiff_t>(at), values.end());
+  }
+
+  std::string WalPath() const { return dir_ + "/" + WalFileName(); }
+
+  /// Durably logs `values` (at global index size()) before AppendImpl sees
+  /// them. A failed log write marks the WAL dirty and rethrows without
+  /// mutating the store — the ack contract stays honest — and the next
+  /// attempt rewrites the log wholesale from the in-memory tail.
+  void LogToWal(std::span<const int64_t> values) {
+    if (dir_.empty() || !options_.wal) return;
+    if (wal_dirty_) RebuildWal();
+    EnsureWal();
+    std::vector<uint8_t> record;
+    AppendWalRecord(&record, size(), values);
+    try {
+      wal_->Write({record.data(), record.size()});
+      wal_->Sync();
+    } catch (...) {
+      wal_dirty_ = true;
+      throw;
+    }
+  }
+
+  /// Opens (or creates, with a header) the WAL append handle.
+  void EnsureWal() {
+    if (wal_ != nullptr) return;
+    if (!fs_->Exists(WalPath()) || fs_->FileSize(WalPath()) == 0) {
+      wal_ = fs_->Create(WalPath());
+      std::vector<uint8_t> header;
+      AppendWalHeader(&header);
+      wal_->Write({header.data(), header.size()});
+    } else {
+      wal_ = fs_->OpenAppend(WalPath());
+    }
+  }
+
+  /// After a successful Flush the manifest covers every value, so the WAL
+  /// restarts empty — unless shards are quarantined, in which case the old
+  /// records are kept: they may be the only copy Scrub() can repair from.
+  void ResetWal() {
+    if (!options_.wal || degraded()) return;
+    wal_ = fs_->Create(WalPath());
+    std::vector<uint8_t> header;
+    AppendWalHeader(&header);
+    wal_->Write({header.data(), header.size()});
+    wal_->Sync();
+    wal_dirty_ = false;
+  }
+
+  /// Rewrites the WAL from the in-memory un-manifested suffix (one record
+  /// covering [manifest_total_, size())), atomically via temp + rename.
+  /// Recovery of last resort after a failed WAL append.
+  void RebuildWal() {
+    std::vector<uint8_t> bytes;
+    AppendWalHeader(&bytes);
+    if (size() > manifest_total_) {
+      std::vector<int64_t> values(size() - manifest_total_);
+      DecompressRange(manifest_total_, values.size(), values.data());
+      AppendWalRecord(&bytes, manifest_total_,
+                      {values.data(), values.size()});
+    }
+    const std::string tmp = WalPath() + ".tmp";
+    io::WriteFileDurableTo(*fs_, tmp, {bytes.data(), bytes.size()});
+    fs_->Rename(tmp, WalPath());
+    fs_->SyncDir(dir_);
+    wal_ = fs_->OpenAppend(WalPath());
+    wal_dirty_ = false;
+  }
+
+  /// OpenDir tail: replays intact WAL records past the manifested prefix
+  /// and, if the log ended torn (the expected shape of a crash), rewrites
+  /// it to contain exactly the surviving records.
+  void RecoverWal() {
+    if (!options_.wal) return;
+    if (!fs_->Exists(WalPath())) return;
+    const io::MappedRegion map = fs_->OpenRead(WalPath());
+    WalReplayResult replay = ReplayWal(map.bytes());
+    if (!replay.warning.empty()) {
+      report_.warnings.push_back(replay.warning);
+    }
+    bool rewrite = replay.torn;
+    size_t usable = replay.records.size();
+    for (size_t i = 0; i < replay.records.size(); ++i) {
+      const WalRecord& rec = replay.records[i];
+      const uint64_t rec_end = rec.first + rec.values.size();
+      if (rec_end <= size()) continue;  // already manifested (stale record)
+      if (rec.first > size()) {
+        // A hole: everything past it cannot be anchored to the store.
+        report_.warnings.push_back(
+            "write-ahead log has a gap at index " + std::to_string(size()) +
+            "; discarding " + std::to_string(replay.records.size() - i) +
+            " unanchored record(s)");
+        rewrite = true;
+        usable = i;
+        break;
+      }
+      const size_t skip = static_cast<size_t>(size() - rec.first);
+      AppendImpl({rec.values.data() + skip, rec.values.size() - skip});
+    }
+    if (rewrite) {
+      // Keep every intact record — including stale ones covering
+      // manifested shards, which Scrub() may need for repairs.
+      std::vector<uint8_t> bytes;
+      AppendWalHeader(&bytes);
+      for (size_t i = 0; i < usable; ++i) {
+        const WalRecord& rec = replay.records[i];
+        AppendWalRecord(&bytes, rec.first,
+                        {rec.values.data(), rec.values.size()});
+      }
+      const std::string tmp = WalPath() + ".tmp";
+      io::WriteFileDurableTo(*fs_, tmp, {bytes.data(), bytes.size()});
+      fs_->Rename(tmp, WalPath());
+      fs_->SyncDir(dir_);
+    }
+    wal_ = fs_->OpenAppend(WalPath());
+  }
+
+  /// Opens and fully verifies one manifest row at OpenDir; any failure is
+  /// caught by the caller and quarantines the shard instead of throwing.
+  Shard OpenShard(size_t index, const StoreManifest::Shard& row) {
+    Shard shard;
+    shard.first = row.first;
+    shard.count = row.count;
+    shard.blob_bytes = row.blob_bytes;
+    shard.codec = row.codec;
+    shard.crc = row.crc;
+    shard.has_crc = row.has_crc;
+    const std::string path =
+        dir_ + "/" + StoreManifest::ShardFileName(index);
+    try {
+      io::MappedRegion map = fs_->OpenRead(path);
+      std::span<const uint8_t> payload;
+      if (map.size() == row.blob_bytes + kChecksumTrailerBytes) {
+        const TrailerInfo trailer = CheckChecksumTrailer(map.bytes());
+        NEATS_REQUIRE(trailer.state == TrailerState::kValid,
+                      "shard blob fails its checksum");
+        NEATS_REQUIRE(!row.has_crc || trailer.crc == row.crc,
+                      "shard blob checksum disagrees with manifest");
+        payload = trailer.payload;
+        shard.crc = trailer.crc;
+        shard.has_crc = true;
+      } else if (map.size() == row.blob_bytes && !row.has_crc) {
+        // Bare legacy blob named by a v1/v2 manifest: no checksum to hold
+        // it to — the codec's structural validation is the only gate.
+        payload = map.bytes();
+      } else {
+        NEATS_REQUIRE(false, "store shard blob disagrees with manifest");
+      }
+      shard.series = CodecRegistry::Open(row.codec, payload,
+                                         /*allow_view=*/true);
+      NEATS_REQUIRE(shard.series->size() == row.count,
+                    "store shard blob disagrees with manifest");
+      // A codec that deserialized into owned storage no longer needs the
+      // mapping; drop it so the address space mirrors what actually serves.
+      if (!CodecRegistry::ZeroCopyView(row.codec)) {
+        shard.map = io::MappedRegion();
+      } else {
+        shard.map = std::move(map);
+      }
+    } catch (const std::exception& e) {
+      shard.series = nullptr;
+      shard.map = io::MappedRegion();
+      shard.quarantine = std::string(e.what()) + " (" + path + ")";
+      report_.quarantined.push_back(
+          {index, row.first, row.count, row.codec, shard.quarantine});
+    }
+    return shard;
+  }
+
+  /// Re-reads shard `index`'s blob file and re-checks size + checksum —
+  /// the Scrub pass that catches bit rot after open. Throws on mismatch.
+  void VerifyShardBlob(size_t index) {
+    const Shard& s = shards_[index];
+    const std::string path =
+        dir_ + "/" + StoreManifest::ShardFileName(index);
+    const io::MappedRegion map = fs_->OpenRead(path);
+    if (map.size() == s.blob_bytes + kChecksumTrailerBytes) {
+      const TrailerInfo trailer = CheckChecksumTrailer(map.bytes());
+      NEATS_REQUIRE(trailer.state == TrailerState::kValid,
+                    "shard blob fails its checksum");
+      NEATS_REQUIRE(!s.has_crc || trailer.crc == s.crc,
+                    "shard blob checksum disagrees with manifest");
+    } else if (map.size() == s.blob_bytes && !s.has_crc) {
+      // Legacy blob without a trailer: nothing cryptographic to re-check.
+    } else {
+      NEATS_REQUIRE(false, "store shard blob disagrees with manifest");
+    }
+  }
+
+  void Quarantine(size_t index, const std::string& why) {
+    Shard& s = shards_[index];
+    s.series = nullptr;
+    s.map = io::MappedRegion();
+    s.quarantine = why;
+  }
+
+  /// Scrub step 2: re-seal every quarantined shard whose value range is
+  /// fully covered by intact WAL records, then rewrite the manifest if
+  /// anything came back.
+  void RepairFromWal() {
+    std::vector<size_t> candidates;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      if (shards_[i].series == nullptr) candidates.push_back(i);
+    }
+    if (candidates.empty()) return;
+    WalReplayResult replay;
+    if (fs_->Exists(WalPath())) {
+      const io::MappedRegion map = fs_->OpenRead(WalPath());
+      replay = ReplayWal(map.bytes());
+    }
+    bool repaired_any = false;
+    for (size_t index : candidates) {
+      Shard& s = shards_[index];
+      std::vector<int64_t> values(s.count);
+      std::vector<uint8_t> covered(s.count, 0);
+      for (const WalRecord& rec : replay.records) {
+        const uint64_t lo = std::max(rec.first, s.first);
+        const uint64_t hi = std::min(rec.first + rec.values.size(),
+                                     s.first + s.count);
+        for (uint64_t g = lo; g < hi; ++g) {
+          values[g - s.first] = rec.values[g - rec.first];
+          covered[g - s.first] = 1;
+        }
+      }
+      if (std::find(covered.begin(), covered.end(), 0) != covered.end()) {
+        continue;  // the WAL no longer covers this range; cannot repair
+      }
+      std::unique_ptr<SealedSeries> series = CodecRegistry::Compress(
+          s.codec, {values.data(), values.size()}, options_.neats);
+      std::vector<uint8_t> blob;
+      series->Serialize(&blob);
+      s.blob_bytes = blob.size();
+      s.crc = Crc32c({blob.data(), blob.size()});
+      s.has_crc = true;
+      AppendChecksumTrailer(&blob);
+      io::WriteFileDurableTo(
+          *fs_, dir_ + "/" + StoreManifest::ShardFileName(index),
+          {blob.data(), blob.size()});
+      fs_->SyncDir(dir_);
+      if (CodecRegistry::ZeroCopyView(s.codec)) {
+        s.map = fs_->OpenRead(dir_ + "/" +
+                              StoreManifest::ShardFileName(index));
+        const TrailerInfo trailer = CheckChecksumTrailer(s.map.bytes());
+        NEATS_DCHECK(trailer.state == TrailerState::kValid);
+        s.series = CodecRegistry::Open(s.codec, trailer.payload,
+                                       /*allow_view=*/true);
+      } else {
+        s.series = std::move(series);
+      }
+      s.quarantine.clear();
+      report_.repaired.push_back(index);
+      repaired_any = true;
+    }
+    // The repaired blobs may differ byte-for-byte from the originals (a
+    // re-compression), so the manifest rows must be republished.
+    if (repaired_any) WriteManifest();
+  }
+
+  /// Refreshes report_.quarantined from the live shard states.
+  void RebuildQuarantineList() {
+    report_.quarantined.clear();
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      const Shard& s = shards_[i];
+      if (s.series == nullptr) {
+        report_.quarantined.push_back(
+            {i, s.first, s.count, s.codec, s.quarantine});
+      }
+    }
   }
 
   NeatsStoreOptions options_;
   std::string dir_;  // empty = in-memory store
+  io::FileSystem* fs_ = nullptr;  // never null after construction
 
   std::vector<Shard> shards_;  // sealed + promoted, contiguous from index 0
   uint64_t sealed_total_ = 0;  // values covered by shards_
+  uint64_t manifest_total_ = 0;  // values covered by the durable manifest
   std::deque<std::unique_ptr<PendingChunk>> pending_;  // seals in flight
   uint64_t pending_total_ = 0;                         // their value count
   std::vector<int64_t> tail_;  // write-ahead hot tail (raw)
   size_t next_ordinal_ = 0;    // next shard blob number
+  std::unique_ptr<io::WritableFile> wal_;  // open WAL append handle
+  bool wal_dirty_ = false;  // a WAL append failed; rebuild before reuse
+  RepairReport report_;     // what OpenDir/Scrub found and did
 
   // Declared last so it is destroyed first: no worker can outlive the
   // chunks its tasks reference. (~NeatsStore drains explicitly anyway.)

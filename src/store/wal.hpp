@@ -1,0 +1,135 @@
+// Write-ahead log for the NeatsStore hot tail (docs/FORMAT.md, "Write-ahead
+// log").
+//
+// Sealed shards are durable the moment their blob is fsynced, but the
+// unsealed tail used to live only in memory: a crash before Flush() lost
+// every buffered append. The WAL closes that window. Append() writes the
+// values to WAL.neats and fsyncs it *before* acking; Flush() truncates the
+// WAL back to a bare header once the manifest durably covers everything;
+// OpenDir() replays surviving records on top of the manifested prefix.
+//
+// The format is the flat word grammar of the other NeaTS files, but unlike
+// blobs and manifests the WAL is append-only and may legally end mid-record
+// (the crash happened mid-write), so integrity is per record, not per file:
+//
+//   header    magic "NEATSWL\0" word, version word (1)
+//   record    n (value count) | first (global index) | n value words |
+//             check word: high 32 bits mark "NWR1", low 32 bits
+//             CRC32C over the record's preceding (n + 2) * 8 bytes
+//
+// Replay() walks records until the first one that is truncated or fails its
+// CRC, returns everything before it, and flags the log as torn. A torn tail
+// is NOT corruption — it is the expected shape of a crash — so Replay never
+// throws; the store logs a warning and rewrites the log clean.
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "io/checksum.hpp"
+#include "succinct/storage.hpp"
+
+namespace neats {
+
+/// Little-endian "NEATSWL\0" — same ASCII-sniffable convention as the
+/// manifest and blob magics.
+inline constexpr uint64_t kWalMagic = 0x004C57535441454EULL;
+
+/// WAL format version.
+inline constexpr uint64_t kWalVersion = 1;
+
+/// High half of every record's check word — ASCII "NWR1".
+inline constexpr uint32_t kWalRecordMark = 0x3152574Eu;
+
+/// Name of the write-ahead log inside a store directory.
+inline const char* WalFileName() { return "WAL.neats"; }
+
+/// Appends the two-word WAL header to `out`.
+inline void AppendWalHeader(std::vector<uint8_t>* out) {
+  WordWriter w(out);
+  w.Put(kWalMagic);
+  w.Put(kWalVersion);
+}
+
+/// Appends one checksummed record covering `values` at global index `first`.
+inline void AppendWalRecord(std::vector<uint8_t>* out, uint64_t first,
+                            std::span<const int64_t> values) {
+  const size_t start = out->size();
+  WordWriter w(out);
+  w.Put(values.size());
+  w.Put(first);
+  w.PutCells(values.data(), values.size());
+  const uint32_t crc = Crc32c({out->data() + start, out->size() - start});
+  w.Put((uint64_t{kWalRecordMark} << 32) | crc);
+}
+
+/// One replayed record: `values` starting at global index `first`.
+struct WalRecord {
+  uint64_t first = 0;
+  std::vector<int64_t> values;
+};
+
+/// Replay outcome. `torn` means the log ended in a truncated or
+/// CRC-failing record (or a damaged header) — everything in `records` is
+/// still intact and trustworthy; `warning` describes the tear.
+struct WalReplayResult {
+  std::vector<WalRecord> records;
+  bool torn = false;
+  std::string warning;
+};
+
+/// Scans a WAL image and returns every intact record in order (see file
+/// comment). Never throws: any malformed byte ends the scan with torn=true.
+inline WalReplayResult ReplayWal(std::span<const uint8_t> bytes) {
+  WalReplayResult result;
+  if (bytes.empty()) return result;  // no log at all: nothing to replay
+  uint64_t magic = 0, version = 0;
+  if (bytes.size() >= 8) std::memcpy(&magic, bytes.data(), 8);
+  if (bytes.size() >= 16) std::memcpy(&version, bytes.data() + 8, 8);
+  if (bytes.size() < 16 || magic != kWalMagic || version != kWalVersion) {
+    result.torn = true;
+    result.warning = "write-ahead log header is damaged; discarding the log";
+    return result;
+  }
+  size_t pos = 16;
+  while (pos < bytes.size()) {
+    const size_t avail_words = (bytes.size() - pos) / 8;
+    uint64_t n = 0;
+    if (avail_words >= 1) std::memcpy(&n, bytes.data() + pos, 8);
+    // A record needs n + 3 words; an impossible count is the same as a
+    // truncated record — the tail is torn.
+    if (avail_words < 3 || n > avail_words - 3) {
+      result.torn = true;
+      break;
+    }
+    const size_t body_bytes = (static_cast<size_t>(n) + 2) * 8;
+    uint64_t check = 0;
+    std::memcpy(&check, bytes.data() + pos + body_bytes, 8);
+    const uint32_t crc = Crc32c({bytes.data() + pos, body_bytes});
+    if ((check >> 32) != kWalRecordMark ||
+        static_cast<uint32_t>(check) != crc) {
+      result.torn = true;
+      break;
+    }
+    WalRecord rec;
+    std::memcpy(&rec.first, bytes.data() + pos + 8, 8);
+    rec.values.resize(n);
+    if (n > 0) {
+      std::memcpy(rec.values.data(), bytes.data() + pos + 16, n * 8);
+    }
+    result.records.push_back(std::move(rec));
+    pos += body_bytes + 8;
+  }
+  if (result.torn) {
+    result.warning = "write-ahead log ends in a torn record; replayed " +
+                     std::to_string(result.records.size()) +
+                     " intact record(s) and discarded the tail";
+  }
+  return result;
+}
+
+}  // namespace neats

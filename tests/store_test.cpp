@@ -20,6 +20,7 @@
 #include "codecs/codec_registry.hpp"
 #include "core/codec_id.hpp"
 #include "core/neats.hpp"
+#include "io/checksum.hpp"
 #include "io/manifest.hpp"
 #include "io/mmap_file.hpp"
 #include "io/text_io.hpp"
@@ -296,8 +297,10 @@ TEST(NeatsStore, AppendSealReopenRoundTripByteIdentity) {
     EXPECT_EQ(store.num_shards(), (values.size() + kShard - 1) / kShard);
   }
 
-  // Every shard blob is byte-identical to compressing that slice directly:
-  // the append path adds no hidden state to the sealed form.
+  // Every shard blob is byte-identical to compressing that slice directly —
+  // the append path adds no hidden state to the sealed form — plus the
+  // 16-byte checksum trailer the durability layer appends, which must
+  // verify against the payload.
   size_t num_shards = (values.size() + kShard - 1) / kShard;
   for (size_t s = 0; s < num_shards; ++s) {
     size_t first = s * kShard;
@@ -307,7 +310,11 @@ TEST(NeatsStore, AppendSealReopenRoundTripByteIdentity) {
     direct.Serialize(&expected);
     std::vector<uint8_t> on_disk =
         ReadFile(dir + "/" + StoreManifest::ShardFileName(s));
-    ASSERT_EQ(on_disk, expected) << "shard " << s;
+    TrailerInfo trailer = CheckChecksumTrailer(on_disk);
+    ASSERT_EQ(trailer.state, TrailerState::kValid) << "shard " << s;
+    std::vector<uint8_t> payload(trailer.payload.begin(),
+                                 trailer.payload.end());
+    ASSERT_EQ(payload, expected) << "shard " << s;
   }
 
   // Reopen: zero-copy serving, values bit-identical to a one-shot
@@ -402,13 +409,32 @@ TEST(NeatsStore, CorruptManifestClobberSweep) {
   }
   WriteFile(manifest_path, good);
 
-  // A shard blob that disagrees with the manifest (truncated file) must be
-  // rejected by the size cross-check before anything is mapped.
+  // A shard blob that disagrees with the manifest (truncated file) no
+  // longer poisons the whole store: OpenDir quarantines that shard, keeps
+  // serving the healthy ones bit-identically, and reports the damage.
+  // Queries routed into the quarantined range fail with a typed
+  // kUnavailable error instead of a wrong answer.
   const std::string shard0 = dir + "/" + StoreManifest::ShardFileName(0);
   std::vector<uint8_t> blob = ReadFile(shard0);
   std::vector<uint8_t> short_blob(blob.begin(), blob.end() - 8);
   WriteFile(shard0, short_blob);
-  EXPECT_NEATS_ERROR(NeatsStore::OpenDir(dir), "disagrees with manifest");
+  {
+    NeatsStore degraded = NeatsStore::OpenDir(dir);
+    EXPECT_TRUE(degraded.degraded());
+    ASSERT_EQ(degraded.recovery_report().quarantined.size(), 1u);
+    EXPECT_EQ(degraded.recovery_report().quarantined[0].shard, 0u);
+    ASSERT_EQ(degraded.size(), values.size());
+    try {
+      degraded.Access(17);  // shard 0's range
+      FAIL() << "expected a quarantine error";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), StatusCode::kUnavailable);
+      EXPECT_NE(std::string(e.what()).find("quarantined"), std::string::npos);
+    }
+    for (size_t k = 5000; k < values.size(); k += 977) {
+      ASSERT_EQ(degraded.Access(k), values[k]);  // healthy shards serve
+    }
+  }
   WriteFile(shard0, blob);
 
   // Restored, the store opens and serves again.
@@ -720,9 +746,10 @@ TEST(NeatsStoreCodecs, AggregatesAcrossMixedCodecShards) {
 }
 
 // A version-1 manifest (three words per shard, written before codec ids
-// existed) opens forever: every shard defaults to NeaTS, queries serve, and
-// the next Flush upgrades the file to version 2 in place.
-TEST(NeatsStoreCodecs, ManifestV1MigratesToV2) {
+// and checksums existed) opens forever: every shard defaults to NeaTS, the
+// open reports an upgrade warning, queries serve, and the next Flush
+// upgrades the file to the current checksummed version 3 in place.
+TEST(NeatsStoreCodecs, ManifestV1MigratesForward) {
   std::vector<int64_t> values = MixedSeries(11000, 23);
   std::string dir = TempStoreDir("migrate");
   {
@@ -752,26 +779,103 @@ TEST(NeatsStoreCodecs, ManifestV1MigratesToV2) {
   }
   WriteFile(manifest_path, v1);
 
-  // The v1 parse defaults every shard to NeaTS.
-  StoreManifest migrated = StoreManifest::Deserialize(v1);
+  // The v1 parse defaults every shard to NeaTS and warns about the old
+  // version instead of rejecting it.
+  std::vector<std::string> warnings;
+  StoreManifest migrated = StoreManifest::Deserialize(v1, &warnings);
   ASSERT_EQ(migrated.shards.size(), parsed.shards.size());
   for (const StoreManifest::Shard& row : migrated.shards) {
     EXPECT_EQ(row.codec, CodecId::kNeats);
+    EXPECT_FALSE(row.has_crc);
   }
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("version 1"), std::string::npos);
 
   NeatsStore reopened = NeatsStore::OpenDir(dir);
   ASSERT_EQ(reopened.size(), values.size());
+  EXPECT_FALSE(reopened.degraded());
+  ASSERT_FALSE(reopened.recovery_report().warnings.empty());
   for (size_t k = 0; k < values.size(); k += 233) {
     ASSERT_EQ(reopened.Access(k), values[k]);
   }
-  // Flush rewrites the manifest as v2 — and it round-trips idempotently.
+  // Flush rewrites the manifest as checksummed v3, backfilling per-shard
+  // CRCs from the blobs — and it round-trips idempotently.
   reopened.Flush();
   std::vector<uint8_t> after = ReadFile(manifest_path);
   EXPECT_NE(after, v1);
-  StoreManifest upgraded = StoreManifest::Deserialize(after);
+  warnings.clear();
+  StoreManifest upgraded = StoreManifest::Deserialize(after, &warnings);
+  EXPECT_TRUE(warnings.empty());  // current version: no upgrade nag
   ASSERT_EQ(upgraded.shards.size(), parsed.shards.size());
+  for (const StoreManifest::Shard& row : upgraded.shards) {
+    EXPECT_TRUE(row.has_crc);
+  }
   reopened.Flush();
   EXPECT_EQ(ReadFile(manifest_path), after);
+  std::filesystem::remove_all(dir);
+}
+
+// A version-2 manifest (four words per shard: codec ids, but no checksums)
+// also loads forever: the mixed per-shard codecs are preserved, the open
+// warns, and the next Flush upgrades to v3 with backfilled blob CRCs.
+TEST(NeatsStoreCodecs, ManifestV2MigratesForward) {
+  std::vector<int64_t> values = CodecContrastSeries(4000, 8000, 27);
+  std::string dir = TempStoreDir("migrate_v2");
+  {
+    NeatsStoreOptions options;
+    options.shard_size = 4000;
+    options.seal_policy = SealPolicy::kAuto;
+    options.codec_candidates = {CodecId::kNeats, CodecId::kGorilla};
+    NeatsStore store = NeatsStore::CreateDir(dir, options);
+    store.Append(values);
+    store.Flush();
+  }
+  const std::string manifest_path = dir + "/" + StoreManifest::FileName();
+  StoreManifest parsed = StoreManifest::Deserialize(ReadFile(manifest_path));
+  ASSERT_GE(parsed.shards.size(), 2u);
+  ASSERT_NE(parsed.shards[0].codec, parsed.shards[1].codec);
+
+  // Rewrite the manifest in the legacy v2 layout by hand.
+  std::vector<uint8_t> v2;
+  WordWriter w(&v2);
+  uint64_t magic;
+  std::memcpy(&magic, ReadFile(manifest_path).data(), 8);
+  w.Put(magic);
+  w.Put(2);  // version
+  w.Put(parsed.shard_size);
+  w.Put(parsed.shards.size());
+  for (const StoreManifest::Shard& row : parsed.shards) {
+    w.Put(row.first);
+    w.Put(row.count);
+    w.Put(row.blob_bytes);
+    w.Put(static_cast<uint64_t>(row.codec));
+  }
+  WriteFile(manifest_path, v2);
+
+  std::vector<std::string> warnings;
+  StoreManifest migrated = StoreManifest::Deserialize(v2, &warnings);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("version 2"), std::string::npos);
+  ASSERT_EQ(migrated.shards.size(), parsed.shards.size());
+  for (size_t i = 0; i < migrated.shards.size(); ++i) {
+    EXPECT_EQ(migrated.shards[i].codec, parsed.shards[i].codec);
+    EXPECT_FALSE(migrated.shards[i].has_crc);
+  }
+
+  NeatsStore reopened = NeatsStore::OpenDir(dir);
+  EXPECT_FALSE(reopened.degraded());
+  ASSERT_EQ(reopened.size(), values.size());
+  for (size_t k = 0; k < values.size(); k += 311) {
+    ASSERT_EQ(reopened.Access(k), values[k]) << k;
+  }
+  reopened.Flush();
+  StoreManifest upgraded =
+      StoreManifest::Deserialize(ReadFile(manifest_path));
+  ASSERT_EQ(upgraded.shards.size(), parsed.shards.size());
+  for (size_t i = 0; i < upgraded.shards.size(); ++i) {
+    EXPECT_EQ(upgraded.shards[i].codec, parsed.shards[i].codec);
+    EXPECT_TRUE(upgraded.shards[i].has_crc);
+  }
   std::filesystem::remove_all(dir);
 }
 
