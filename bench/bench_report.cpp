@@ -6,7 +6,11 @@
 // per-codec table per dataset (bits_per_value + random_access_ns for every
 // registered SeriesCodec), measured through the same type-erased registry
 // API the store serves shards with — the paper's comparison columns from
-// one uniform surface.
+// one uniform surface. Schema 6 extends each codec entry with the batched
+// access column (sorted 512-probe blocks through the sealed AccessBatch
+// kernel, asserted bit-identical to the raw values — the Release bench
+// smoke run doubles as a correctness gate) and the store-served scalar
+// column with its decoded-block cache hit rate.
 //
 //   $ ./build/bench_bench_report [output.json]
 //
@@ -91,10 +95,16 @@ struct Row {
 
   /// One entry per registered SeriesCodec (schema 5): serialized bits per
   /// value and scalar random-access ns through the type-erased registry.
+  /// Schema 6 adds the sorted-512-probe batch kernel, the store-served
+  /// scalar path (decoded-block cache in front of block codecs) and that
+  /// cache's hit rate over the measured probes (0 for non-block codecs).
   struct CodecRow {
     std::string name;
     double bits_per_value = 0;
     double random_access_ns = 0;
+    double batch_access_ns_b512 = 0;  // 0 if the build lacks the kernel
+    double store_access_ns = 0;       // 0 if the build lacks the store
+    double cache_hit_rate = 0;
   };
   std::vector<CodecRow> codecs;
 };
@@ -258,10 +268,18 @@ void MeasureBatchAccess(const N& compressed, const std::vector<uint64_t>& idx,
   }
 }
 
-// The per-codec comparison columns (schema 5): every registered codec
+// Paired-build guard: compiled against a store without the decoded-block
+// cache, the store columns stay 0.
+template <typename O>
+constexpr bool kHasBlockCache = requires(O o) { o.block_cache_bytes; };
+
+// The per-codec comparison columns (schema 5/6): every registered codec
 // compresses the dataset and serves the same probe set through the
 // registry's SealedSeries surface — the uniform API the store queries by.
-// bits_per_value is the actual serialized blob size.
+// bits_per_value is the actual serialized blob size. Schema 6 adds the
+// sorted-512-probe batch kernel (with a hard bit-identity check against
+// the raw values — the Release bench smoke run is the correctness gate)
+// and the store-served scalar path with its decoded-block cache hit rate.
 void MeasureCodecTable(const Dataset& ds, const std::vector<uint64_t>& idx,
                        Row* row) {
 #if NEATS_BENCH_HAS_CODECS
@@ -277,6 +295,70 @@ void MeasureCodecTable(const Dataset& ds, const std::vector<uint64_t>& idx,
     cr.random_access_ns = AccessNs(idx, [&](uint64_t i) {
       return static_cast<uint64_t>(sealed->Access(i));
     });
+
+    // Batched access through the block-grouped kernels, same probes in
+    // sorted blocks of 512 — directly comparable to random_access_ns.
+    constexpr size_t kBatch = 512;
+    std::vector<uint64_t> sorted = idx;
+    for (size_t at = 0; at < sorted.size(); at += kBatch) {
+      std::sort(sorted.begin() + static_cast<ptrdiff_t>(at),
+                sorted.begin() + static_cast<ptrdiff_t>(
+                                     std::min(at + kBatch, sorted.size())));
+    }
+    std::vector<int64_t> out(kBatch);
+    for (size_t at = 0; at < sorted.size(); at += kBatch) {
+      const size_t n = std::min(kBatch, sorted.size() - at);
+      sealed->AccessBatch({sorted.data() + at, n}, out.data());
+      for (size_t j = 0; j < n; ++j) {
+        if (out[j] != ds.values[sorted[at + j]]) {
+          std::fprintf(stderr,
+                       "FATAL: %s batched access diverges from the values "
+                       "at probe %" PRIu64 "\n",
+                       cr.name.c_str(), sorted[at + j]);
+          std::abort();
+        }
+      }
+    }
+    uint64_t sink = 0;
+    double ops = OpsPerSecond([&](size_t rep) {
+      uint64_t s = 0;
+      for (size_t at = 0; at < sorted.size(); at += kBatch) {
+        const size_t n = std::min(kBatch, sorted.size() - at);
+        sealed->AccessBatch({sorted.data() + at, n}, out.data());
+        s += static_cast<uint64_t>(out[0]) + static_cast<uint64_t>(out[n - 1]);
+      }
+      sink += s + rep;
+      return s;
+    });
+    if (sink == 0xDEADBEEFCAFEBABEULL) std::fprintf(stderr, "!");
+    cr.batch_access_ns_b512 =
+        1e9 / (ops * static_cast<double>(sorted.size()));
+
+    // The store-served scalar path: a fixed-codec store over the dataset,
+    // probes warmed once (and checked), then timed — block codecs answer
+    // from the decoded-block cache, so this is the cache-hit latency.
+#if NEATS_BENCH_HAS_STORE
+    if constexpr (kHasBlockCache<NeatsStoreOptions>) {
+      NeatsStoreOptions so;
+      so.shard_size = std::max<uint64_t>(4096, ds.values.size() / 8);
+      so.codec = id;
+      NeatsStore store(so);
+      store.Append(ds.values);
+      store.Flush();
+      for (uint64_t i : idx) {
+        if (store.Access(i) != ds.values[i]) std::abort();
+      }
+      cr.store_access_ns = AccessNs(idx, [&](uint64_t i) {
+        return static_cast<uint64_t>(store.Access(i));
+      });
+      const DecodedBlockCache::Stats stats = store.block_cache_stats();
+      const uint64_t lookups = stats.hits + stats.misses;
+      cr.cache_hit_rate =
+          lookups > 0
+              ? static_cast<double>(stats.hits) / static_cast<double>(lookups)
+              : 0.0;
+    }
+#endif
     row->codecs.push_back(std::move(cr));
   }
 #else
@@ -422,7 +504,7 @@ void WriteJson(const std::vector<Row>& rows, const char* path) {
     std::fprintf(stderr, "cannot open %s\n", path);
     std::exit(1);
   }
-  std::fprintf(f, "{\n  \"bench\": \"neats\",\n  \"schema\": 5,\n");
+  std::fprintf(f, "{\n  \"bench\": \"neats\",\n  \"schema\": 6,\n");
   std::fprintf(f, "  \"hardware_threads\": %u,\n",
                std::thread::hardware_concurrency());
   std::fprintf(f, "  \"has_scaling_knobs\": %s,\n",
@@ -462,9 +544,14 @@ void WriteJson(const std::vector<Row>& rows, const char* path) {
     for (size_t c = 0; c < r.codecs.size(); ++c) {
       std::fprintf(f,
                    "{\"codec\": \"%s\", \"bits_per_value\": %.3f, "
-                   "\"random_access_ns\": %.1f}%s",
+                   "\"random_access_ns\": %.1f, "
+                   "\"batch_access_ns_b512\": %.1f, "
+                   "\"store_access_ns\": %.1f, "
+                   "\"cache_hit_rate\": %.4f}%s",
                    r.codecs[c].name.c_str(), r.codecs[c].bits_per_value,
                    r.codecs[c].random_access_ns,
+                   r.codecs[c].batch_access_ns_b512,
+                   r.codecs[c].store_access_ns, r.codecs[c].cache_hit_rate,
                    c + 1 < r.codecs.size() ? ", " : "");
     }
     std::fprintf(f, "]}%s\n", i + 1 < rows.size() ? "," : "");
@@ -504,8 +591,11 @@ int main(int argc, char** argv) {
         r.batch_access_ns_b8, r.batch_access_ns_b64, r.batch_access_ns_b512,
         r.range_sum_mbps, r.store_append_mbps, r.select1_ns, r.ef_rank_ns);
     for (const Row::CodecRow& c : r.codecs) {
-      std::printf("    codec %-18s %7.2f bits/value  access %.0f ns\n",
-                  c.name.c_str(), c.bits_per_value, c.random_access_ns);
+      std::printf(
+          "    codec %-18s %7.2f bits/value  access %.0f ns"
+          "  batch-b512 %.0f ns  store %.0f ns (hit rate %.2f)\n",
+          c.name.c_str(), c.bits_per_value, c.random_access_ns,
+          c.batch_access_ns_b512, c.store_access_ns, c.cache_hit_rate);
     }
   }
   FillCacheLineColumns(argv[0], &rows);

@@ -6,11 +6,13 @@
 // number of values for which d = round(x * 10^e) reconstructs x bit-exactly
 // as d / 10^e; store the d's with frame-of-reference bit-packing, and the
 // failures ("exceptions") verbatim next to their positions. Decompression
-// is a tight multiply-and-bitunpack loop; random access decodes the
-// containing vector (vector-at-a-time, as in the original engine).
+// is a tight multiply-and-bitunpack loop; random access reads one packed
+// bit field directly (AccessPoint) or decodes the containing vector
+// (Access, vector-at-a-time as in the original engine).
 
 #pragma once
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstdint>
@@ -60,6 +62,40 @@ class Alp {
     return buffer[i % kVector];
   }
 
+  /// Point access: O(log exceptions) + one bit-field read — no vector
+  /// decode. The FOR+bit-packed layout is directly addressable, so only
+  /// the (typically empty) exception list needs a search.
+  double AccessPoint(size_t i) const {
+    const Block& blk = blocks_[i / kVector];
+    const uint16_t p = static_cast<uint16_t>(i % kVector);
+    if (!blk.exceptions.empty()) {
+      auto it = std::lower_bound(
+          blk.exceptions.begin(), blk.exceptions.end(), p,
+          [](const Exception& e, uint16_t q) { return e.position < q; });
+      if (it != blk.exceptions.end() && it->position == p) {
+        return std::bit_cast<double>(it->raw);
+      }
+    }
+    // An all-exception block (exponent < 0) lists every position, so the
+    // lookup above always hit; only packed blocks reach here.
+    NEATS_DCHECK(blk.exponent >= 0);
+    const int64_t d = static_cast<int64_t>(
+        static_cast<uint64_t>(blk.base) +
+        ReadBits(blk.packed.data(),
+                 static_cast<uint64_t>(p) * blk.width, blk.width));
+    return static_cast<double>(d) / Pow10(blk.exponent);
+  }
+
+  // Block geometry, for wrappers that decode vector-at-a-time themselves
+  // (AlpCodec's hybrid batch kernel, the store's decoded-block cache).
+  size_t num_blocks() const { return blocks_.size(); }
+  size_t block_count(size_t b) const { return blocks_[b].count; }
+
+  /// Fully decodes vector b into out (sized block_count(b)).
+  void DecodeBlockInto(size_t b, double* out) const {
+    DecodeBlock(blocks_[b], out);
+  }
+
   /// Range decompression: decodes each covered vector once.
   void DecompressRange(size_t from, size_t len, double* out) const {
     double buffer[kVector];
@@ -89,10 +125,19 @@ class Alp {
 
   /// Appends the blocks to a flat word writer (no magic — the caller frames
   /// it; see src/codecs/alp_codec.hpp for the framed SeriesCodec wrapper).
-  void SerializeInto(WordWriter& w) const {
+  /// When `block_offsets` is non-null it receives, per block, the word
+  /// offset of the block's header relative to the payload start — the
+  /// skip-index section AlpCodec serializes in format v2.
+  void SerializeInto(WordWriter& w,
+                     std::vector<uint64_t>* block_offsets = nullptr) const {
+    const size_t base = w.position();
+    if (block_offsets != nullptr) block_offsets->clear();
     w.Put(n_);
     w.Put(blocks_.size());
     for (const Block& blk : blocks_) {
+      if (block_offsets != nullptr) {
+        block_offsets->push_back((w.position() - base) / 8);
+      }
       w.Put(static_cast<uint64_t>(blk.count) |
             (static_cast<uint64_t>(static_cast<uint8_t>(blk.exponent)) << 16) |
             (static_cast<uint64_t>(blk.width) << 24));
@@ -110,8 +155,14 @@ class Alp {
   /// Inverse of SerializeInto. Every count, width and exception position is
   /// validated against the block geometry before any decode can trust it —
   /// DecodeBlock writes out[ex.position] unchecked, so a forged position
-  /// must never survive the load.
-  static Alp LoadFrom(WordReader& r) {
+  /// must never survive the load. In a borrowing reader the packed words
+  /// stay views into the blob (zero-copy open). `block_offsets`, when
+  /// non-null, receives each block header's word offset relative to the
+  /// payload start, mirroring SerializeInto.
+  static Alp LoadFrom(WordReader& r,
+                      std::vector<uint64_t>* block_offsets = nullptr) {
+    const size_t base = r.position();
+    if (block_offsets != nullptr) block_offsets->clear();
     Alp out;
     out.n_ = r.Get();
     NEATS_REQUIRE(out.n_ <= (uint64_t{1} << 56), "corrupt ALP blob");
@@ -120,6 +171,9 @@ class Alp {
     out.blocks_.reserve(num_blocks);
     for (size_t b = 0; b < num_blocks; ++b) {
       Block blk;
+      if (block_offsets != nullptr) {
+        block_offsets->push_back((r.position() - base) / 8);
+      }
       uint64_t head = r.Get();
       blk.count = static_cast<uint16_t>(head & 0xFFFF);
       blk.exponent = static_cast<int8_t>((head >> 16) & 0xFF);
@@ -131,13 +185,12 @@ class Alp {
                         blk.width <= 64,
                     "corrupt ALP blob");
       blk.base = static_cast<int64_t>(r.Get());
-      Storage<uint64_t> packed = r.GetCells<uint64_t>(r.Get());
+      blk.packed = r.GetCells<uint64_t>(r.Get());
       size_t want_words =
           blk.exponent < 0
               ? 0
               : CeilDiv(static_cast<uint64_t>(blk.count) * blk.width, 64);
-      NEATS_REQUIRE(packed.size() == want_words, "corrupt ALP blob");
-      blk.packed.assign(packed.data(), packed.data() + packed.size());
+      NEATS_REQUIRE(blk.packed.size() == want_words, "corrupt ALP blob");
       size_t num_ex = r.Get();
       NEATS_REQUIRE(num_ex <= blk.count &&
                         (blk.exponent >= 0 || num_ex == blk.count),
@@ -172,7 +225,8 @@ class Alp {
     int8_t exponent = 0;   // -1: all-exception block (packed empty)
     uint8_t width = 0;
     int64_t base = 0;
-    std::vector<uint64_t> packed;       // FOR+bit-packed d values
+    Storage<uint64_t> packed;           // FOR+bit-packed d values; borrows
+                                        // the blob in a zero-copy open
     std::vector<Exception> exceptions;  // bit-exact failures
   };
 
@@ -255,7 +309,7 @@ class Alp {
             {static_cast<uint16_t>(i), std::bit_cast<uint64_t>(values[i])});
       }
     }
-    blk.packed = writer.TakeWords();
+    blk.packed = Storage<uint64_t>(writer.TakeWords());
     return blk;
   }
 

@@ -76,6 +76,17 @@ class Blockwise {
 
   size_t size() const { return n_; }
 
+  // Block geometry, for wrappers that decode block-at-a-time themselves
+  // (XorSeriesCodec's skip-index kernels seek inside individual blocks
+  // instead of going through the whole-block Access above).
+  size_t num_blocks() const { return blocks_.size(); }
+  size_t block_values() const { return block_values_; }
+  const Codec& block(size_t b) const { return blocks_[b]; }
+  /// Values held by block b (the last block may be partial).
+  size_t block_count(size_t b) const {
+    return std::min(block_values_, n_ - b * block_values_);
+  }
+
   /// Blob bits plus one 64-bit pointer per block (the paper's offset array).
   size_t SizeInBits() const {
     size_t bits = 2 * 64;

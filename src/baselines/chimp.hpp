@@ -95,40 +95,98 @@ class Chimp {
   }
 
   void Decompress(std::vector<double>* out) const {
-    using namespace chimp_internal;
     out->resize(n_);
-    if (n_ == 0) return;
-    BitReader reader(words_.data(), bits_);
-    uint64_t prev = reader.Read(64);
-    (*out)[0] = std::bit_cast<double>(prev);
-    int prev_lz = 0;
-    for (size_t i = 1; i < n_; ++i) {
-      uint64_t flag = reader.Read(2);
-      switch (flag) {
-        case 0b00:
-          break;
-        case 0b01: {
-          int lz = kClassToLeading[reader.Read(3)];
-          int sig = static_cast<int>(reader.Read(6));
-          if (sig == 0) sig = 64;
-          int tz = 64 - lz - sig;
-          // A corrupt stream can encode lz + sig > 64; a negative shift
-          // would be UB, so reject the stream instead of decoding it.
-          NEATS_REQUIRE(tz >= 0, "corrupt Chimp stream");
-          prev ^= reader.Read(sig) << tz;
-          break;
-        }
-        case 0b10:
-          prev ^= reader.Read(64 - prev_lz);
-          break;
-        default: {
-          prev_lz = kClassToLeading[reader.Read(3)];
-          prev ^= reader.Read(64 - prev_lz);
-          break;
-        }
-      }
-      (*out)[i] = std::bit_cast<double>(prev);
+    DecompressSlice(0, n_, nullptr, 0, out->data());
+  }
+
+  /// Resumable decoder state captured right before one value's token (see
+  /// Gorilla::SkipState). Chimp's inter-token state is (prev, prev_lz); tz
+  /// exists only so the struct shape matches Gorilla's for the shared
+  /// skip-index serialization in XorSeriesCodec, and is always 0.
+  struct SkipState {
+    uint64_t bit_pos = 0;
+    uint64_t prev = 0;
+    int32_t lz = 0;
+    int32_t tz = 0;
+  };
+
+  /// Resumable forward decoder: `i` is the index of the next value Next()
+  /// yields (see Gorilla::Cursor; `lz` holds Chimp's prev_lz and the tz
+  /// slot does not exist because Chimp carries none between tokens).
+  struct Cursor {
+    BitReader reader;
+    uint64_t prev = 0;
+    int lz = 0;
+    size_t i = 0;
+  };
+
+  /// A cursor positioned before value 0.
+  Cursor Head() const { return Cursor{BitReader(words_.data(), bits_)}; }
+
+  /// Repositions the cursor at `cp`, the state recorded before value `at`
+  /// (at >= 1). The state must come from BuildSkipIndex or pass
+  /// CheckSkipState.
+  void Seek(Cursor& c, const SkipState& cp, size_t at) const {
+    c.reader.Seek(cp.bit_pos);
+    c.prev = cp.prev;
+    c.lz = cp.lz;
+    c.i = at;
+  }
+
+  /// Decodes and returns value `c.i`, advancing the cursor by one.
+  double Next(Cursor& c) const {
+    if (c.i == 0) {
+      c.prev = c.reader.Read(64);
+    } else {
+      Step(c.reader, c.prev, c.lz);
     }
+    ++c.i;
+    return std::bit_cast<double>(c.prev);
+  }
+
+  /// Decodes values [from, from + count) into out. `cp` is the SkipState
+  /// recorded before value `cp_at` was decoded (cp_at <= from), or null to
+  /// start from the head of the stream. States from a serialized blob must
+  /// pass CheckSkipState first — a forged state may decode garbage (all a
+  /// corrupt payload is entitled to) but never reads out of bounds.
+  void DecompressSlice(size_t from, size_t count, const SkipState* cp,
+                       size_t cp_at, double* out) const {
+    if (count == 0) return;
+    NEATS_DCHECK(from + count <= n_);
+    Cursor c = Head();
+    if (cp != nullptr) {
+      NEATS_DCHECK(cp_at >= 1 && cp_at <= from);
+      Seek(c, *cp, cp_at);
+    }
+    while (c.i < from) (void)Next(c);
+    for (size_t j = 0; j < count; ++j) out[j] = Next(c);
+  }
+
+  /// Records the decoder state before every (j + 1) * interval-th value, so
+  /// DecompressSlice can start at most `interval` values before any target.
+  /// One full decode pass; out gets floor((n - 1) / interval) states.
+  void BuildSkipIndex(size_t interval, std::vector<SkipState>* out) const {
+    out->clear();
+    if (n_ <= 1) return;
+    Cursor c = Head();
+    (void)Next(c);
+    for (size_t i = 1; i < n_; ++i) {
+      if (i % interval == 0) {
+        out->push_back({c.reader.position(), c.prev,
+                        static_cast<int32_t>(c.lz), 0});
+      }
+      (void)Next(c);
+    }
+  }
+
+  /// True when a (possibly forged) SkipState is safe to resume from: the
+  /// bit position lands inside the stream past the 64-bit head literal, lz
+  /// stays a valid read-width offset (the '10' branch reads 64 - lz bits)
+  /// and tz is the unused-slot zero. Safety only — a validated state can
+  /// still decode garbage.
+  bool CheckSkipState(const SkipState& s) const {
+    return s.bit_pos >= 64 && s.bit_pos <= bits_ && s.lz >= 0 && s.lz <= 63 &&
+           s.tz == 0;
   }
 
   size_t size() const { return n_; }
@@ -159,6 +217,35 @@ class Chimp {
   }
 
  private:
+  /// Decodes one token, advancing (prev, prev_lz) — the whole decoder state.
+  void Step(BitReader& reader, uint64_t& prev, int& prev_lz) const {
+    using namespace chimp_internal;
+    uint64_t flag = reader.Read(2);
+    switch (flag) {
+      case 0b00:
+        break;
+      case 0b01: {
+        int lz = kClassToLeading[reader.Read(3)];
+        int sig = static_cast<int>(reader.Read(6));
+        if (sig == 0) sig = 64;
+        int tz = 64 - lz - sig;
+        // A corrupt stream can encode lz + sig > 64; a negative shift
+        // would be UB, so reject the stream instead of decoding it.
+        NEATS_REQUIRE(tz >= 0, "corrupt Chimp stream");
+        prev ^= reader.Read(sig) << tz;
+        break;
+      }
+      case 0b10:
+        prev ^= reader.Read(64 - prev_lz);
+        break;
+      default: {
+        prev_lz = kClassToLeading[reader.Read(3)];
+        prev ^= reader.Read(64 - prev_lz);
+        break;
+      }
+    }
+  }
+
   size_t n_ = 0;
   size_t bits_ = 0;
   std::vector<uint64_t> words_;

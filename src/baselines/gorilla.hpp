@@ -68,31 +68,100 @@ class Gorilla {
 
   void Decompress(std::vector<double>* out) const {
     out->resize(n_);
-    if (n_ == 0) return;
-    BitReader reader(words_.data(), bits_);
-    uint64_t prev = reader.Read(64);
-    (*out)[0] = std::bit_cast<double>(prev);
-    int lz = 0, tz = 0;
-    for (size_t i = 1; i < n_; ++i) {
-      if (!reader.ReadBit()) {
-        (*out)[i] = std::bit_cast<double>(prev);
-        continue;
-      }
-      if (reader.ReadBit()) {
-        lz = static_cast<int>(reader.Read(5));
-        int len = static_cast<int>(reader.Read(6));
-        if (len == 0) len = 64;
-        tz = 64 - lz - len;
-        // A corrupt stream can encode lz + len > 64; a negative shift below
-        // would be UB, so reject the stream instead of decoding it.
-        NEATS_REQUIRE(tz >= 0, "corrupt Gorilla stream");
-        prev ^= reader.Read(len) << tz;
-      } else {
-        int len = 64 - lz - tz;
-        prev ^= reader.Read(len) << tz;
-      }
-      (*out)[i] = std::bit_cast<double>(prev);
+    DecompressSlice(0, n_, nullptr, 0, out->data());
+  }
+
+  /// Resumable decoder state captured right before one value's token: the
+  /// stream bit position, the previous raw value, and the current
+  /// leading/trailing-zero window. A skip index of these (one every K
+  /// values; see XorSeriesCodec) turns Access from O(block) into O(K).
+  struct SkipState {
+    uint64_t bit_pos = 0;
+    uint64_t prev = 0;
+    int32_t lz = 0;
+    int32_t tz = 0;
+  };
+
+  /// Resumable forward decoder: `i` is the index of the next value Next()
+  /// yields. One cursor can answer many ascending targets — batch kernels
+  /// hop it forward via Seek() when a checkpoint skips past a gap and decode
+  /// straight through otherwise, never re-reading a token.
+  struct Cursor {
+    BitReader reader;
+    uint64_t prev = 0;
+    int lz = 0;
+    int tz = 0;
+    size_t i = 0;
+  };
+
+  /// A cursor positioned before value 0.
+  Cursor Head() const { return Cursor{BitReader(words_.data(), bits_)}; }
+
+  /// Repositions the cursor at `cp`, the state recorded before value `at`
+  /// (at >= 1). The state must come from BuildSkipIndex or pass
+  /// CheckSkipState.
+  void Seek(Cursor& c, const SkipState& cp, size_t at) const {
+    c.reader.Seek(cp.bit_pos);
+    c.prev = cp.prev;
+    c.lz = cp.lz;
+    c.tz = cp.tz;
+    c.i = at;
+  }
+
+  /// Decodes and returns value `c.i`, advancing the cursor by one.
+  double Next(Cursor& c) const {
+    if (c.i == 0) {
+      c.prev = c.reader.Read(64);
+    } else {
+      Step(c.reader, c.prev, c.lz, c.tz);
     }
+    ++c.i;
+    return std::bit_cast<double>(c.prev);
+  }
+
+  /// Decodes values [from, from + count) into out. `cp` is the SkipState
+  /// recorded before value `cp_at` was decoded (cp_at <= from), or null to
+  /// start from the head of the stream. States from a serialized blob must
+  /// pass CheckSkipState first — a forged state may decode garbage (all a
+  /// corrupt payload is entitled to) but never reads out of bounds.
+  void DecompressSlice(size_t from, size_t count, const SkipState* cp,
+                       size_t cp_at, double* out) const {
+    if (count == 0) return;
+    NEATS_DCHECK(from + count <= n_);
+    Cursor c = Head();
+    if (cp != nullptr) {
+      NEATS_DCHECK(cp_at >= 1 && cp_at <= from);
+      Seek(c, *cp, cp_at);
+    }
+    while (c.i < from) (void)Next(c);
+    for (size_t j = 0; j < count; ++j) out[j] = Next(c);
+  }
+
+  /// Records the decoder state before every (j + 1) * interval-th value, so
+  /// DecompressSlice can start at most `interval` values before any target.
+  /// One full decode pass; out gets floor((n - 1) / interval) states.
+  void BuildSkipIndex(size_t interval, std::vector<SkipState>* out) const {
+    out->clear();
+    if (n_ <= 1) return;
+    Cursor c = Head();
+    (void)Next(c);
+    for (size_t i = 1; i < n_; ++i) {
+      if (i % interval == 0) {
+        out->push_back({c.reader.position(), c.prev,
+                        static_cast<int32_t>(c.lz), static_cast<int32_t>(c.tz)});
+      }
+      (void)Next(c);
+    }
+  }
+
+  /// True when a (possibly forged) SkipState is safe to resume from: the
+  /// bit position lands inside the stream past the 64-bit head literal and
+  /// the window is one this format can produce (lz from 5 bits capped at
+  /// 31, tz >= 0, lz + tz <= 64 so the reuse-window read length is never
+  /// negative). Safety only — a validated state can still decode garbage.
+  bool CheckSkipState(const SkipState& s) const {
+    return s.bit_pos >= 64 && s.bit_pos <= bits_ && s.lz >= 0 && s.lz <= 31 &&
+           s.tz >= 0 && s.tz <= 63 && s.lz + s.tz <= 64;
   }
 
   size_t size() const { return n_; }
@@ -123,6 +192,24 @@ class Gorilla {
   }
 
  private:
+  /// Decodes one token, advancing (prev, lz, tz) — the whole decoder state.
+  void Step(BitReader& reader, uint64_t& prev, int& lz, int& tz) const {
+    if (!reader.ReadBit()) return;  // '0': value repeats
+    if (reader.ReadBit()) {
+      lz = static_cast<int>(reader.Read(5));
+      int len = static_cast<int>(reader.Read(6));
+      if (len == 0) len = 64;
+      tz = 64 - lz - len;
+      // A corrupt stream can encode lz + len > 64; a negative shift below
+      // would be UB, so reject the stream instead of decoding it.
+      NEATS_REQUIRE(tz >= 0, "corrupt Gorilla stream");
+      prev ^= reader.Read(len) << tz;
+    } else {
+      int len = 64 - lz - tz;
+      prev ^= reader.Read(len) << tz;
+    }
+  }
+
   size_t n_ = 0;
   size_t bits_ = 0;
   std::vector<uint64_t> words_;

@@ -8,10 +8,18 @@
 // in a sorted exception list next to the ALP payload and patched on every
 // query, keeping the codec exact over the full ±2^61 range.
 //
-// Random access decodes the containing 1024-value vector (vector-at-a-time,
-// as in the original engine), so AccessBatch inherits the scalar default;
-// DecompressRange decodes each covered vector once. Not zero-copy: the ALP
-// block payload deserializes into owned vectors.
+// Random access reads one packed bit field (Alp::AccessPoint) — no vector
+// decode. AccessBatch is a hybrid block-grouped kernel over the (sorted)
+// probes: a vector with few probes answers each by point read, a densely
+// probed vector is decoded once and all its probes answered from the
+// buffer. DecompressRange decodes each covered vector once.
+//
+// Format v2 appends a per-vector word-offset index after the ALP payload
+// (additive; FORMAT.md "ALP blob"): offsets are re-derived while parsing
+// and the stored section is validated against them, giving the load a
+// structural tripwire and readers a way to locate vector headers without a
+// parse. v1 blobs load fine and re-serialize as v2. Zero-copy: the packed
+// bit arrays of every vector borrow the blob in a View open.
 
 #pragma once
 
@@ -28,12 +36,14 @@
 
 namespace neats {
 
+struct AlpCodecTestPeer;
+
 /// Exact int64 SeriesCodec over ALP pseudo-decimal vectors.
 class AlpCodec : public ScalarCodecBase<AlpCodec> {
  public:
   AlpCodec() = default;
 
-  static constexpr bool kZeroCopyView = false;
+  static constexpr bool kZeroCopyView = true;
 
   static AlpCodec Compress(std::span<const int64_t> values,
                            const NeatsOptions& options = {}) {
@@ -56,13 +66,63 @@ class AlpCodec : public ScalarCodecBase<AlpCodec> {
   uint64_t size() const { return n_; }
   size_t num_exceptions() const { return exc_pos_.size(); }
 
+  /// Values per independently-decodable block (the store's decoded-block
+  /// cache keys on this geometry).
+  uint64_t BlockValues() const { return Alp::kVector; }
+
+  /// Fully decodes vector b into out (sized BlockValues()), patching the
+  /// codec-level int64 exceptions; returns how many values it held.
+  uint64_t DecodeBlock(uint64_t b, int64_t* out) const {
+    const uint64_t first = b * Alp::kVector;
+    const size_t count = alp_.block_count(b);
+    double buf[Alp::kVector];
+    alp_.DecodeBlockInto(b, buf);
+    auto it = std::lower_bound(exc_pos_.begin(), exc_pos_.end(), first);
+    for (size_t j = 0; j < count; ++j) {
+      if (it != exc_pos_.end() && *it == first + j) {
+        out[j] = exc_val_[static_cast<size_t>(it - exc_pos_.begin())];
+        ++it;
+      } else {
+        out[j] = CastBack(buf[j]);
+      }
+    }
+    return count;
+  }
+
   int64_t Access(uint64_t k) const {
     NEATS_DCHECK(k < n_);
     auto it = std::lower_bound(exc_pos_.begin(), exc_pos_.end(), k);
     if (it != exc_pos_.end() && *it == k) {
       return exc_val_[static_cast<size_t>(it - exc_pos_.begin())];
     }
-    return CastBack(alp_.Access(k));
+    return CastBack(alp_.AccessPoint(k));
+  }
+
+  /// Hybrid block-grouped batch kernel over non-decreasing probes: a
+  /// sparsely probed vector answers each probe with a point read, a vector
+  /// holding at least kVector/4 probes is decoded once and all its probes
+  /// (duplicates included) answered from the buffer. The threshold is the
+  /// measured breakeven: a point read costs a handful of ns (exception
+  /// binary search + one ReadBits), the bulk unpack ~2 ns per vector slot.
+  void AccessBatch(std::span<const uint64_t> idx, int64_t* out) const {
+    constexpr size_t kDenseThreshold = Alp::kVector / 4;
+    double buf[Alp::kVector];
+    size_t p = 0;
+    while (p < idx.size()) {
+      const uint64_t b = idx[p] / Alp::kVector;
+      const uint64_t block_end = (b + 1) * Alp::kVector;
+      size_t q = p;
+      while (q < idx.size() && idx[q] < block_end) ++q;
+      if (q - p >= kDenseThreshold) {
+        alp_.DecodeBlockInto(b, buf);
+        for (size_t j = p; j < q; ++j) {
+          out[j] = Patched(idx[j], buf[idx[j] - b * Alp::kVector]);
+        }
+      } else {
+        for (size_t j = p; j < q; ++j) out[j] = Access(idx[j]);
+      }
+      p = q;
+    }
   }
 
   /// Decodes each covered ALP vector once, then patches the exceptions.
@@ -82,9 +142,10 @@ class AlpCodec : public ScalarCodecBase<AlpCodec> {
     }
   }
 
-  /// ALP's bit estimate plus the exception list and framing.
+  /// ALP's bit estimate plus the exception list, offset index and framing.
   size_t SizeInBits() const {
-    return alp_.SizeInBits() + exc_pos_.size() * 2 * 64 + 5 * 64;
+    return alp_.SizeInBits() + exc_pos_.size() * 2 * 64 +
+           (alp_.num_blocks() + 1) * 64 + 5 * 64;
   }
 
   void Serialize(std::vector<uint8_t>* out) const {
@@ -97,13 +158,32 @@ class AlpCodec : public ScalarCodecBase<AlpCodec> {
       w.Put(exc_pos_[e]);
       w.Put(static_cast<uint64_t>(exc_val_[e]));
     }
-    alp_.SerializeInto(w);
+    std::vector<uint64_t> offsets;
+    alp_.SerializeInto(w, &offsets);
+    // v2 vector-offset index (additive; FORMAT.md "ALP blob").
+    w.Put(offsets.size());
+    for (uint64_t o : offsets) w.Put(o);
   }
 
   static AlpCodec Deserialize(std::span<const uint8_t> bytes) {
-    WordReader r(bytes, /*borrow=*/false);
+    return Load(bytes, /*borrow=*/false);
+  }
+
+  /// Opens the blob borrowing the caller's buffer: every vector's packed
+  /// bit array stays a view into `bytes`, which must be 8-byte-aligned and
+  /// outlive the result (an mmap'd shard keeps its mapping).
+  static AlpCodec View(std::span<const uint8_t> bytes) {
+    return Load(bytes, /*borrow=*/true);
+  }
+
+ private:
+  friend struct AlpCodecTestPeer;
+
+  static AlpCodec Load(std::span<const uint8_t> bytes, bool borrow) {
+    WordReader r(bytes, borrow);
     NEATS_REQUIRE(r.Get() == kMagic, "not an ALP blob");
-    NEATS_REQUIRE(r.Get() == kFormatVersion,
+    const uint64_t version = r.Get();
+    NEATS_REQUIRE(version == 1 || version == kFormatVersion,
                   "unsupported ALP format version");
     AlpCodec out;
     size_t num_exc = r.Get();
@@ -115,7 +195,17 @@ class AlpCodec : public ScalarCodecBase<AlpCodec> {
       out.exc_pos_.push_back(r.Get());
       out.exc_val_.push_back(static_cast<int64_t>(r.Get()));
     }
-    out.alp_ = Alp::LoadFrom(r);
+    std::vector<uint64_t> offsets;
+    out.alp_ = Alp::LoadFrom(r, &offsets);
+    if (version == kFormatVersion) {
+      // The stored offset index must agree with where the parse actually
+      // found every vector header — a cheap structural tripwire, and what
+      // keeps re-serialization canonical.
+      NEATS_REQUIRE(r.Get() == offsets.size(), "corrupt ALP blob");
+      for (uint64_t o : offsets) {
+        NEATS_REQUIRE(r.Get() == o, "corrupt ALP blob");
+      }
+    }
     NEATS_REQUIRE(r.position() == bytes.size(), "corrupt ALP blob");
     out.n_ = out.alp_.size();
     // Exception positions must be strictly increasing and in range — the
@@ -128,12 +218,17 @@ class AlpCodec : public ScalarCodecBase<AlpCodec> {
     return out;
   }
 
-  /// ALP blocks deserialize into owned vectors, so View is an owning load.
-  static AlpCodec View(std::span<const uint8_t> bytes) {
-    return Deserialize(bytes);
+  /// The int64-exception patch for a value already decoded as a double.
+  int64_t Patched(uint64_t k, double v) const {
+    if (!exc_pos_.empty()) {
+      auto it = std::lower_bound(exc_pos_.begin(), exc_pos_.end(), k);
+      if (it != exc_pos_.end() && *it == k) {
+        return exc_val_[static_cast<size_t>(it - exc_pos_.begin())];
+      }
+    }
+    return CastBack(v);
   }
 
- private:
   /// True iff (double)v reconstructs v exactly via the cast back.
   static bool RoundTrips(int64_t v, double d) {
     if (!(d >= -9223372036854775808.0 && d < 9223372036854775808.0)) {
@@ -155,7 +250,7 @@ class AlpCodec : public ScalarCodecBase<AlpCodec> {
   }
 
   static constexpr uint64_t kMagic = MagicWord("NEATSAP\0");
-  static constexpr uint64_t kFormatVersion = 1;
+  static constexpr uint64_t kFormatVersion = 2;
 
   uint64_t n_ = 0;
   Alp alp_;
@@ -164,5 +259,23 @@ class AlpCodec : public ScalarCodecBase<AlpCodec> {
 };
 
 static_assert(SeriesCodec<AlpCodec>);
+
+/// Test-only back door: writes the legacy v1 framing (no vector-offset
+/// index) so migration tests can exercise the v1 -> v2 load path without
+/// keeping binary fixtures around.
+struct AlpCodecTestPeer {
+  static void SerializeV1(const AlpCodec& c, std::vector<uint8_t>* out) {
+    out->clear();
+    WordWriter w(out);
+    w.Put(AlpCodec::kMagic);
+    w.Put(uint64_t{1});
+    w.Put(c.exc_pos_.size());
+    for (size_t e = 0; e < c.exc_pos_.size(); ++e) {
+      w.Put(c.exc_pos_[e]);
+      w.Put(static_cast<uint64_t>(c.exc_val_[e]));
+    }
+    c.alp_.SerializeInto(w);
+  }
+};
 
 }  // namespace neats

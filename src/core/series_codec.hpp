@@ -67,6 +67,23 @@ concept SeriesCodec =
       { C::kZeroCopyView } -> std::convertible_to<bool>;
     };
 
+/// Optional extension of SeriesCodec for block-structured representations
+/// (ALP's 1024-value vectors, the XOR streams' 1000-value blocks): the codec
+/// exposes its block geometry and a whole-block decode, so callers that
+/// amortize decodes across queries — the store's decoded-block cache — can
+/// key on (block index) and reuse one decode for every probe that lands in
+/// it. BlockValues() is the fixed values-per-block; DecodeBlock(b, out)
+/// fills out (sized BlockValues()) and returns the actual count (the last
+/// block may be partial). Detected structurally: SealedCodec forwards the
+/// surface when the codec provides it and reports BlockValues() == 0
+/// otherwise, so non-block codecs (Neats, LeCo) need no stubs.
+template <typename C>
+concept BlockStructuredCodec =
+    SeriesCodec<C> && requires(const C c, int64_t* out) {
+      { c.BlockValues() } -> std::convertible_to<uint64_t>;
+      { c.DecodeBlock(uint64_t{}, out) } -> std::convertible_to<uint64_t>;
+    };
+
 /// CRTP adapter supplying the batch/range surface from scalar Access, so a
 /// codec only has to implement Compress, size, Access, SizeInBits and the
 /// serialization trio to conform. Every default dispatches through the

@@ -92,6 +92,7 @@
 #include "io/manifest.hpp"
 #include "io/mmap_file.hpp"
 #include "io/text_io.hpp"
+#include "store/block_cache.hpp"
 #include "store/wal.hpp"
 
 namespace neats {
@@ -140,6 +141,14 @@ struct NeatsStoreOptions {
   /// fsyncs the record before acking). Disabling trades the pre-Flush
   /// crash guarantee for one fsync less per Append.
   bool wal = true;
+
+  /// Byte budget of the decoded-block LRU cache (store/block_cache.hpp)
+  /// consulted by Access/AccessBatch before any block-structured codec
+  /// (ALP, Gorilla, Chimp) decode; 0 disables it. Shards of codecs with
+  /// native point access (Neats, LeCo) never touch the cache. The default
+  /// holds ~1M decoded values — enough to pin the hot blocks of a
+  /// point-lookup storm while staying small next to the mapped blobs.
+  uint64_t block_cache_bytes = uint64_t{8} << 20;
 };
 
 /// A sharded, append-able, randomly-accessible compressed series store.
@@ -169,6 +178,9 @@ class NeatsStore {
         pool_(std::make_unique<ThreadPool>(
             ResolveNumThreads(options.seal_threads))) {
     NEATS_REQUIRE(options_.shard_size > 0, "shard_size must be positive");
+    if (options_.block_cache_bytes > 0) {
+      cache_ = std::make_unique<DecodedBlockCache>(options_.block_cache_bytes);
+    }
     // Validated here, where the caller can catch — a bad id discovered
     // inside a background seal task would terminate the process instead.
     NEATS_REQUIRE(IsValidCodecId(static_cast<uint64_t>(options_.codec)),
@@ -265,6 +277,7 @@ class NeatsStore {
       wal_ = std::move(o.wal_);
       wal_dirty_ = o.wal_dirty_;
       report_ = std::move(o.report_);
+      cache_ = std::move(o.cache_);
       pool_ = std::move(o.pool_);
     }
     return *this;
@@ -375,6 +388,12 @@ class NeatsStore {
   /// OpenDir).
   uint64_t shard_size() const { return options_.shard_size; }
 
+  /// Hit/miss/eviction counters and current footprint of the decoded-block
+  /// cache; all zeros when it is disabled (block_cache_bytes = 0).
+  DecodedBlockCache::Stats block_cache_stats() const {
+    return cache_ != nullptr ? cache_->stats() : DecodedBlockCache::Stats{};
+  }
+
   /// Compressed size of the sealed shards plus 64 bits per not-yet-sealed
   /// value (pending chunks and the hot tail are raw; a quarantined shard
   /// counts as raw too — its compressed form is not trustworthy).
@@ -390,11 +409,21 @@ class NeatsStore {
 
   /// The value at global index i: one routing lookup, then the covering
   /// shard codec's Access (or a raw read from a pending chunk / the tail).
+  /// Block-structured shards answer from the decoded-block cache when it
+  /// holds the containing block (a hash probe + one array read — Neats-class
+  /// latency), decoding and caching the block otherwise.
   int64_t Access(uint64_t i) const {
     NEATS_DCHECK(i < size());
     if (i < sealed_total_) {
       const Shard& s = HealthyShardOf(i);
-      return s.series->Access(i - s.first);
+      const uint64_t local = i - s.first;
+      if (cache_ != nullptr) {
+        const uint64_t bv = s.series->BlockValues();
+        if (bv > 0) {
+          return (*CachedBlock(s, local / bv))[local % bv];
+        }
+      }
+      return s.series->Access(local);
     }
     return AccessUnsealed(i);
   }
@@ -431,9 +460,29 @@ class NeatsStore {
         local.push_back(idx[order[q]] - s.first);
         ++q;
       }
+      // Probes are sorted, so each routed shard forms exactly one group:
+      // one WILLNEED hint per shard per call, never per probe.
       s.map.Advise(MmapFile::Advice::kWillNeed);
       local_out.resize(local.size());
-      s.series->AccessBatch(local, local_out.data());
+      const uint64_t bv =
+          cache_ != nullptr ? s.series->BlockValues() : uint64_t{0};
+      if (bv > 0) {
+        // Block-structured shard: answer each touched block's probes from
+        // one cached (or once-decoded) block.
+        size_t a = 0;
+        while (a < local.size()) {
+          const uint64_t blk = local[a] / bv;
+          size_t z = a;
+          while (z < local.size() && local[z] / bv == blk) ++z;
+          const auto values = CachedBlock(s, blk);
+          for (size_t j = a; j < z; ++j) {
+            local_out[j] = (*values)[local[j] % bv];
+          }
+          a = z;
+        }
+      } else {
+        s.series->AccessBatch(local, local_out.data());
+      }
       for (size_t j = p; j < q; ++j) out[order[j]] = local_out[j - p];
       p = q;
     }
@@ -461,11 +510,17 @@ class NeatsStore {
   void DecompressRanges(std::span<const IndexRange> ranges,
                         int64_t* out) const {
     std::vector<IndexRange> group;  // shard-local coordinates
+    std::vector<const Shard*> advised;  // one WILLNEED per shard per call
     const Shard* cur = nullptr;
     int64_t* group_out = nullptr;
     auto flush = [&] {
       if (cur == nullptr) return;
-      cur->map.Advise(MmapFile::Advice::kWillNeed);
+      // Unsorted ranges can revisit a shard in a later group; advise each
+      // routed shard once per call, not once per group.
+      if (std::find(advised.begin(), advised.end(), cur) == advised.end()) {
+        advised.push_back(cur);
+        cur->map.Advise(MmapFile::Advice::kWillNeed);
+      }
       cur->series->DecompressRanges(group, group_out);
       group.clear();
       cur = nullptr;
@@ -611,6 +666,24 @@ class NeatsStore {
                   StatusCode::kUnavailable);
     }
     return s;
+  }
+
+  /// The decoded block serving (shard-local) block `block` of shard `s`,
+  /// from the cache when present, decoding (outside the cache lock) and
+  /// inserting on a miss. Only called when cache_ is non-null and the
+  /// shard's codec is block-structured (BlockValues() > 0).
+  DecodedBlockCache::BlockPtr CachedBlock(const Shard& s,
+                                          uint64_t block) const {
+    const uint64_t shard_index =
+        static_cast<uint64_t>(&s - shards_.data());
+    const uint32_t codec = static_cast<uint32_t>(s.codec);
+    if (auto hit = cache_->Lookup(shard_index, codec, block)) return hit;
+    auto values =
+        std::make_shared<std::vector<int64_t>>(s.series->BlockValues());
+    const uint64_t count = s.series->DecodeBlock(block, values->data());
+    values->resize(count);
+    cache_->Insert(shard_index, codec, block, values);
+    return values;
   }
 
   /// Raw read past the sealed prefix (pending chunks, then the tail).
@@ -1123,6 +1196,11 @@ class NeatsStore {
   std::unique_ptr<io::WritableFile> wal_;  // open WAL append handle
   bool wal_dirty_ = false;  // a WAL append failed; rebuild before reuse
   RepairReport report_;     // what OpenDir/Scrub found and did
+
+  // Decoded-block LRU over the block-structured codecs' shards; null when
+  // options_.block_cache_bytes is 0. The cache itself is mutex-guarded, so
+  // const query paths may populate it concurrently.
+  std::unique_ptr<DecodedBlockCache> cache_;
 
   // Declared last so it is destroyed first: no worker can outlive the
   // chunks its tasks reference. (~NeatsStore drains explicitly anyway.)

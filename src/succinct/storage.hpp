@@ -126,6 +126,11 @@ class WordWriter {
     while (out_->size() % alignment != 0) Put(0);
   }
 
+  /// Bytes written into the output buffer so far (the writer appends, so
+  /// this is the offset the next Put lands at — serializers use it to
+  /// record section offsets, e.g. the ALP block-offset index).
+  size_t position() const { return out_->size(); }
+
  private:
   std::vector<uint8_t>* out_;
 };

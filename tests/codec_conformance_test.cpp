@@ -307,7 +307,7 @@ TEST(CodecRegistry, ZeroCopyFlags) {
   EXPECT_TRUE(CodecRegistry::ZeroCopyView(CodecId::kNeats));
   EXPECT_TRUE(CodecRegistry::ZeroCopyView(CodecId::kNeatsLossyExact));
   EXPECT_TRUE(CodecRegistry::ZeroCopyView(CodecId::kLeco));
-  EXPECT_FALSE(CodecRegistry::ZeroCopyView(CodecId::kAlp));
+  EXPECT_TRUE(CodecRegistry::ZeroCopyView(CodecId::kAlp));
   EXPECT_FALSE(CodecRegistry::ZeroCopyView(CodecId::kGorilla));
   EXPECT_FALSE(CodecRegistry::ZeroCopyView(CodecId::kChimp));
 
