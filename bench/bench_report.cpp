@@ -10,11 +10,16 @@
 // access column (sorted 512-probe blocks through the sealed AccessBatch
 // kernel, asserted bit-identical to the raw values — the Release bench
 // smoke run doubles as a correctness gate) and the store-served scalar
-// column with its decoded-block cache hit rate.
+// column with its decoded-block cache hit rate. Schema 7 adds the
+// "scenarios" section: the scenario engine's built-in suite (seeded
+// production-workload shapes against a live NeatsStore, every read
+// verified) reporting p50/p99/p999 latency per op kind per scenario.
 //
 //   $ ./build/bench_bench_report [output.json]
 //
-// Environment: NEATS_BENCH_N caps dataset sizes (default 120000, 0 = full).
+// Environment: NEATS_BENCH_N caps dataset sizes (default 120000, 0 = full);
+// NEATS_BENCH_SCENARIO_SCALE scales the scenario workloads (default 1,
+// 0 skips the section).
 
 #include <algorithm>
 #include <chrono>
@@ -52,6 +57,16 @@
 #define NEATS_BENCH_HAS_CODECS 1
 #else
 #define NEATS_BENCH_HAS_CODECS 0
+#endif
+
+// The scenario engine arrived with schema 7; same paired-build guard.
+#if __has_include("scenario/scenarios.hpp")
+#include <sstream>
+
+#include "scenario/scenarios.hpp"
+#define NEATS_BENCH_HAS_SCENARIOS 1
+#else
+#define NEATS_BENCH_HAS_SCENARIOS 0
 #endif
 
 namespace neats::bench {
@@ -498,13 +513,48 @@ void FillCacheLineColumns(const char* argv0, std::vector<Row>* rows) {
   pclose(pipe);
 }
 
-void WriteJson(const std::vector<Row>& rows, const char* path) {
+/// Runs the scenario engine's built-in suite (seeded, self-verifying — a
+/// failure aborts the report with a scenario=X seed=Y repro line) and
+/// returns the pre-rendered elements of the schema-7 "scenarios" array.
+/// NEATS_BENCH_SCENARIO_SCALE scales the workloads; 0 skips the section.
+std::string MeasureScenarios() {
+#if NEATS_BENCH_HAS_SCENARIOS
+  uint64_t scale = 1;
+  if (const char* env = std::getenv("NEATS_BENCH_SCENARIO_SCALE")) {
+    scale = std::strtoull(env, nullptr, 10);
+  }
+  if (scale == 0) return "";
+  scenario::ScenarioOptions options;
+  options.scale = scale;
+  std::ostringstream os;
+  bool first = true;
+  for (const scenario::Scenario& s : scenario::BuiltinScenarios().All()) {
+    std::printf("scenario %s ...\n", s.name.c_str());
+    std::fflush(stdout);
+    const scenario::ScenarioResult r = scenario::RunScenario(s, options);
+    if (!first) os << ",\n";
+    first = false;
+    scenario::WriteScenarioJson(os, r, "    ");
+  }
+  return os.str();
+#else
+  return "";
+#endif
+}
+
+void WriteJson(const std::vector<Row>& rows, const std::string& scenarios,
+               const char* path) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", path);
     std::exit(1);
   }
-  std::fprintf(f, "{\n  \"bench\": \"neats\",\n  \"schema\": 6,\n");
+  std::fprintf(f, "{\n  \"bench\": \"neats\",\n  \"schema\": 7,\n");
+  if (scenarios.empty()) {
+    std::fprintf(f, "  \"scenarios\": [],\n");
+  } else {
+    std::fprintf(f, "  \"scenarios\": [\n%s\n  ],\n", scenarios.c_str());
+  }
   std::fprintf(f, "  \"hardware_threads\": %u,\n",
                std::thread::hardware_concurrency());
   std::fprintf(f, "  \"has_scaling_knobs\": %s,\n",
@@ -605,7 +655,8 @@ int main(int argc, char** argv) {
                   r.dir_lines_touched, r.legacy_lines_touched);
     }
   }
-  WriteJson(rows, out_path);
+  const std::string scenarios = MeasureScenarios();
+  WriteJson(rows, scenarios, out_path);
   std::printf("wrote %s\n", out_path);
   return 0;
 }

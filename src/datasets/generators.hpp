@@ -28,6 +28,8 @@ struct Dataset {
   std::string code;
   std::string name;
   int fractional_digits = 0;
+  uint64_t seed = 0;             // the generator seed this data came from,
+                                 // quoted by scenario/bench repro lines
   std::vector<int64_t> values;   // decimal value * 10^digits
   std::vector<double> doubles;   // values[i] / 10^digits (correctly rounded)
 };
@@ -105,6 +107,7 @@ inline Dataset MakeDataset(std::string_view code, size_t n = 0,
   ds.code = spec->code;
   ds.name = spec->name;
   ds.fractional_digits = spec->digits;
+  ds.seed = seed;
   ds.values.reserve(n);
 
   Rng rng(seed ^ std::hash<std::string_view>{}(code));

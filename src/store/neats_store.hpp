@@ -65,9 +65,15 @@
 //   RangeSum /             exact and corrections-free approximate sums,
 //   ApproximateRangeSum    combined across the covered shards
 //
-// Threading contract: one writer (Append/Flush) at a time, like a standard
-// container; read queries may run concurrently with the *background seals*
-// (sealing only writes fields queries never touch) but not with the writer.
+// Threading contract: single writer, many readers. One thread at a time may
+// mutate the store (Append/Flush/Scrub — they take the store's writer lock);
+// any number of threads may run const queries concurrently — with each other,
+// with the background seals, *and* with the writer (queries take the reader
+// side of the same lock, so they see the topology either before or after a
+// mutation, never mid-flight). The scenario engine (src/scenario/) drives
+// exactly this shape — concurrent appenders/readers with every read verified
+// — under ThreadSanitizer in CI. Moves and destruction still require outside
+// quiescence, like any standard container.
 
 #pragma once
 
@@ -77,6 +83,8 @@
 #include <deque>
 #include <filesystem>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <utility>
@@ -264,6 +272,10 @@ class NeatsStore {
   NeatsStore& operator=(NeatsStore&& o) {
     if (this != &o) {
       if (pool_ != nullptr) pool_->DrainTasks();
+      // The destination keeps its own lock object (a moved-from source may
+      // have lost its to a move construction); both stores must be quiescent
+      // here anyway.
+      if (mu_ == nullptr) mu_ = std::make_unique<std::shared_mutex>();
       options_ = std::move(o.options_);
       dir_ = std::move(o.dir_);
       fs_ = o.fs_;
@@ -305,6 +317,7 @@ class NeatsStore {
   /// Directory-backed stores log the values to the WAL and fsync it before
   /// anything else — when Append returns, the data survives a crash.
   void Append(std::span<const int64_t> values) {
+    std::unique_lock<std::shared_mutex> lock(*mu_);
     PromoteSealed();
     LogToWal(values);
     AppendImpl(values);
@@ -316,6 +329,7 @@ class NeatsStore {
   /// every value lives in a sealed shard; appending may continue (new
   /// shards, manifest rewritten by the next Flush).
   void Flush() {
+    std::unique_lock<std::shared_mutex> lock(*mu_);
     if (!tail_.empty()) {
       SealChunk(std::move(tail_));
       tail_ = {};
@@ -331,16 +345,16 @@ class NeatsStore {
 
   // --- Recovery -----------------------------------------------------------
 
-  /// What OpenDir() and the last Scrub() found and did.
+  /// What OpenDir() and the last Scrub() found and did. Returns a reference
+  /// into the store, so read it quiesced — not while another thread may be
+  /// inside Scrub() rewriting it.
   const RepairReport& recovery_report() const { return report_; }
 
   /// True while any shard is quarantined (queries into its range throw
   /// kUnavailable; everything else keeps serving).
   bool degraded() const {
-    for (const Shard& s : shards_) {
-      if (s.series == nullptr) return true;
-    }
-    return false;
+    std::shared_lock<std::shared_mutex> lock(*mu_);
+    return DegradedImpl();
   }
 
   /// Re-verifies every healthy shard blob against its recorded checksum
@@ -351,6 +365,7 @@ class NeatsStore {
   /// repaired. Returns the updated report — `repaired` lists the shards
   /// brought back, `quarantined` what is still down.
   const RepairReport& Scrub() {
+    std::unique_lock<std::shared_mutex> lock(*mu_);
     NEATS_REQUIRE(!dir_.empty(), "Scrub requires a directory-backed store");
     for (size_t s = 0; s < shards_.size(); ++s) {
       if (shards_[s].series == nullptr) continue;
@@ -369,24 +384,40 @@ class NeatsStore {
 
   /// Total number of values in the store (sealed + sealing + hot tail).
   uint64_t size() const {
-    return sealed_total_ + pending_total_ + tail_.size();
+    std::shared_lock<std::shared_mutex> lock(*mu_);
+    return SizeImpl();
   }
 
   /// Sealed-and-promoted shards (everything, after a Flush).
-  size_t num_shards() const { return shards_.size(); }
+  size_t num_shards() const {
+    std::shared_lock<std::shared_mutex> lock(*mu_);
+    return shards_.size();
+  }
 
   /// The codec serving sealed shard `s` (what the manifest records).
-  CodecId shard_codec(size_t s) const { return shards_[s].codec; }
+  CodecId shard_codec(size_t s) const {
+    std::shared_lock<std::shared_mutex> lock(*mu_);
+    return shards_[s].codec;
+  }
 
   /// Chunks currently compressing in the background.
-  size_t num_pending_seals() const { return pending_.size(); }
+  size_t num_pending_seals() const {
+    std::shared_lock<std::shared_mutex> lock(*mu_);
+    return pending_.size();
+  }
 
   /// Values still in the raw hot tail.
-  uint64_t tail_size() const { return tail_.size(); }
+  uint64_t tail_size() const {
+    std::shared_lock<std::shared_mutex> lock(*mu_);
+    return tail_.size();
+  }
 
   /// Values per sealed shard (from the options, or the manifest after
   /// OpenDir).
-  uint64_t shard_size() const { return options_.shard_size; }
+  uint64_t shard_size() const {
+    std::shared_lock<std::shared_mutex> lock(*mu_);
+    return options_.shard_size;
+  }
 
   /// Hit/miss/eviction counters and current footprint of the decoded-block
   /// cache; all zeros when it is disabled (block_cache_bytes = 0).
@@ -398,6 +429,7 @@ class NeatsStore {
   /// value (pending chunks and the hot tail are raw; a quarantined shard
   /// counts as raw too — its compressed form is not trustworthy).
   size_t SizeInBits() const {
+    std::shared_lock<std::shared_mutex> lock(*mu_);
     size_t bits = (pending_total_ + tail_.size()) * 64;
     for (const Shard& s : shards_) {
       bits += s.series != nullptr ? s.series->SizeInBits() : s.count * 64;
@@ -413,7 +445,8 @@ class NeatsStore {
   /// holds the containing block (a hash probe + one array read — Neats-class
   /// latency), decoding and caching the block otherwise.
   int64_t Access(uint64_t i) const {
-    NEATS_DCHECK(i < size());
+    std::shared_lock<std::shared_mutex> lock(*mu_);
+    NEATS_DCHECK(i < SizeImpl());
     if (i < sealed_total_) {
       const Shard& s = HealthyShardOf(i);
       const uint64_t local = i - s.first;
@@ -437,6 +470,7 @@ class NeatsStore {
                    std::span<int64_t> out) const {
     NEATS_DCHECK(idx.size() == out.size());
     if (idx.empty()) return;
+    std::shared_lock<std::shared_mutex> lock(*mu_);
     std::vector<size_t> order(idx.size());
     for (size_t j = 0; j < order.size(); ++j) order[j] = j;
     std::sort(order.begin(), order.end(),
@@ -446,7 +480,7 @@ class NeatsStore {
     size_t p = 0;
     while (p < idx.size()) {
       const uint64_t k = idx[order[p]];
-      NEATS_DCHECK(k < size());
+      NEATS_DCHECK(k < SizeImpl());
       if (k >= sealed_total_) {  // pending chunks + tail: raw reads
         out[order[p]] = AccessUnsealed(k);
         ++p;
@@ -491,13 +525,8 @@ class NeatsStore {
   /// Decompresses values[from, from + len) into out, stitching across shard
   /// boundaries (per-shard scans; raw memcpy past the sealed prefix).
   void DecompressRange(uint64_t from, uint64_t len, int64_t* out) const {
-    NEATS_DCHECK(from + len <= size());
-    while (len > 0) {
-      const uint64_t took = DecompressPrefix(from, len, out);
-      from += took;
-      len -= took;
-      out += took;
-    }
+    std::shared_lock<std::shared_mutex> lock(*mu_);
+    DecompressRangeImpl(from, len, out);
   }
 
   /// Multi-range decompression: every range's values, concatenated into
@@ -509,6 +538,7 @@ class NeatsStore {
   /// group is decoded.
   void DecompressRanges(std::span<const IndexRange> ranges,
                         int64_t* out) const {
+    std::shared_lock<std::shared_mutex> lock(*mu_);
     std::vector<IndexRange> group;  // shard-local coordinates
     std::vector<const Shard*> advised;  // one WILLNEED per shard per call
     const Shard* cur = nullptr;
@@ -528,7 +558,7 @@ class NeatsStore {
     for (const IndexRange& r : ranges) {
       uint64_t from = r.from;
       uint64_t len = r.len;
-      NEATS_DCHECK(from + len <= size());
+      NEATS_DCHECK(from + len <= SizeImpl());
       while (len > 0) {
         if (from < sealed_total_) {
           const Shard& s = HealthyShardOf(from);
@@ -556,7 +586,8 @@ class NeatsStore {
 
   /// Exact sum over values[from, from + len), combined across shards.
   int64_t RangeSum(uint64_t from, uint64_t len) const {
-    NEATS_DCHECK(from + len <= size());
+    std::shared_lock<std::shared_mutex> lock(*mu_);
+    NEATS_DCHECK(from + len <= SizeImpl());
     int64_t sum = 0;
     while (len > 0) {
       if (from < sealed_total_) {
@@ -579,7 +610,8 @@ class NeatsStore {
   /// contribute exactly.
   Neats::ApproximateAggregate ApproximateRangeSum(uint64_t from,
                                                   uint64_t len) const {
-    NEATS_DCHECK(from + len <= size());
+    std::shared_lock<std::shared_mutex> lock(*mu_);
+    NEATS_DCHECK(from + len <= SizeImpl());
     Neats::ApproximateAggregate agg{0.0, 0.0};
     while (len > 0) {
       if (from < sealed_total_) {
@@ -602,6 +634,32 @@ class NeatsStore {
   }
 
  private:
+  /// size() without the reader lock — for callers already holding either
+  /// side of mu_.
+  uint64_t SizeImpl() const {
+    return sealed_total_ + pending_total_ + tail_.size();
+  }
+
+  /// degraded() without the reader lock (see SizeImpl).
+  bool DegradedImpl() const {
+    for (const Shard& s : shards_) {
+      if (s.series == nullptr) return true;
+    }
+    return false;
+  }
+
+  /// DecompressRange body, lock-free — shared by the public query and
+  /// RebuildWal (which already holds the writer lock).
+  void DecompressRangeImpl(uint64_t from, uint64_t len, int64_t* out) const {
+    NEATS_DCHECK(from + len <= SizeImpl());
+    while (len > 0) {
+      const uint64_t took = DecompressPrefix(from, len, out);
+      from += took;
+      len -= took;
+      out += took;
+    }
+  }
+
   /// One sealed shard: its slice of the global index space and the
   /// type-erased series serving it — owned right after an in-memory seal,
   /// or borrowing `map` when the codec opened the blob zero-copy. A null
@@ -688,7 +746,7 @@ class NeatsStore {
 
   /// Raw read past the sealed prefix (pending chunks, then the tail).
   int64_t AccessUnsealed(uint64_t i) const {
-    NEATS_DCHECK(i >= sealed_total_ && i < size());
+    NEATS_DCHECK(i >= sealed_total_ && i < SizeImpl());
     for (const auto& c : pending_) {
       if (i < c->first + c->values.size()) return c->values[i - c->first];
     }
@@ -925,7 +983,7 @@ class NeatsStore {
     if (wal_dirty_) RebuildWal();
     EnsureWal();
     std::vector<uint8_t> record;
-    AppendWalRecord(&record, size(), values);
+    AppendWalRecord(&record, SizeImpl(), values);
     try {
       wal_->Write({record.data(), record.size()});
       wal_->Sync();
@@ -952,7 +1010,7 @@ class NeatsStore {
   /// restarts empty — unless shards are quarantined, in which case the old
   /// records are kept: they may be the only copy Scrub() can repair from.
   void ResetWal() {
-    if (!options_.wal || degraded()) return;
+    if (!options_.wal || DegradedImpl()) return;
     wal_ = fs_->Create(WalPath());
     std::vector<uint8_t> header;
     AppendWalHeader(&header);
@@ -967,9 +1025,9 @@ class NeatsStore {
   void RebuildWal() {
     std::vector<uint8_t> bytes;
     AppendWalHeader(&bytes);
-    if (size() > manifest_total_) {
-      std::vector<int64_t> values(size() - manifest_total_);
-      DecompressRange(manifest_total_, values.size(), values.data());
+    if (SizeImpl() > manifest_total_) {
+      std::vector<int64_t> values(SizeImpl() - manifest_total_);
+      DecompressRangeImpl(manifest_total_, values.size(), values.data());
       AppendWalRecord(&bytes, manifest_total_,
                       {values.data(), values.size()});
     }
@@ -997,18 +1055,19 @@ class NeatsStore {
     for (size_t i = 0; i < replay.records.size(); ++i) {
       const WalRecord& rec = replay.records[i];
       const uint64_t rec_end = rec.first + rec.values.size();
-      if (rec_end <= size()) continue;  // already manifested (stale record)
-      if (rec.first > size()) {
+      if (rec_end <= SizeImpl()) continue;  // already manifested (stale)
+      if (rec.first > SizeImpl()) {
         // A hole: everything past it cannot be anchored to the store.
         report_.warnings.push_back(
-            "write-ahead log has a gap at index " + std::to_string(size()) +
+            "write-ahead log has a gap at index " +
+            std::to_string(SizeImpl()) +
             "; discarding " + std::to_string(replay.records.size() - i) +
             " unanchored record(s)");
         rewrite = true;
         usable = i;
         break;
       }
-      const size_t skip = static_cast<size_t>(size() - rec.first);
+      const size_t skip = static_cast<size_t>(SizeImpl() - rec.first);
       AppendImpl({rec.values.data() + skip, rec.values.size() - skip});
     }
     if (rewrite) {
@@ -1201,6 +1260,14 @@ class NeatsStore {
   // options_.block_cache_bytes is 0. The cache itself is mutex-guarded, so
   // const query paths may populate it concurrently.
   std::unique_ptr<DecodedBlockCache> cache_;
+
+  // The single-writer/multi-reader lock over the store topology: queries
+  // take it shared, Append/Flush/Scrub exclusive. Heap-allocated so the
+  // store stays movable (moves require outside quiescence, as before);
+  // the writer keeps it across a whole mutation — including a Flush's seal
+  // drain — so readers observe every promotion atomically.
+  mutable std::unique_ptr<std::shared_mutex> mu_ =
+      std::make_unique<std::shared_mutex>();
 
   // Declared last so it is destroyed first: no worker can outlive the
   // chunks its tasks reference. (~NeatsStore drains explicitly anyway.)
