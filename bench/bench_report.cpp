@@ -14,6 +14,13 @@
 // "scenarios" section: the scenario engine's built-in suite (seeded
 // production-workload shapes against a live NeatsStore, every read
 // verified) reporting p50/p99/p999 latency per op kind per scenario.
+// Schema 8 adds the observability layer's own numbers: a "store_metrics"
+// block (the StatsSnapshot of an instrumented store driven through a fixed
+// mixed workload — op counters plus per-op latency percentiles as the store
+// itself measured them) and a "metrics_overhead" block from a paired
+// metrics-on vs metrics-off store timing the NeaTS scalar access path; the
+// run aborts if the median overhead ratio exceeds 1.03, so the Release
+// bench smoke doubles as the instrumentation-cost gate.
 //
 //   $ ./build/bench_bench_report [output.json]
 //
@@ -67,6 +74,14 @@
 #define NEATS_BENCH_HAS_SCENARIOS 1
 #else
 #define NEATS_BENCH_HAS_SCENARIOS 0
+#endif
+
+// The observability layer arrived with schema 8; same paired-build guard.
+#if __has_include("obs/metrics.hpp") && NEATS_BENCH_HAS_STORE
+#include "obs/stats_json.hpp"
+#define NEATS_BENCH_HAS_OBS 1
+#else
+#define NEATS_BENCH_HAS_OBS 0
 #endif
 
 namespace neats::bench {
@@ -542,18 +557,206 @@ std::string MeasureScenarios() {
 #endif
 }
 
+// ---------------------------------------------------------------------------
+// Schema 8: the observability layer's own numbers.
+
+/// One paired metrics-on / metrics-off timing of the NeaTS scalar access
+/// path (the hottest instrumented operation, and the one the 3% overhead
+/// budget was engineered against).
+struct OverheadRow {
+  std::string code;
+  double on_ns = 0;
+  double off_ns = 0;
+  double ratio = 0;
+};
+
+struct ObsSection {
+  std::string store_metrics_json;   // pre-rendered value, "" when absent
+  std::vector<OverheadRow> overhead;
+  double median_ratio = 0;
+};
+
+#if NEATS_BENCH_HAS_OBS
+/// Drives an instrumented store (every access sampled — this run measures
+/// the store, not the sampling discount) through a fixed mixed workload and
+/// returns its StatsSnapshot pre-rendered as the "store_metrics" JSON
+/// value. Aborts if the snapshot is missing the op counters or the
+/// access / access_batch percentiles the schema promises — the Release
+/// bench smoke run is the gate that the instrumentation is actually live.
+std::string MeasureStoreMetrics() {
+  const DatasetSpec* spec = nullptr;
+  for (const DatasetSpec& s : kDatasetSpecs) {
+    if (std::string("CT") == s.code) spec = &s;  // CT: smooth sensor trend
+  }
+  Dataset ds = LoadDataset(*spec);
+  NeatsStoreOptions options;
+  options.shard_size = std::max<uint64_t>(4096, ds.values.size() / 8);
+  options.latency_sample_every = 1;
+  NeatsStore store(options);
+  for (size_t at = 0; at < ds.values.size(); at += 4096) {
+    const size_t n = std::min<size_t>(4096, ds.values.size() - at);
+    store.Append(std::span<const int64_t>(ds.values.data() + at, n));
+  }
+  store.Flush();
+
+  std::mt19937_64 rng(7);
+  const uint64_t n = store.size();
+  for (int pass = 0; pass < 16; ++pass) {
+    for (int p = 0; p < 4096; ++p) {
+      const uint64_t i = rng() % n;
+      if (store.Access(i) != ds.values[i]) std::abort();
+    }
+  }
+  std::vector<uint64_t> batch(512);
+  std::vector<int64_t> out(512);
+  for (int b = 0; b < 64; ++b) {
+    for (auto& i : batch) i = rng() % n;
+    std::sort(batch.begin(), batch.end());
+    store.AccessBatch(batch, out);
+  }
+  const uint64_t window = std::min<uint64_t>(1024, n);
+  std::vector<int64_t> range(window);
+  for (int r = 0; r < 16; ++r) {
+    const uint64_t from = rng() % (n - window + 1);
+    store.DecompressRange(from, window, range.data());
+    (void)store.RangeSum(from, window);
+  }
+
+  const obs::MetricsSnapshot snap = store.StatsSnapshot();
+  const uint64_t* access = snap.counter("access.ops");
+  const uint64_t* probes = snap.counter("access_batch.probes");
+  const obs::LatencyHistogram* h_access = snap.histogram("access");
+  const obs::LatencyHistogram* h_batch = snap.histogram("access_batch");
+  if (access == nullptr || *access != 16 * 4096 || probes == nullptr ||
+      *probes != 64 * 512 || h_access == nullptr || h_access->count() == 0 ||
+      h_batch == nullptr || h_batch->count() == 0) {
+    std::fprintf(stderr, "FATAL: store metrics snapshot is missing the "
+                         "promised op counters or latency percentiles\n");
+    std::abort();
+  }
+  std::printf(
+      "store metrics: access n=%llu p50=%llu ns p99=%llu ns | "
+      "access_batch n=%llu p50=%llu ns p99=%llu ns\n",
+      static_cast<unsigned long long>(h_access->count()),
+      static_cast<unsigned long long>(h_access->p50()),
+      static_cast<unsigned long long>(h_access->p99()),
+      static_cast<unsigned long long>(h_batch->count()),
+      static_cast<unsigned long long>(h_batch->p50()),
+      static_cast<unsigned long long>(h_batch->p99()));
+  return obs::MetricsJson(snap, "  ");
+}
+
+/// The instrumentation-cost gate: per dataset, two stores identical except
+/// for `metrics`, the same 4096 probes timed through the NeaTS scalar
+/// access path in alternating rounds (min of 3 per store — alternation
+/// cancels thermal / frequency drift, min discards scheduler noise). The
+/// budget is on the *production* configuration, so the metrics-on store
+/// keeps the default access sampling rate. Exceeding a 3% median ratio
+/// across datasets aborts the report.
+std::vector<OverheadRow> MeasureMetricsOverhead() {
+  std::vector<OverheadRow> rows;
+  for (const DatasetSpec& spec : kDatasetSpecs) {
+    std::string code = spec.code;
+    if (code != "CT" && code != "DP" && code != "UK" && code != "ECG") continue;
+    Dataset ds = LoadDataset(spec);
+    NeatsStoreOptions options;
+    options.shard_size = std::max<uint64_t>(4096, ds.values.size() / 8);
+    auto build = [&](bool metrics) {
+      NeatsStoreOptions o = options;
+      o.metrics = metrics;
+      NeatsStore store(o);
+      store.Append(ds.values);
+      store.Flush();
+      return store;
+    };
+    NeatsStore on = build(true);
+    NeatsStore off = build(false);
+
+    std::mt19937_64 rng(42);
+    std::vector<uint64_t> idx(1 << 12);
+    for (auto& i : idx) i = rng() % ds.values.size();
+    for (uint64_t i : idx) {  // warm both + verify they agree with the data
+      if (on.Access(i) != ds.values[i]) std::abort();
+      if (off.Access(i) != ds.values[i]) std::abort();
+    }
+
+    OverheadRow row;
+    row.code = code;
+    row.on_ns = row.off_ns = 1e300;
+    for (int round = 0; round < 3; ++round) {
+      row.on_ns = std::min(row.on_ns, AccessNs(idx, [&](uint64_t i) {
+        return static_cast<uint64_t>(on.Access(i));
+      }));
+      row.off_ns = std::min(row.off_ns, AccessNs(idx, [&](uint64_t i) {
+        return static_cast<uint64_t>(off.Access(i));
+      }));
+    }
+    row.ratio = row.on_ns / row.off_ns;
+    std::printf("metrics overhead %s: on %.1f ns, off %.1f ns, ratio %.4f\n",
+                row.code.c_str(), row.on_ns, row.off_ns, row.ratio);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+#endif  // NEATS_BENCH_HAS_OBS
+
+/// Fills the schema-8 observability section and enforces the 3% gate.
+ObsSection MeasureObservability() {
+  ObsSection section;
+#if NEATS_BENCH_HAS_OBS
+  std::printf("measuring store metrics ...\n");
+  std::fflush(stdout);
+  section.store_metrics_json = MeasureStoreMetrics();
+  section.overhead = MeasureMetricsOverhead();
+  std::vector<double> ratios;
+  for (const OverheadRow& r : section.overhead) ratios.push_back(r.ratio);
+  std::sort(ratios.begin(), ratios.end());
+  section.median_ratio = ratios.empty() ? 0 : ratios[ratios.size() / 2];
+  constexpr double kGate = 1.03;
+  if (section.median_ratio > kGate) {
+    std::fprintf(stderr,
+                 "FATAL: metrics-on scalar access is %.2f%% slower than "
+                 "metrics-off (budget 3%%) — the instrumentation regressed "
+                 "the hot path\n",
+                 (section.median_ratio - 1.0) * 100.0);
+    std::exit(1);
+  }
+  std::printf("metrics overhead median ratio %.4f (gate %.2f)\n",
+              section.median_ratio, kGate);
+#endif
+  return section;
+}
+
 void WriteJson(const std::vector<Row>& rows, const std::string& scenarios,
-               const char* path) {
+               const ObsSection& obs_section, const char* path) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", path);
     std::exit(1);
   }
-  std::fprintf(f, "{\n  \"bench\": \"neats\",\n  \"schema\": 7,\n");
+  std::fprintf(f, "{\n  \"bench\": \"neats\",\n  \"schema\": 8,\n");
   if (scenarios.empty()) {
     std::fprintf(f, "  \"scenarios\": [],\n");
   } else {
     std::fprintf(f, "  \"scenarios\": [\n%s\n  ],\n", scenarios.c_str());
+  }
+  if (obs_section.store_metrics_json.empty()) {
+    std::fprintf(f, "  \"store_metrics\": {},\n  \"metrics_overhead\": {},\n");
+  } else {
+    std::fprintf(f, "  \"store_metrics\":\n%s,\n",
+                 obs_section.store_metrics_json.c_str());
+    std::fprintf(f, "  \"metrics_overhead\": {\"gate\": 1.03, "
+                    "\"median_ratio\": %.4f, \"datasets\": [",
+                 obs_section.median_ratio);
+    for (size_t i = 0; i < obs_section.overhead.size(); ++i) {
+      const OverheadRow& r = obs_section.overhead[i];
+      std::fprintf(f,
+                   "{\"dataset\": \"%s\", \"metrics_on_ns\": %.1f, "
+                   "\"metrics_off_ns\": %.1f, \"ratio\": %.4f}%s",
+                   r.code.c_str(), r.on_ns, r.off_ns, r.ratio,
+                   i + 1 < obs_section.overhead.size() ? ", " : "");
+    }
+    std::fprintf(f, "]},\n");
   }
   std::fprintf(f, "  \"hardware_threads\": %u,\n",
                std::thread::hardware_concurrency());
@@ -656,7 +859,8 @@ int main(int argc, char** argv) {
     }
   }
   const std::string scenarios = MeasureScenarios();
-  WriteJson(rows, scenarios, out_path);
+  const ObsSection obs_section = MeasureObservability();
+  WriteJson(rows, scenarios, obs_section, out_path);
   std::printf("wrote %s\n", out_path);
   return 0;
 }

@@ -55,6 +55,19 @@ void PrintResult(const ScenarioResult& r) {
   for (const std::string& note : r.notes) {
     std::printf("  note: %s\n", note.c_str());
   }
+  // The store's own view of the same run, when the scenario attached one:
+  // per-op percentiles as the instrumented store measured them, next to
+  // the workload-side numbers above.
+  for (const auto& [op, h] : r.store_metrics.histograms) {
+    if (h.count() == 0) continue;
+    std::printf("  store/%-18s n=%-9llu p50=%-8llu p99=%-8llu p999=%-8llu "
+                "max=%llu ns\n",
+                op.c_str(), static_cast<unsigned long long>(h.count()),
+                static_cast<unsigned long long>(h.p50()),
+                static_cast<unsigned long long>(h.p99()),
+                static_cast<unsigned long long>(h.p999()),
+                static_cast<unsigned long long>(h.max()));
+  }
 }
 
 int Usage(const char* argv0) {

@@ -4,6 +4,7 @@
 //   neats_cli decompress <input.neats> <output.txt>
 //   neats_cli access     <input.neats> <index> [count]
 //   neats_cli info       <input.neats>
+//   neats_cli stats      <store-dir> [probes] [--json]
 //
 // The text format is one decimal value per line; values are scaled to
 // integers by the detected fractional precision (stored in the container).
@@ -22,6 +23,7 @@
 
 #include "common/timer.hpp"
 #include "neats/neats.hpp"
+#include "obs/stats_json.hpp"
 
 namespace {
 
@@ -104,7 +106,8 @@ int Usage() {
                "usage: neats_cli compress   <input.txt> <output.neats>\n"
                "       neats_cli decompress <input.neats> <output.txt>\n"
                "       neats_cli access     <input.neats> <index> [count]\n"
-               "       neats_cli info       <input.neats>\n");
+               "       neats_cli info       <input.neats>\n"
+               "       neats_cli stats      <store-dir> [probes] [--json]\n");
   return 2;
 }
 
@@ -196,6 +199,42 @@ int main(int argc, char** argv) {
                         neats::KindName(static_cast<neats::FunctionKind>(k)))
                         .c_str(),
                     counts[k]);
+      }
+    }
+    return 0;
+  }
+
+  if (cmd == "stats" && (argc == 3 || argc == 4 || argc == 5)) {
+    // Opens a store directory and prints its StatsSnapshot(). The optional
+    // probe count runs seeded point lookups first, so a cold store shows
+    // live access counters and latency percentiles, not a page of zeros.
+    uint64_t probes = 0;
+    bool json = false;
+    for (int a = 3; a < argc; ++a) {
+      if (std::strcmp(argv[a], "--json") == 0) {
+        json = true;
+      } else {
+        probes = std::strtoull(argv[a], nullptr, 10);
+      }
+    }
+    neats::NeatsStoreOptions options;
+    options.latency_sample_every = 1;  // a CLI probe run wants every sample
+    neats::NeatsStore store = MustOpen(neats::OpenStoreDir(argv[2], options));
+    if (store.size() > 0 && probes > 0) {
+      uint64_t state = 0x9e3779b97f4a7c15ull;
+      for (uint64_t p = 0; p < probes; ++p) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        (void)store.Access((state >> 11) % store.size());
+      }
+    }
+    const neats::obs::MetricsSnapshot snap = store.StatsSnapshot();
+    if (json) {
+      std::printf("%s\n", neats::obs::MetricsJson(snap).c_str());
+    } else {
+      std::printf("%s", neats::obs::MetricsText(snap).c_str());
+      if (store.degraded()) {
+        std::printf("recent trace events:\n%s",
+                    neats::obs::TraceText(store.TraceDump()).c_str());
       }
     }
     return 0;

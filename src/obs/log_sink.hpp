@@ -1,0 +1,50 @@
+// The structured log hook: every quarantine, Scrub repair, and WAL-replay
+// warning the store used to keep only in RepairReport strings also flows
+// through one LogSink callback, so embedders can capture recovery events
+// (ship them to their own logger, count them, assert on them in tests)
+// instead of scraping stderr. The default sink prints one line per event
+// to stderr; NeatsStoreOptions::log_sink replaces it.
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "obs/events.hpp"
+
+namespace neats::obs {
+
+/// One structured log event. `shard` is kNoShard when the event is not
+/// about a specific shard.
+struct LogEvent {
+  EventId id = EventId::kOpenWarning;
+  Severity severity = Severity::kWarn;
+  uint64_t shard = kNoShard;
+  std::string message;
+};
+
+using LogSink = std::function<void(const LogEvent&)>;
+
+/// The default sink: one "[neats] <sev> <event> [shard=N]: message" line on
+/// stderr per event.
+inline void StderrLog(const LogEvent& e) {
+  if (e.shard == kNoShard) {
+    std::fprintf(stderr, "[neats] %s %s: %s\n", SeverityName(e.severity),
+                 EventName(e.id), e.message.c_str());
+  } else {
+    std::fprintf(stderr, "[neats] %s %s shard=%llu: %s\n",
+                 SeverityName(e.severity), EventName(e.id),
+                 static_cast<unsigned long long>(e.shard),
+                 e.message.c_str());
+  }
+}
+
+/// A sink that drops everything — for tests and tools that want silence.
+inline LogSink NullLogSink() {
+  return [](const LogEvent&) {};
+}
+
+}  // namespace neats::obs

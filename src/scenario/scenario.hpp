@@ -45,6 +45,8 @@
 
 #include "common/assert.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stats_json.hpp"
 #include "scenario/latency_histogram.hpp"
 
 namespace neats::scenario {
@@ -131,6 +133,12 @@ struct ScenarioResult {
   uint64_t trace_fingerprint = 0;
   std::map<std::string, LatencyHistogram> ops;
   std::vector<std::string> notes;
+
+  /// The store's own StatsSnapshot() taken at scenario end (empty when the
+  /// scenario didn't attach one): store-side op counters and latency
+  /// percentiles next to the workload-side `ops` above, so a report shows
+  /// both views of the same run.
+  obs::MetricsSnapshot store_metrics;
 };
 
 // --- Task group ------------------------------------------------------------
@@ -247,6 +255,14 @@ class ScenarioContext {
     result_.notes.push_back(std::move(note));
   }
 
+  /// Stores the store-side metrics snapshot in the result (typically the
+  /// last thing a scenario does, after its tasks are joined). Last call
+  /// wins.
+  void AttachStoreMetrics(obs::MetricsSnapshot snapshot) {
+    std::lock_guard<std::mutex> lock(mu_);
+    result_.store_metrics = std::move(snapshot);
+  }
+
   /// Finalizes and returns the result (runner-only; tasks must be joined).
   ScenarioResult TakeResult(double wall_seconds) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -360,7 +376,14 @@ inline void WriteScenarioJson(std::ostream& os, const ScenarioResult& r,
     first = false;
     os << "\"" << note << "\"";
   }
-  os << "]}";
+  os << "]";
+  if (!r.store_metrics.counters.empty() ||
+      !r.store_metrics.histograms.empty()) {
+    os << ",\n"
+       << indent << " \"store_metrics\":\n"
+       << obs::MetricsJson(r.store_metrics, std::string(indent) + "  ");
+  }
+  os << "}";
 }
 
 /// A standalone report: a JSON array of scenario objects.

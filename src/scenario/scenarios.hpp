@@ -131,6 +131,21 @@ inline void VerifyWholeStore(ScenarioContext& ctx, const NeatsStore& store,
   ctx.CountVerified(truth.size());
 }
 
+/// The scenario's closing move: pull the store's own StatsSnapshot() into
+/// the result, so every report carries store-side counters and latency
+/// percentiles next to the workload-side histograms, plus a headline note.
+inline void AttachStoreObservability(ScenarioContext& ctx,
+                                     const NeatsStore& store) {
+  obs::MetricsSnapshot snap = store.StatsSnapshot();
+  if (snap.counters.empty()) return;  // store ran with metrics disabled
+  const uint64_t* access = snap.counter("access.ops");
+  const uint64_t* seals = snap.counter("seal.count");
+  ctx.Note("store metrics: access.ops=" +
+           std::to_string(access != nullptr ? *access : 0) +
+           " seal.count=" + std::to_string(seals != nullptr ? *seals : 0));
+  ctx.AttachStoreMetrics(std::move(snap));
+}
+
 // --- 1. steady_ingest_point_storm ------------------------------------------
 
 /// One appender streams a sensor series into a Gorilla store (inline
@@ -161,6 +176,7 @@ inline void SteadyIngestPointStorm(ScenarioContext& ctx) {
   const DecodedBlockCache::Stats cache = store.block_cache_stats();
   ctx.Note("block_cache hits=" + std::to_string(cache.hits) +
            " misses=" + std::to_string(cache.misses));
+  AttachStoreObservability(ctx, store);
 }
 
 // --- 2. dashboard_fanout ----------------------------------------------------
@@ -258,6 +274,7 @@ inline void DashboardFanout(ScenarioContext& ctx) {
   std::vector<int64_t> all(ds.values.begin(),
                            ds.values.begin() + n + trickle);
   VerifyWholeStore(ctx, store, all);
+  AttachStoreObservability(ctx, store);
 }
 
 // --- 3. burst_append_during_seal --------------------------------------------
@@ -340,6 +357,7 @@ inline void BurstAppendDuringSeal(ScenarioContext& ctx) {
            std::to_string(store.num_pending_seals()));
   store.Flush();
   VerifyWholeStore(ctx, store, values);
+  AttachStoreObservability(ctx, store);
 }
 
 // --- 4. reopen_under_load ---------------------------------------------------
@@ -401,6 +419,7 @@ inline void ReopenUnderLoad(ScenarioContext& ctx) {
   }
   group.Wait();
   VerifyWholeStore(ctx, store, ds.values);
+  AttachStoreObservability(ctx, store);
 }
 
 // --- 5. mixed_codec_auto_churn ----------------------------------------------
@@ -486,6 +505,7 @@ inline void MixedCodecAutoChurn(ScenarioContext& ctx) {
   ctx.Note(note);
   ctx.Check(mix.size() >= 2,
             "auto-seal picked a single codec for every shard — " + note);
+  AttachStoreObservability(ctx, store);
 }
 
 // --- 6. corrupt_shard_recovery ----------------------------------------------
@@ -506,6 +526,9 @@ inline void CorruptShardRecovery(ScenarioContext& ctx) {
     options.seal_threads = 1;
     options.codec = CodecId::kGorilla;
     options.fs = fs;
+    // The quarantine below is the scenario's whole point — keep its log
+    // events out of the test output (the counters still record them).
+    options.log_sink = obs::NullLogSink();
     return options;
   };
   auto run = [&](io::FaultFs& fs) {
@@ -633,6 +656,7 @@ inline void CorruptShardRecovery(ScenarioContext& ctx) {
 
   ctx.Check(!store.degraded(), "store still degraded after repair");
   VerifyWholeStore(ctx, store, values);
+  AttachStoreObservability(ctx, store);
 
   // The repair is durable: a fresh open is fully healthy.
   NeatsStore again = NeatsStore::OpenDir("corrupt", base_options(&fs));

@@ -100,6 +100,10 @@
 #include "io/manifest.hpp"
 #include "io/mmap_file.hpp"
 #include "io/text_io.hpp"
+#include "obs/events.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/log_sink.hpp"
+#include "obs/metrics.hpp"
 #include "store/block_cache.hpp"
 #include "store/wal.hpp"
 
@@ -157,7 +161,150 @@ struct NeatsStoreOptions {
   /// holds ~1M decoded values — enough to pin the hot blocks of a
   /// point-lookup storm while staying small next to the mapped blobs.
   uint64_t block_cache_bytes = uint64_t{8} << 20;
+
+  // --- Observability (src/obs/, docs/ARCHITECTURE.md "Observability") ----
+
+  /// Maintain the store's metrics registry and flight recorder: per-op
+  /// latency histograms, op/WAL/seal/quarantine counters, StatsSnapshot()
+  /// and TraceDump(). Recording is per-thread relaxed-atomic — the
+  /// bench_report overhead guard holds the scalar-access cost under 3% —
+  /// but a store that wants the last nanosecond can turn it all off.
+  bool metrics = true;
+
+  /// Scalar Access latency sampling: 1 in `latency_sample_every` accesses
+  /// is timed into the "access" histogram (counters always count every
+  /// op). Batch and cold ops are always timed — their per-call cost is
+  /// amortized. 1 = time every access.
+  uint32_t latency_sample_every = 64;
+
+  /// Flight-recorder ring capacity in events (rounded up to a power of
+  /// two); 0 disables trace recording. Sampled ops, cold ops, and every
+  /// error land in the ring; see NeatsStore::TraceDump().
+  size_t trace_events = 256;
+
+  /// Structured log hook for quarantine / Scrub / WAL-replay events
+  /// (obs::LogSink). Default (empty) prints one line per event to stderr;
+  /// obs::NullLogSink() silences them. Ignored when metrics = false.
+  obs::LogSink log_sink;
 };
+
+namespace store_internal {
+
+/// The store's wiring into the observability layer: one registry with
+/// every metric id resolved at construction (so recording sites index
+/// arrays instead of hashing names), the flight recorder, and the log
+/// sink. Heap-owned by the store so background seal tasks can capture the
+/// stable pointer across store moves.
+struct StoreObs {
+  obs::MetricsRegistry registry;
+  obs::FlightRecorder recorder;
+  obs::LogSink sink;
+  uint32_t sample_every;
+
+  // Counter / gauge / histogram ids, resolved once.
+  obs::CounterId c_access, c_batch_calls, c_batch_probes, c_range_calls,
+      c_range_values, c_sum_calls, c_sum_values, c_approx_calls,
+      c_append_calls, c_append_values, c_bytes_in, c_wal_records,
+      c_wal_fsyncs, c_wal_replayed, c_flush, c_seals, c_seal_bytes,
+      c_scrub_calls, c_scrub_repaired, c_quarantine_in, c_quarantine_out,
+      c_errors;
+  obs::CounterId c_seal_codec[kNumCodecIds];
+  obs::GaugeId g_size, g_shards, g_pending, g_tail, g_quarantined,
+      g_cache_entries, g_cache_bytes;
+  obs::HistogramId h_access, h_batch, h_range, h_sum, h_append, h_flush,
+      h_seal, h_scrub;
+
+  StoreObs(uint32_t sample, size_t trace_events, obs::LogSink log_sink)
+      : recorder(trace_events == 0 ? 2 : trace_events),
+        sink(log_sink ? std::move(log_sink) : obs::LogSink(obs::StderrLog)),
+        sample_every(sample == 0 ? 1 : sample),
+        trace_enabled_(trace_events > 0) {
+    c_access = registry.AddCounter("access.ops");
+    c_batch_calls = registry.AddCounter("access_batch.calls");
+    c_batch_probes = registry.AddCounter("access_batch.probes");
+    c_range_calls = registry.AddCounter("range.calls");
+    c_range_values = registry.AddCounter("range.values");
+    c_sum_calls = registry.AddCounter("range_sum.calls");
+    c_sum_values = registry.AddCounter("range_sum.values");
+    c_approx_calls = registry.AddCounter("approx_sum.calls");
+    c_append_calls = registry.AddCounter("append.calls");
+    c_append_values = registry.AddCounter("append.values");
+    c_bytes_in = registry.AddCounter("bytes.in");
+    c_wal_records = registry.AddCounter("wal.records");
+    c_wal_fsyncs = registry.AddCounter("wal.fsyncs");
+    c_wal_replayed = registry.AddCounter("wal.replayed_records");
+    c_flush = registry.AddCounter("flush.calls");
+    c_seals = registry.AddCounter("seal.count");
+    c_seal_bytes = registry.AddCounter("seal.blob_bytes");
+    c_scrub_calls = registry.AddCounter("scrub.calls");
+    c_scrub_repaired = registry.AddCounter("scrub.repaired");
+    c_quarantine_in = registry.AddCounter("quarantine.entered");
+    c_quarantine_out = registry.AddCounter("quarantine.exited");
+    c_errors = registry.AddCounter("errors");
+    for (uint32_t id = 0; id < kNumCodecIds; ++id) {
+      c_seal_codec[id] = registry.AddCounter(
+          std::string("seal.codec.") + CodecName(static_cast<CodecId>(id)));
+    }
+    g_size = registry.AddGauge("store.values");
+    g_shards = registry.AddGauge("store.shards");
+    g_pending = registry.AddGauge("store.pending_seals");
+    g_tail = registry.AddGauge("store.tail_values");
+    g_quarantined = registry.AddGauge("store.quarantined_shards");
+    g_cache_entries = registry.AddGauge("cache.entries");
+    g_cache_bytes = registry.AddGauge("cache.bytes");
+    h_access = registry.AddHistogram("access");
+    h_batch = registry.AddHistogram("access_batch");
+    h_range = registry.AddHistogram("range");
+    h_sum = registry.AddHistogram("range_sum");
+    h_append = registry.AddHistogram("append");
+    h_flush = registry.AddHistogram("flush");
+    h_seal = registry.AddHistogram("seal");
+    h_scrub = registry.AddHistogram("scrub");
+  }
+
+  bool trace_enabled() const { return trace_enabled_; }
+
+  void Trace(obs::EventId op, obs::TraceTier tier, uint16_t status,
+             uint32_t codec, uint64_t shard, uint64_t arg, uint64_t len,
+             uint64_t dur_ns) {
+    if (trace_enabled_) {
+      recorder.Record(op, tier, status, codec, shard, arg, len, dur_ns);
+    }
+  }
+
+  /// A recovery-class event: counted into the trace ring AND reported
+  /// through the structured log hook.
+  void Log(obs::EventId id, obs::Severity sev, uint64_t shard,
+           std::string msg) {
+    Trace(id, obs::TraceTier::kNone, 0, obs::TraceEvent::kNoCodec, shard,
+          0, 0, 0);
+    sink(obs::LogEvent{id, sev, shard, std::move(msg)});
+  }
+
+  /// A failed op: counted, traced with its status code, never logged (a
+  /// kUnavailable storm must not flood the sink — the quarantine that
+  /// caused it already did, with a trace dump).
+  void Error(obs::EventId op, uint64_t arg, uint16_t status) {
+    registry.Count(c_errors);
+    Trace(op, obs::TraceTier::kNone, status, obs::TraceEvent::kNoCodec,
+          obs::kNoShard, arg, 0, 0);
+  }
+
+  /// Emits the flight recorder's recent events through the log sink — the
+  /// dump-on-quarantine path, so degraded states arrive with their
+  /// last-N-operations context.
+  void DumpTrace(const std::string& why) {
+    sink(obs::LogEvent{obs::EventId::kTraceDump, obs::Severity::kWarn,
+                       obs::kNoShard,
+                       why + "; recent operations:\n" +
+                           obs::TraceText(recorder.Dump())});
+  }
+
+ private:
+  bool trace_enabled_;
+};
+
+}  // namespace store_internal
 
 /// A sharded, append-able, randomly-accessible compressed series store.
 class NeatsStore {
@@ -172,6 +319,10 @@ class NeatsStore {
       uint64_t count = 0;
       CodecId codec = CodecId::kNeats;
       std::string error;     // what the verification failed with
+      /// The structured-log/flight-recorder event id this entry correlates
+      /// with (obs::EventId) — a log sink and a repair report describing
+      /// the same incident agree on it.
+      obs::EventId event = obs::EventId::kQuarantine;
     };
     std::vector<ShardState> quarantined;  // shards currently not serving
     std::vector<size_t> repaired;         // shards Scrub() re-sealed
@@ -188,6 +339,11 @@ class NeatsStore {
     NEATS_REQUIRE(options_.shard_size > 0, "shard_size must be positive");
     if (options_.block_cache_bytes > 0) {
       cache_ = std::make_unique<DecodedBlockCache>(options_.block_cache_bytes);
+    }
+    if (options_.metrics) {
+      obs_ = std::make_unique<store_internal::StoreObs>(
+          options_.latency_sample_every, options_.trace_events,
+          options_.log_sink);
     }
     // Validated here, where the caller can catch — a bad id discovered
     // inside a background seal task would terminate the process instead.
@@ -252,6 +408,15 @@ class NeatsStore {
     const io::MappedRegion manifest_bytes = fs.OpenRead(manifest_path);
     const StoreManifest manifest = StoreManifest::Deserialize(
         manifest_bytes.bytes(), &store.report_.warnings);
+    if (store.obs_ != nullptr) {
+      // Everything collected so far (stale temp file, manifest version
+      // upgrades) goes through the structured log hook; RecoverWal below
+      // reports its own warnings under their specific event ids.
+      for (const std::string& w : store.report_.warnings) {
+        store.obs_->Log(obs::EventId::kOpenWarning, obs::Severity::kWarn,
+                        obs::kNoShard, w);
+      }
+    }
     store.options_.shard_size = manifest.shard_size;
     store.shards_.reserve(manifest.shards.size());
     for (size_t s = 0; s < manifest.shards.size(); ++s) {
@@ -289,6 +454,7 @@ class NeatsStore {
       wal_ = std::move(o.wal_);
       wal_dirty_ = o.wal_dirty_;
       report_ = std::move(o.report_);
+      obs_ = std::move(o.obs_);
       cache_ = std::move(o.cache_);
       pool_ = std::move(o.pool_);
     }
@@ -318,9 +484,33 @@ class NeatsStore {
   /// anything else — when Append returns, the data survives a crash.
   void Append(std::span<const int64_t> values) {
     std::unique_lock<std::shared_mutex> lock(*mu_);
-    PromoteSealed();
-    LogToWal(values);
-    AppendImpl(values);
+    store_internal::StoreObs* ob = obs_.get();
+    if (ob == nullptr) {
+      PromoteSealed();
+      LogToWal(values);
+      AppendImpl(values);
+      return;
+    }
+    const uint64_t at = SizeImpl();
+    try {
+      const uint64_t t0 = obs::NowNs();
+      PromoteSealed();
+      LogToWal(values);
+      AppendImpl(values);
+      const uint64_t dur = obs::NowNs() - t0;
+      // Counted after the body so the counters mean *acked* appends (a
+      // failed WAL write rethrows without mutating the store).
+      ob->registry.Count(ob->c_append_calls);
+      ob->registry.Count(ob->c_append_values, values.size());
+      ob->registry.Count(ob->c_bytes_in, values.size() * sizeof(int64_t));
+      ob->registry.Record(ob->h_append, dur);
+      ob->Trace(obs::EventId::kAppend, obs::TraceTier::kNone, 0,
+                obs::TraceEvent::kNoCodec, obs::kNoShard, at, values.size(),
+                dur);
+    } catch (const Error& e) {
+      ob->Error(obs::EventId::kAppend, at, static_cast<uint16_t>(e.code()));
+      throw;
+    }
   }
 
   /// Seals the remaining tail (as a final, possibly partial shard), drains
@@ -330,16 +520,23 @@ class NeatsStore {
   /// shards, manifest rewritten by the next Flush).
   void Flush() {
     std::unique_lock<std::shared_mutex> lock(*mu_);
-    if (!tail_.empty()) {
-      SealChunk(std::move(tail_));
-      tail_ = {};
+    store_internal::StoreObs* ob = obs_.get();
+    const uint64_t t0 = ob != nullptr ? obs::NowNs() : 0;
+    try {
+      FlushLocked();
+    } catch (const Error& e) {
+      if (ob != nullptr) {
+        ob->Error(obs::EventId::kFlush, SizeImpl(),
+                  static_cast<uint16_t>(e.code()));
+      }
+      throw;
     }
-    pool_->DrainTasks();
-    PromoteSealed();
-    NEATS_DCHECK(pending_.empty());
-    if (!dir_.empty()) {
-      WriteManifest();
-      ResetWal();
+    if (ob != nullptr) {
+      const uint64_t dur = obs::NowNs() - t0;
+      ob->registry.Count(ob->c_flush);
+      ob->registry.Record(ob->h_flush, dur);
+      ob->Trace(obs::EventId::kFlush, obs::TraceTier::kNone, 0,
+                obs::TraceEvent::kNoCodec, obs::kNoShard, SizeImpl(), 0, dur);
     }
   }
 
@@ -367,6 +564,8 @@ class NeatsStore {
   const RepairReport& Scrub() {
     std::unique_lock<std::shared_mutex> lock(*mu_);
     NEATS_REQUIRE(!dir_.empty(), "Scrub requires a directory-backed store");
+    store_internal::StoreObs* ob = obs_.get();
+    const uint64_t t0 = ob != nullptr ? obs::NowNs() : 0;
     for (size_t s = 0; s < shards_.size(); ++s) {
       if (shards_[s].series == nullptr) continue;
       try {
@@ -377,6 +576,14 @@ class NeatsStore {
     }
     RepairFromWal();
     RebuildQuarantineList();
+    if (ob != nullptr) {
+      const uint64_t dur = obs::NowNs() - t0;
+      ob->registry.Count(ob->c_scrub_calls);
+      ob->registry.Record(ob->h_scrub, dur);
+      ob->Trace(obs::EventId::kScrub, obs::TraceTier::kNone, 0,
+                obs::TraceEvent::kNoCodec, obs::kNoShard, shards_.size(),
+                report_.repaired.size(), dur);
+    }
     return report_;
   }
 
@@ -425,6 +632,58 @@ class NeatsStore {
     return cache_ != nullptr ? cache_->stats() : DecodedBlockCache::Stats{};
   }
 
+  /// True when the store maintains its metrics registry and flight
+  /// recorder (NeatsStoreOptions::metrics).
+  bool metrics_enabled() const { return obs_ != nullptr; }
+
+  /// A merged, point-in-time view of every store metric: exact op/WAL/
+  /// seal/quarantine counters, sampled per-op latency histograms, and
+  /// current-topology gauges. The decoded-block cache's own counters are
+  /// folded in as `cache.*` rows and a derived `bytes.out` (8 bytes per
+  /// value served through Access/AccessBatch/ranges/sums) rides along, so
+  /// one snapshot is the whole exposition surface. Empty when metrics are
+  /// disabled. Safe concurrently with queries and writers; totals are
+  /// exact for operations that happened-before the call.
+  obs::MetricsSnapshot StatsSnapshot() const {
+    std::shared_lock<std::shared_mutex> lock(*mu_);
+    if (obs_ == nullptr) return {};
+    store_internal::StoreObs& ob = *obs_;
+    ob.registry.SetGauge(ob.g_size, static_cast<int64_t>(SizeImpl()));
+    ob.registry.SetGauge(ob.g_shards, static_cast<int64_t>(shards_.size()));
+    ob.registry.SetGauge(ob.g_pending,
+                         static_cast<int64_t>(pending_.size()));
+    ob.registry.SetGauge(ob.g_tail, static_cast<int64_t>(tail_.size()));
+    int64_t quarantined = 0;
+    for (const Shard& s : shards_) {
+      if (s.series == nullptr) ++quarantined;
+    }
+    ob.registry.SetGauge(ob.g_quarantined, quarantined);
+    const DecodedBlockCache::Stats cs =
+        cache_ != nullptr ? cache_->stats() : DecodedBlockCache::Stats{};
+    ob.registry.SetGauge(ob.g_cache_entries,
+                         static_cast<int64_t>(cs.entries));
+    ob.registry.SetGauge(ob.g_cache_bytes, static_cast<int64_t>(cs.bytes));
+    obs::MetricsSnapshot snap = ob.registry.Snapshot();
+    snap.counters.emplace_back("cache.hits", cs.hits);
+    snap.counters.emplace_back("cache.misses", cs.misses);
+    snap.counters.emplace_back("cache.evictions", cs.evictions);
+    const uint64_t served = *snap.counter("access.ops") +
+                            *snap.counter("access_batch.probes") +
+                            *snap.counter("range.values") +
+                            *snap.counter("range_sum.values");
+    snap.counters.emplace_back("bytes.out", served * sizeof(int64_t));
+    return snap;
+  }
+
+  /// The flight recorder's surviving trace events, oldest-first; empty
+  /// when metrics or tracing (NeatsStoreOptions::trace_events = 0) are
+  /// off. The store dumps the same ring through the log sink whenever a
+  /// shard is quarantined at runtime.
+  std::vector<obs::TraceEvent> TraceDump() const {
+    return obs_ != nullptr ? obs_->recorder.Dump()
+                           : std::vector<obs::TraceEvent>{};
+  }
+
   /// Compressed size of the sealed shards plus 64 bits per not-yet-sealed
   /// value (pending chunks and the hot tail are raw; a quarantined shard
   /// counts as raw too — its compressed form is not trustworthy).
@@ -447,18 +706,29 @@ class NeatsStore {
   int64_t Access(uint64_t i) const {
     std::shared_lock<std::shared_mutex> lock(*mu_);
     NEATS_DCHECK(i < SizeImpl());
-    if (i < sealed_total_) {
-      const Shard& s = HealthyShardOf(i);
-      const uint64_t local = i - s.first;
-      if (cache_ != nullptr) {
-        const uint64_t bv = s.series->BlockValues();
-        if (bv > 0) {
-          return (*CachedBlock(s, local / bv))[local % bv];
-        }
+    store_internal::StoreObs* ob = obs_.get();
+    if (ob == nullptr) return AccessLocked(i, nullptr);
+    try {
+      // The counter is exact; the clock pair is sampled (1 in sample_every
+      // per thread) so timing costs a fraction of a nanosecond amortized.
+      // One combined slab lookup — the bench report's metrics_overhead
+      // gate holds this whole branch to <3% of the access itself.
+      if (!ob->registry.CountAndTick(ob->c_access, ob->h_access,
+                                     ob->sample_every)) {
+        return AccessLocked(i, nullptr);
       }
-      return s.series->Access(local);
+      obs::TraceEvent ev;
+      const uint64_t t0 = obs::NowNs();
+      const int64_t v = AccessLocked(i, &ev);
+      const uint64_t dur = obs::NowNs() - t0;
+      ob->registry.Record(ob->h_access, dur);
+      ob->Trace(obs::EventId::kAccess, ev.tier, 0, ev.codec, ev.shard, i, 1,
+                dur);
+      return v;
+    } catch (const Error& e) {
+      ob->Error(obs::EventId::kAccess, i, static_cast<uint16_t>(e.code()));
+      throw;
     }
-    return AccessUnsealed(i);
   }
 
   /// Batched point queries, any probe order, duplicates allowed. Probes are
@@ -471,6 +741,33 @@ class NeatsStore {
     NEATS_DCHECK(idx.size() == out.size());
     if (idx.empty()) return;
     std::shared_lock<std::shared_mutex> lock(*mu_);
+    store_internal::StoreObs* ob = obs_.get();
+    if (ob == nullptr) {
+      AccessBatchLocked(idx, out);
+      return;
+    }
+    ob->registry.Count(ob->c_batch_calls);
+    ob->registry.Count(ob->c_batch_probes, idx.size());
+    try {
+      const uint64_t t0 = obs::NowNs();
+      AccessBatchLocked(idx, out);
+      const uint64_t dur = obs::NowNs() - t0;
+      ob->registry.Record(ob->h_batch, dur);
+      ob->Trace(obs::EventId::kAccessBatch, obs::TraceTier::kNone, 0,
+                obs::TraceEvent::kNoCodec, obs::kNoShard, idx[0], idx.size(),
+                dur);
+    } catch (const Error& e) {
+      ob->Error(obs::EventId::kAccessBatch, idx[0],
+                static_cast<uint16_t>(e.code()));
+      throw;
+    }
+  }
+
+ private:
+  /// AccessBatch body under the reader lock (the public wrapper only adds
+  /// metrics around it).
+  void AccessBatchLocked(std::span<const uint64_t> idx,
+                         std::span<int64_t> out) const {
     std::vector<size_t> order(idx.size());
     for (size_t j = 0; j < order.size(); ++j) order[j] = j;
     std::sort(order.begin(), order.end(),
@@ -522,11 +819,29 @@ class NeatsStore {
     }
   }
 
+ public:
   /// Decompresses values[from, from + len) into out, stitching across shard
   /// boundaries (per-shard scans; raw memcpy past the sealed prefix).
   void DecompressRange(uint64_t from, uint64_t len, int64_t* out) const {
     std::shared_lock<std::shared_mutex> lock(*mu_);
-    DecompressRangeImpl(from, len, out);
+    store_internal::StoreObs* ob = obs_.get();
+    if (ob == nullptr) {
+      DecompressRangeImpl(from, len, out);
+      return;
+    }
+    ob->registry.Count(ob->c_range_calls);
+    ob->registry.Count(ob->c_range_values, len);
+    try {
+      const uint64_t t0 = obs::NowNs();
+      DecompressRangeImpl(from, len, out);
+      const uint64_t dur = obs::NowNs() - t0;
+      ob->registry.Record(ob->h_range, dur);
+      ob->Trace(obs::EventId::kRange, obs::TraceTier::kNone, 0,
+                obs::TraceEvent::kNoCodec, obs::kNoShard, from, len, dur);
+    } catch (const Error& e) {
+      ob->Error(obs::EventId::kRange, from, static_cast<uint16_t>(e.code()));
+      throw;
+    }
   }
 
   /// Multi-range decompression: every range's values, concatenated into
@@ -539,6 +854,34 @@ class NeatsStore {
   void DecompressRanges(std::span<const IndexRange> ranges,
                         int64_t* out) const {
     std::shared_lock<std::shared_mutex> lock(*mu_);
+    store_internal::StoreObs* ob = obs_.get();
+    if (ob == nullptr) {
+      DecompressRangesLocked(ranges, out);
+      return;
+    }
+    uint64_t values = 0;
+    for (const IndexRange& r : ranges) values += r.len;
+    ob->registry.Count(ob->c_range_calls);
+    ob->registry.Count(ob->c_range_values, values);
+    try {
+      const uint64_t t0 = obs::NowNs();
+      DecompressRangesLocked(ranges, out);
+      const uint64_t dur = obs::NowNs() - t0;
+      ob->registry.Record(ob->h_range, dur);
+      ob->Trace(obs::EventId::kRange, obs::TraceTier::kNone, 0,
+                obs::TraceEvent::kNoCodec, obs::kNoShard,
+                ranges.empty() ? 0 : ranges[0].from, values, dur);
+    } catch (const Error& e) {
+      ob->Error(obs::EventId::kRange, ranges.empty() ? 0 : ranges[0].from,
+                static_cast<uint16_t>(e.code()));
+      throw;
+    }
+  }
+
+ private:
+  /// DecompressRanges body under the reader lock.
+  void DecompressRangesLocked(std::span<const IndexRange> ranges,
+                              int64_t* out) const {
     std::vector<IndexRange> group;  // shard-local coordinates
     std::vector<const Shard*> advised;  // one WILLNEED per shard per call
     const Shard* cur = nullptr;
@@ -584,9 +927,32 @@ class NeatsStore {
     flush();
   }
 
+ public:
   /// Exact sum over values[from, from + len), combined across shards.
   int64_t RangeSum(uint64_t from, uint64_t len) const {
     std::shared_lock<std::shared_mutex> lock(*mu_);
+    store_internal::StoreObs* ob = obs_.get();
+    if (ob == nullptr) return RangeSumLocked(from, len);
+    ob->registry.Count(ob->c_sum_calls);
+    ob->registry.Count(ob->c_sum_values, len);
+    try {
+      const uint64_t t0 = obs::NowNs();
+      const int64_t sum = RangeSumLocked(from, len);
+      const uint64_t dur = obs::NowNs() - t0;
+      ob->registry.Record(ob->h_sum, dur);
+      ob->Trace(obs::EventId::kRangeSum, obs::TraceTier::kNone, 0,
+                obs::TraceEvent::kNoCodec, obs::kNoShard, from, len, dur);
+      return sum;
+    } catch (const Error& e) {
+      ob->Error(obs::EventId::kRangeSum, from,
+                static_cast<uint16_t>(e.code()));
+      throw;
+    }
+  }
+
+ private:
+  /// RangeSum body under the reader lock.
+  int64_t RangeSumLocked(uint64_t from, uint64_t len) const {
     NEATS_DCHECK(from + len <= SizeImpl());
     int64_t sum = 0;
     while (len > 0) {
@@ -604,6 +970,7 @@ class NeatsStore {
     return sum;
   }
 
+ public:
   /// Approximate sum over values[from, from + len): Neats shards answer
   /// from the learned functions alone (with the error bounds added up),
   /// shards of codecs without an estimator — and not-yet-sealed values —
@@ -611,6 +978,28 @@ class NeatsStore {
   Neats::ApproximateAggregate ApproximateRangeSum(uint64_t from,
                                                   uint64_t len) const {
     std::shared_lock<std::shared_mutex> lock(*mu_);
+    store_internal::StoreObs* ob = obs_.get();
+    if (ob == nullptr) return ApproximateRangeSumLocked(from, len);
+    ob->registry.Count(ob->c_approx_calls);
+    try {
+      const uint64_t t0 = obs::NowNs();
+      const Neats::ApproximateAggregate agg =
+          ApproximateRangeSumLocked(from, len);
+      ob->Trace(obs::EventId::kApproxRangeSum, obs::TraceTier::kNone, 0,
+                obs::TraceEvent::kNoCodec, obs::kNoShard, from, len,
+                obs::NowNs() - t0);
+      return agg;
+    } catch (const Error& e) {
+      ob->Error(obs::EventId::kApproxRangeSum, from,
+                static_cast<uint16_t>(e.code()));
+      throw;
+    }
+  }
+
+ private:
+  /// ApproximateRangeSum body under the reader lock.
+  Neats::ApproximateAggregate ApproximateRangeSumLocked(uint64_t from,
+                                                        uint64_t len) const {
     NEATS_DCHECK(from + len <= SizeImpl());
     Neats::ApproximateAggregate agg{0.0, 0.0};
     while (len > 0) {
@@ -658,6 +1047,44 @@ class NeatsStore {
       len -= took;
       out += took;
     }
+  }
+
+  /// Access body under the reader lock. `ev` is null on the untimed fast
+  /// path (identical routing to the pre-metrics store); a sampled, traced
+  /// access passes an event to receive the routing outcome — which tier
+  /// answered, which shard, which codec.
+  int64_t AccessLocked(uint64_t i, obs::TraceEvent* ev) const {
+    if (i < sealed_total_) {
+      const Shard& s = HealthyShardOf(i);
+      const uint64_t local = i - s.first;
+      if (ev != nullptr) {
+        ev->tier = obs::TraceTier::kSealed;
+        ev->shard = static_cast<uint64_t>(&s - shards_.data());
+        ev->codec = static_cast<uint32_t>(s.codec);
+      }
+      if (cache_ != nullptr) {
+        const uint64_t bv = s.series->BlockValues();
+        if (bv > 0) {
+          if (ev == nullptr) {
+            return (*CachedBlock(s, local / bv))[local % bv];
+          }
+          // One cache consult either way — the hit flag rides along so the
+          // trace can say which tier answered without a second probe
+          // (block_cache_stats() stays exactly hits+misses == probes).
+          bool hit = false;
+          const auto values = CachedBlock(s, local / bv, &hit);
+          ev->tier = hit ? obs::TraceTier::kCacheHit
+                         : obs::TraceTier::kCacheMiss;
+          return (*values)[local % bv];
+        }
+      }
+      return s.series->Access(local);
+    }
+    if (ev != nullptr) {
+      ev->tier = i < sealed_total_ + pending_total_ ? obs::TraceTier::kPending
+                                                    : obs::TraceTier::kTail;
+    }
+    return AccessUnsealed(i);
   }
 
   /// One sealed shard: its slice of the global index space and the
@@ -730,12 +1157,16 @@ class NeatsStore {
   /// from the cache when present, decoding (outside the cache lock) and
   /// inserting on a miss. Only called when cache_ is non-null and the
   /// shard's codec is block-structured (BlockValues() > 0).
-  DecodedBlockCache::BlockPtr CachedBlock(const Shard& s,
-                                          uint64_t block) const {
+  DecodedBlockCache::BlockPtr CachedBlock(const Shard& s, uint64_t block,
+                                          bool* was_hit = nullptr) const {
     const uint64_t shard_index =
         static_cast<uint64_t>(&s - shards_.data());
     const uint32_t codec = static_cast<uint32_t>(s.codec);
-    if (auto hit = cache_->Lookup(shard_index, codec, block)) return hit;
+    if (auto hit = cache_->Lookup(shard_index, codec, block)) {
+      if (was_hit != nullptr) *was_hit = true;
+      return hit;
+    }
+    if (was_hit != nullptr) *was_hit = false;
     auto values =
         std::make_shared<std::vector<int64_t>>(s.series->BlockValues());
     const uint64_t count = s.series->DecodeBlock(block, values->data());
@@ -829,7 +1260,11 @@ class NeatsStore {
     pending_total_ += chunk->values.size();
     PendingChunk* raw = chunk.get();
     pending_.push_back(std::move(chunk));
-    pool_->Submit([raw, opts = options_, dir = dir_, fs = fs_] {
+    pool_->Submit([raw, opts = options_, dir = dir_, fs = fs_,
+                   ob = obs_.get()] {
+      // `ob` outlives the task: obs_ is destroyed after pool_ drains (and
+      // a store move transfers the unique_ptr, keeping the address).
+      const uint64_t t0 = ob != nullptr ? obs::NowNs() : 0;
       try {
         SealResult sealed = SealValues(raw->values, opts);
         raw->codec = sealed.codec;
@@ -844,12 +1279,31 @@ class NeatsStore {
               *fs, dir + "/" + StoreManifest::ShardFileName(raw->ordinal),
               {sealed.blob.data(), sealed.blob.size()});
         }
+        if (ob != nullptr) {
+          const uint64_t dur = obs::NowNs() - t0;
+          ob->registry.Count(ob->c_seals);
+          ob->registry.Count(
+              ob->c_seal_codec[static_cast<uint32_t>(raw->codec)]);
+          ob->registry.Count(ob->c_seal_bytes, raw->blob_bytes);
+          ob->registry.Record(ob->h_seal, dur);
+          ob->Trace(obs::EventId::kSeal, obs::TraceTier::kNone, 0,
+                    static_cast<uint32_t>(raw->codec), raw->ordinal,
+                    raw->first, raw->values.size(), dur);
+        }
       } catch (const Error& e) {
         raw->error = e.what();  // rethrown at promotion, caller thread
         raw->error_code = e.code();
+        if (ob != nullptr) {
+          ob->Error(obs::EventId::kSeal, raw->first,
+                    static_cast<uint16_t>(e.code()));
+        }
       } catch (const std::exception& e) {
         raw->error = e.what();
         raw->error_code = StatusCode::kFailed;
+        if (ob != nullptr) {
+          ob->Error(obs::EventId::kSeal, raw->first,
+                    static_cast<uint16_t>(StatusCode::kFailed));
+        }
       }
       raw->done.store(true, std::memory_order_release);
     });
@@ -893,6 +1347,22 @@ class NeatsStore {
       pending_total_ -= s.count;
       shards_.push_back(std::move(s));
       pending_.pop_front();
+    }
+  }
+
+  /// Flush body under the writer lock (the public wrapper only adds
+  /// metrics around it).
+  void FlushLocked() {
+    if (!tail_.empty()) {
+      SealChunk(std::move(tail_));
+      tail_ = {};
+    }
+    pool_->DrainTasks();
+    PromoteSealed();
+    NEATS_DCHECK(pending_.empty());
+    if (!dir_.empty()) {
+      WriteManifest();
+      ResetWal();
     }
   }
 
@@ -991,6 +1461,10 @@ class NeatsStore {
       wal_dirty_ = true;
       throw;
     }
+    if (obs_ != nullptr) {
+      obs_->registry.Count(obs_->c_wal_records);
+      obs_->registry.Count(obs_->c_wal_fsyncs);
+    }
   }
 
   /// Opens (or creates, with a header) the WAL append handle.
@@ -1049,6 +1523,10 @@ class NeatsStore {
     WalReplayResult replay = ReplayWal(map.bytes());
     if (!replay.warning.empty()) {
       report_.warnings.push_back(replay.warning);
+      if (obs_ != nullptr) {
+        obs_->Log(obs::EventId::kWalTorn, obs::Severity::kWarn,
+                  obs::kNoShard, replay.warning);
+      }
     }
     bool rewrite = replay.torn;
     size_t usable = replay.records.size();
@@ -1058,17 +1536,22 @@ class NeatsStore {
       if (rec_end <= SizeImpl()) continue;  // already manifested (stale)
       if (rec.first > SizeImpl()) {
         // A hole: everything past it cannot be anchored to the store.
-        report_.warnings.push_back(
-            "write-ahead log has a gap at index " +
-            std::to_string(SizeImpl()) +
-            "; discarding " + std::to_string(replay.records.size() - i) +
-            " unanchored record(s)");
+        std::string gap = "write-ahead log has a gap at index " +
+                          std::to_string(SizeImpl()) + "; discarding " +
+                          std::to_string(replay.records.size() - i) +
+                          " unanchored record(s)";
+        if (obs_ != nullptr) {
+          obs_->Log(obs::EventId::kWalGap, obs::Severity::kWarn,
+                    obs::kNoShard, gap);
+        }
+        report_.warnings.push_back(std::move(gap));
         rewrite = true;
         usable = i;
         break;
       }
       const size_t skip = static_cast<size_t>(SizeImpl() - rec.first);
       AppendImpl({rec.values.data() + skip, rec.values.size() - skip});
+      if (obs_ != nullptr) obs_->registry.Count(obs_->c_wal_replayed);
     }
     if (rewrite) {
       // Keep every intact record — including stale ones covering
@@ -1136,6 +1619,11 @@ class NeatsStore {
       shard.quarantine = std::string(e.what()) + " (" + path + ")";
       report_.quarantined.push_back(
           {index, row.first, row.count, row.codec, shard.quarantine});
+      if (obs_ != nullptr) {
+        obs_->registry.Count(obs_->c_quarantine_in);
+        obs_->Log(obs::EventId::kQuarantine, obs::Severity::kError, index,
+                  "shard quarantined at open: " + shard.quarantine);
+      }
     }
     return shard;
   }
@@ -1165,6 +1653,14 @@ class NeatsStore {
     s.series = nullptr;
     s.map = io::MappedRegion();
     s.quarantine = why;
+    if (obs_ != nullptr) {
+      obs_->registry.Count(obs_->c_quarantine_in);
+      obs_->Log(obs::EventId::kQuarantine, obs::Severity::kError, index,
+                "shard quarantined: " + why);
+      // A runtime quarantine is the flight recorder's moment: ship the
+      // last-N-operations context out with the incident.
+      obs_->DumpTrace("shard " + std::to_string(index) + " quarantined");
+    }
   }
 
   /// Scrub step 2: re-seal every quarantined shard whose value range is
@@ -1223,6 +1719,13 @@ class NeatsStore {
       s.quarantine.clear();
       report_.repaired.push_back(index);
       repaired_any = true;
+      if (obs_ != nullptr) {
+        obs_->registry.Count(obs_->c_scrub_repaired);
+        obs_->registry.Count(obs_->c_quarantine_out);
+        obs_->Log(obs::EventId::kScrubRepair, obs::Severity::kInfo, index,
+                  "shard re-sealed from WAL records and returned to "
+                  "service");
+      }
     }
     // The repaired blobs may differ byte-for-byte from the originals (a
     // re-compression), so the manifest rows must be republished.
@@ -1255,6 +1758,12 @@ class NeatsStore {
   std::unique_ptr<io::WritableFile> wal_;  // open WAL append handle
   bool wal_dirty_ = false;  // a WAL append failed; rebuild before reuse
   RepairReport report_;     // what OpenDir/Scrub found and did
+
+  // The observability wiring (metrics registry, flight recorder, log
+  // sink); null when options_.metrics is false. Heap-owned so background
+  // seal tasks capture a pointer that stays valid across store moves; it
+  // is destroyed after pool_ (declared later) drains.
+  std::unique_ptr<store_internal::StoreObs> obs_;
 
   // Decoded-block LRU over the block-structured codecs' shards; null when
   // options_.block_cache_bytes is 0. The cache itself is mutex-guarded, so
