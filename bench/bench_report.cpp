@@ -26,7 +26,8 @@
 //
 // Environment: NEATS_BENCH_N caps dataset sizes (default 120000, 0 = full);
 // NEATS_BENCH_SCENARIO_SCALE scales the scenario workloads (default 1,
-// 0 skips the section).
+// 0 skips the section); NEATS_BENCH_SERVER points at a neats_loadgen --out
+// report to embed as the schema-9 "server" block (absent → {}).
 
 #include <algorithm>
 #include <chrono>
@@ -727,6 +728,35 @@ ObsSection MeasureObservability() {
   return section;
 }
 
+/// The schema-9 "server" block: the loadgen's --out JSON (RPS and latency
+/// percentiles per opcode against a running neats_server, plus coalesce /
+/// shed counters), embedded verbatim. The loadgen runs out of process —
+/// point NEATS_BENCH_SERVER at its report to fold it in; absent, the block
+/// is {} so the schema stays stable whether or not a server run happened.
+std::string LoadServerBlock() {
+  const char* path = std::getenv("NEATS_BENCH_SERVER");
+  if (path == nullptr || *path == '\0') return "{}";
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) {
+    std::fprintf(stderr, "NEATS_BENCH_SERVER: cannot open %s\n", path);
+    return "{}";
+  }
+  std::string doc;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) doc.append(buf, n);
+  std::fclose(f);
+  while (!doc.empty() && (doc.back() == '\n' || doc.back() == ' ')) {
+    doc.pop_back();
+  }
+  if (doc.empty() || doc.front() != '{' || doc.back() != '}') {
+    std::fprintf(stderr, "NEATS_BENCH_SERVER: %s is not a JSON object\n",
+                 path);
+    return "{}";
+  }
+  return doc;
+}
+
 void WriteJson(const std::vector<Row>& rows, const std::string& scenarios,
                const ObsSection& obs_section, const char* path) {
   std::FILE* f = std::fopen(path, "w");
@@ -734,7 +764,8 @@ void WriteJson(const std::vector<Row>& rows, const std::string& scenarios,
     std::fprintf(stderr, "cannot open %s\n", path);
     std::exit(1);
   }
-  std::fprintf(f, "{\n  \"bench\": \"neats\",\n  \"schema\": 8,\n");
+  std::fprintf(f, "{\n  \"bench\": \"neats\",\n  \"schema\": 9,\n");
+  std::fprintf(f, "  \"server\": %s,\n", LoadServerBlock().c_str());
   if (scenarios.empty()) {
     std::fprintf(f, "  \"scenarios\": [],\n");
   } else {

@@ -1,0 +1,1382 @@
+// The networked serving front-end: NeatsServer exposes one NeatsStore's
+// read surface over TCP (ROADMAP item 1 — the step that turns "millions of
+// users" into a measurable RPS number).
+//
+// Shape (docs/ARCHITECTURE.md, "Network layer"):
+//
+//   accept ─▶ [ IO thread: epoll/poll event loop ]
+//                │  nonblocking reads ─▶ frame/line parser ─▶ per-conn
+//                │  request queue (admission gate sheds kOverloaded here)
+//                │
+//                │  dispatch: one work item per connection at a time —
+//                │  a run of consecutive Access requests coalesces into
+//                │  ONE store AccessBatch call (the wire layer inherits
+//                │  the B>=64 batch-kernel win), anything else runs alone
+//                ▼
+//             [ worker ThreadPool (common/thread_pool.hpp, Submit) ]
+//                │  executes against the store under its shared reader
+//                │  lock — many connections read concurrently with a
+//                │  live Append()er — then hands the response bytes back
+//                ▼
+//             [ IO thread: write buffers, backpressure, timeouts ]
+//
+// Threading contract: the IO thread owns every socket, buffer, and queue;
+// workers only ever touch a connection's mutex-guarded handoff buffer and
+// never a file descriptor. Completions travel through a wake pipe, so the
+// loop is never polled blind. One work item per connection keeps responses
+// in request order (sheds are the documented exception — they answer
+// immediately, which is the point; match by frame id).
+//
+// Robustness is part of the subsystem: bounded input/output buffers,
+// max-inflight admission shedding typed kOverloaded responses instead of
+// queueing unboundedly, idle-connection timeouts, graceful drain (stop
+// accepting, finish queued work, flush, close), and malformed-frame
+// hardening — oversized length words, bad CRCs, truncations, hostile JSON
+// all produce a typed error or a clean close, never a crash
+// (tests/net_test.cpp sweeps every truncation point and clobbers every
+// header byte).
+//
+// Dialects: binary frames (src/net/protocol.hpp), line-delimited JSON on
+// the same port (first byte '{'), and a minimal HTTP GET responder so
+// `curl http://host:port/stats` returns the stats document — the
+// observability layer's StatsSnapshot()/MetricsJson wired to a route.
+
+#pragma once
+
+#include <poll.h>
+#include <unistd.h>
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/thread_pool.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stats_json.hpp"
+#include "store/neats_store.hpp"
+
+namespace neats::net {
+
+/// Tuning knobs of a NeatsServer.
+struct NeatsServerOptions {
+  /// IPv4 address to bind. Loopback by default — fronting a store on a
+  /// public interface is a proxy's job.
+  std::string host = "127.0.0.1";
+
+  /// TCP port; 0 asks the kernel for an ephemeral port (read it back with
+  /// port() after Start()).
+  uint16_t port = 0;
+
+  /// Request-executing worker threads (the IO loop is one more thread on
+  /// top). 0 runs every request inline on the IO thread — single-threaded
+  /// mode, still correct, useful for deterministic tests.
+  int worker_threads = 3;
+
+  /// listen(2) backlog.
+  int backlog = 128;
+
+  /// Open-connection cap; connections beyond it are accepted and
+  /// immediately closed (counted as conn.rejected).
+  size_t max_connections = 1024;
+
+  /// Frame payload cap, both directions: a request announcing more is
+  /// rejected and the connection closed; a query whose response would
+  /// exceed it gets kBadRequest. Also caps a JSON line.
+  size_t max_frame_bytes = size_t{16} << 20;
+
+  /// Admission gate: total requests queued + executing across every
+  /// connection. At the cap, new requests are shed with a typed
+  /// kOverloaded response instead of queueing unboundedly.
+  size_t max_inflight = 1024;
+
+  /// Per-connection queued-request cap (a single pipelining client cannot
+  /// monopolize the admission budget); over it, requests shed kOverloaded.
+  size_t max_queued_per_conn = 512;
+
+  /// Access-coalescing window in microseconds: when a connection's queue
+  /// holds only Access requests and fewer than coalesce_max_batch of them,
+  /// dispatch waits up to this long for more probes to arrive so they ride
+  /// one AccessBatch call. 0 = dispatch as soon as a worker is free
+  /// (pipelined probes still coalesce naturally — everything that arrived
+  /// while the previous item executed forms the next batch).
+  uint32_t coalesce_window_us = 0;
+
+  /// Largest coalesced Access run fed to one store AccessBatch call.
+  uint32_t coalesce_max_batch = 512;
+
+  /// Connections idle (no requests in flight, nothing buffered) longer
+  /// than this are closed. 0 = never.
+  uint32_t idle_timeout_ms = 60000;
+
+  /// Graceful-drain budget: after RequestStop(), queued work gets this
+  /// long to finish and flush before remaining connections are closed.
+  uint32_t drain_timeout_ms = 5000;
+
+  /// Force the poll(2) backend (the epoll backend is default on Linux).
+  /// The fallback is always compiled; this knob exists so tests cover it.
+  bool use_poll = false;
+};
+
+namespace server_internal {
+
+/// Readiness poller with two backends behind one interface: epoll on
+/// Linux, poll(2) everywhere (and on Linux when forced, so the fallback
+/// stays tested). Level-triggered in both.
+class Poller {
+ public:
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    bool hangup = false;
+  };
+
+  explicit Poller(bool use_poll) : use_poll_(use_poll) {
+#ifdef __linux__
+    if (!use_poll_) {
+      ep_ = ::epoll_create1(0);
+      if (ep_ < 0) ThrowErrno("epoll_create1");
+    }
+#else
+    use_poll_ = true;
+#endif
+  }
+
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  ~Poller() {
+    if (ep_ >= 0) ::close(ep_);
+  }
+
+  void Add(int fd, bool want_read, bool want_write) {
+#ifdef __linux__
+    if (!use_poll_) {
+      epoll_event ev = MakeEpoll(fd, want_read, want_write);
+      if (::epoll_ctl(ep_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+        ThrowErrno("epoll_ctl(ADD)");
+      }
+      return;
+    }
+#endif
+    pfds_.push_back({fd, Events(want_read, want_write), 0});
+  }
+
+  void Update(int fd, bool want_read, bool want_write) {
+#ifdef __linux__
+    if (!use_poll_) {
+      epoll_event ev = MakeEpoll(fd, want_read, want_write);
+      if (::epoll_ctl(ep_, EPOLL_CTL_MOD, fd, &ev) < 0) {
+        ThrowErrno("epoll_ctl(MOD)");
+      }
+      return;
+    }
+#endif
+    for (pollfd& p : pfds_) {
+      if (p.fd == fd) {
+        p.events = Events(want_read, want_write);
+        return;
+      }
+    }
+  }
+
+  void Remove(int fd) {
+#ifdef __linux__
+    if (!use_poll_) {
+      ::epoll_ctl(ep_, EPOLL_CTL_DEL, fd, nullptr);
+      return;
+    }
+#endif
+    for (size_t i = 0; i < pfds_.size(); ++i) {
+      if (pfds_[i].fd == fd) {
+        pfds_[i] = pfds_.back();
+        pfds_.pop_back();
+        return;
+      }
+    }
+  }
+
+  /// Waits up to timeout_ms (-1 = forever) and appends ready fds to *out.
+  void Wait(std::vector<Event>* out, int timeout_ms) {
+    out->clear();
+#ifdef __linux__
+    if (!use_poll_) {
+      epoll_event evs[64];
+      const int n = ::epoll_wait(ep_, evs, 64, timeout_ms);
+      if (n < 0) {
+        if (errno == EINTR) return;
+        ThrowErrno("epoll_wait");
+      }
+      for (int i = 0; i < n; ++i) {
+        Event e;
+        e.fd = evs[i].data.fd;
+        e.readable = (evs[i].events & EPOLLIN) != 0;
+        e.writable = (evs[i].events & EPOLLOUT) != 0;
+        e.hangup = (evs[i].events & (EPOLLHUP | EPOLLERR)) != 0;
+        out->push_back(e);
+      }
+      return;
+    }
+#endif
+    const int n = ::poll(pfds_.data(), pfds_.size(), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return;
+      ThrowErrno("poll");
+    }
+    for (const pollfd& p : pfds_) {
+      if (p.revents == 0) continue;
+      Event e;
+      e.fd = p.fd;
+      e.readable = (p.revents & POLLIN) != 0;
+      e.writable = (p.revents & POLLOUT) != 0;
+      e.hangup = (p.revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
+      out->push_back(e);
+    }
+  }
+
+ private:
+  static short Events(bool r, bool w) {
+    return static_cast<short>((r ? POLLIN : 0) | (w ? POLLOUT : 0));
+  }
+#ifdef __linux__
+  static epoll_event MakeEpoll(int fd, bool r, bool w) {
+    epoll_event ev{};
+    ev.events = (r ? EPOLLIN : 0u) | (w ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    return ev;
+  }
+#endif
+
+  bool use_poll_;
+  int ep_ = -1;
+  std::vector<pollfd> pfds_;
+};
+
+/// The server's wiring into the observability layer — its own registry
+/// (connections, per-opcode requests, sheds, bytes, coalescing), separate
+/// from the store's so the stats document reports both sides.
+struct ServerObs {
+  obs::MetricsRegistry registry;
+  obs::CounterId c_accepted, c_closed, c_rejected, c_idle_closed,
+      c_requests, c_errors, c_shed, c_bytes_in, c_bytes_out, c_bad_frames,
+      c_json_requests, c_http_requests, c_coalesced_batches,
+      c_coalesced_probes;
+  obs::CounterId c_op[kMaxOpcode + 1];
+  obs::GaugeId g_connections, g_inflight;
+  obs::HistogramId h_op[kMaxOpcode + 1];
+  obs::HistogramId h_batch;
+
+  ServerObs() {
+    c_accepted = registry.AddCounter("conn.accepted");
+    c_closed = registry.AddCounter("conn.closed");
+    c_rejected = registry.AddCounter("conn.rejected");
+    c_idle_closed = registry.AddCounter("conn.idle_closed");
+    c_requests = registry.AddCounter("req.total");
+    c_errors = registry.AddCounter("resp.errors");
+    c_shed = registry.AddCounter("req.shed");
+    c_bytes_in = registry.AddCounter("bytes.in");
+    c_bytes_out = registry.AddCounter("bytes.out");
+    c_bad_frames = registry.AddCounter("frames.malformed");
+    c_json_requests = registry.AddCounter("req.json");
+    c_http_requests = registry.AddCounter("req.http");
+    c_coalesced_batches = registry.AddCounter("coalesce.batches");
+    c_coalesced_probes = registry.AddCounter("coalesce.probes");
+    for (uint8_t op = 1; op <= kMaxOpcode; ++op) {
+      c_op[op] = registry.AddCounter(
+          std::string("req.") + OpcodeName(static_cast<Opcode>(op)));
+      h_op[op] = registry.AddHistogram(
+          std::string("op.") + OpcodeName(static_cast<Opcode>(op)));
+    }
+    h_batch = registry.AddHistogram("coalesce.batch");
+    g_connections = registry.AddGauge("conn.open");
+    g_inflight = registry.AddGauge("req.inflight");
+  }
+};
+
+/// One parsed request, normalized across the binary and JSON dialects.
+struct Request {
+  Opcode op = Opcode::kPing;
+  uint64_t id = 0;
+  uint64_t a = 0;                  // index / from
+  uint64_t b = 0;                  // len
+  std::vector<uint64_t> idx;       // access_batch probes
+  std::vector<IndexRange> ranges;  // multi-range query
+};
+
+/// One connection. The IO thread owns everything except `handoff`/`busy`,
+/// which carry worker results back under `hand_mu`.
+struct Conn {
+  enum class Mode { kUnknown, kBinary, kJson, kHttp };
+
+  int fd = -1;
+  Mode mode = Mode::kUnknown;
+  std::vector<uint8_t> in;    // unparsed input bytes
+  std::string out;            // response bytes awaiting the socket
+  std::deque<Request> queue;  // parsed, admitted, not yet dispatched
+  bool closed = false;        // fd closed, conn detached from the map
+  bool read_shut = false;     // peer sent FIN (or HTTP request complete)
+  bool close_after_drain = false;
+  bool want_read = true;      // cached poller interest
+  bool want_write = false;
+  uint64_t last_activity = 0;
+  uint64_t defer_since = 0;   // coalesce-window start (0 = not deferring)
+
+  std::mutex hand_mu;
+  std::string handoff;  // worker-produced responses, pending pickup
+  bool busy = false;    // a work item is executing (guarded by hand_mu)
+};
+
+}  // namespace server_internal
+
+/// A TCP front-end serving one NeatsStore's read surface. Construction
+/// binds nothing; Start() binds, spawns the IO thread, and returns.
+/// Queries run against the caller's store concurrently with the caller's
+/// own appends/queries (the store's single-writer/multi-reader contract);
+/// the server itself never mutates the store.
+class NeatsServer {
+  using Conn = server_internal::Conn;
+  using Poller = server_internal::Poller;
+  using Request = server_internal::Request;
+  using ServerObs = server_internal::ServerObs;
+
+ public:
+  explicit NeatsServer(const NeatsStore& store,
+                       NeatsServerOptions options = {})
+      : store_(store),
+        options_(std::move(options)),
+        obs_(std::make_unique<ServerObs>()),
+        workers_(std::make_unique<ThreadPool>(options_.worker_threads + 1)) {
+    NEATS_REQUIRE(options_.max_frame_bytes >= 64,
+                  "max_frame_bytes too small to carry any request");
+    if (options_.coalesce_max_batch == 0) options_.coalesce_max_batch = 1;
+  }
+
+  NeatsServer(const NeatsServer&) = delete;
+  NeatsServer& operator=(const NeatsServer&) = delete;
+
+  ~NeatsServer() { Stop(); }
+
+  /// Binds the listener (throwing on failure — before any thread exists),
+  /// then spawns the IO loop.
+  void Start() {
+    NEATS_REQUIRE(!io_.joinable(), "server already started");
+    stop_.store(false, std::memory_order_relaxed);
+    listen_fd_ =
+        CreateListener(options_.host, options_.port, options_.backlog);
+    SetNonBlocking(listen_fd_);
+    port_ = BoundPort(listen_fd_);
+    int pfd[2];
+    if (::pipe(pfd) < 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      ThrowErrno("pipe");
+    }
+    wake_r_ = pfd[0];
+    wake_w_ = pfd[1];
+    SetNonBlocking(wake_r_);
+    SetNonBlocking(wake_w_);
+    io_ = std::thread([this] { IoLoop(); });
+  }
+
+  /// The port the server listens on (after Start()).
+  uint16_t port() const { return port_; }
+
+  /// Asks the IO loop to drain and exit. Async-signal-safe: one atomic
+  /// store and one write(2) — the server binary calls this from its
+  /// SIGINT/SIGTERM handler.
+  void RequestStop() {
+    stop_.store(true, std::memory_order_release);
+    if (wake_w_ >= 0) {
+      const char b = 's';
+      [[maybe_unused]] ssize_t n = ::write(wake_w_, &b, 1);
+    }
+  }
+
+  /// Graceful shutdown: stop accepting, finish queued work (up to
+  /// drain_timeout_ms), flush, close, join. Idempotent.
+  void Stop() {
+    if (!io_.joinable()) return;
+    RequestStop();
+    io_.join();
+    workers_->DrainTasks();
+    if (wake_r_ >= 0) ::close(wake_r_);
+    if (wake_w_ >= 0) ::close(wake_w_);
+    wake_r_ = wake_w_ = -1;
+  }
+
+  /// A point-in-time snapshot of the server-side registry (conn.*, req.*,
+  /// coalesce.*, bytes.*; gauges refreshed).
+  obs::MetricsSnapshot StatsSnapshot() const {
+    ServerObs& ob = *obs_;
+    ob.registry.SetGauge(
+        ob.g_connections,
+        static_cast<int64_t>(open_conns_.load(std::memory_order_relaxed)));
+    ob.registry.SetGauge(
+        ob.g_inflight,
+        static_cast<int64_t>(inflight_.load(std::memory_order_relaxed)));
+    return ob.registry.Snapshot();
+  }
+
+  /// The stats document the kStats opcode, the JSON dialect, and the HTTP
+  /// route all serve: {"server": <server metrics>, "store": <store
+  /// metrics>} in the obs::MetricsJson schema.
+  std::string StatsJson() const {
+    std::string out = "{\n\"server\":\n";
+    out += obs::MetricsJson(StatsSnapshot());
+    out += ",\n\"store\":\n";
+    out += obs::MetricsJson(store_.StatsSnapshot());
+    out += "\n}";
+    return out;
+  }
+
+ private:
+  // --- IO loop -------------------------------------------------------------
+
+  void IoLoop() {
+    Poller poller(options_.use_poll);
+    poller_ = &poller;
+    poller.Add(listen_fd_, /*read=*/true, /*write=*/false);
+    poller.Add(wake_r_, /*read=*/true, /*write=*/false);
+    std::vector<Poller::Event> events;
+    uint64_t last_idle_sweep = obs::NowNs();
+    uint64_t drain_deadline = 0;
+    bool draining = false;
+    while (true) {
+      const bool any_deferred = deferred_ > 0;
+      poller.Wait(&events, any_deferred ? 1 : 50);
+      const uint64_t now = obs::NowNs();
+      for (const Poller::Event& ev : events) {
+        if (ev.fd == wake_r_) {
+          char buf[256];
+          while (::read(wake_r_, buf, sizeof(buf)) > 0) {
+          }
+          continue;
+        }
+        if (ev.fd == listen_fd_) {
+          if (!draining && ev.readable) AcceptNew(now);
+          continue;
+        }
+        auto it = conns_.find(ev.fd);
+        if (it == conns_.end()) continue;
+        // A copy, not a reference: CloseConn (reachable from every handler
+        // below) erases the map node this iterator points into.
+        const std::shared_ptr<Conn> conn = it->second;
+        if (ev.hangup && !ev.readable) {
+          CloseConn(conn);
+          continue;
+        }
+        if (ev.readable && !draining) OnReadable(conn, now);
+        if (conn->closed) continue;
+        if (ev.writable) FlushOut(conn);
+        if (conn->closed) continue;
+        TryDispatch(conn, now);
+        MaybeFinish(conn);
+        if (!conn->closed) UpdateInterest(conn, draining);
+      }
+      HandleCompletions(now, draining);
+      if (stop_.load(std::memory_order_acquire) && !draining) {
+        draining = true;
+        drain_deadline =
+            now + uint64_t{options_.drain_timeout_ms} * 1'000'000;
+        poller.Remove(listen_fd_);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        // Stop reading everywhere; queued work keeps executing.
+        for (auto& [fd, conn] : conns_) UpdateInterest(conn, draining);
+      }
+      if (deferred_ > 0) {
+        // Re-visit coalesce-deferred connections; their window may be up
+        // (or draining flushes them immediately).
+        for (auto& [fd, conn] : conns_) {
+          if (conn->defer_since != 0) {
+            TryDispatch(conn, draining ? ~uint64_t{0} : now);
+            if (!conn->closed) UpdateInterest(conn, draining);
+          }
+        }
+      }
+      if (draining) {
+        bool all_idle = true;
+        for (auto& [fd, conn] : conns_) {
+          if (!ConnIdle(*conn)) {
+            all_idle = false;
+            break;
+          }
+        }
+        if (all_idle || now >= drain_deadline) break;
+        continue;
+      }
+      if (options_.idle_timeout_ms > 0 &&
+          now - last_idle_sweep > 1'000'000'000) {
+        last_idle_sweep = now;
+        IdleSweep(now);
+      }
+    }
+    // Drain epilogue: every response that could be flushed has been (or
+    // the deadline passed); close whatever remains.
+    std::vector<std::shared_ptr<Conn>> leftover;
+    leftover.reserve(conns_.size());
+    for (auto& [fd, conn] : conns_) leftover.push_back(conn);
+    for (auto& conn : leftover) CloseConn(conn);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    poller_ = nullptr;
+  }
+
+  bool ConnIdle(const Conn& conn) {
+    if (!conn.queue.empty() || !conn.out.empty()) return false;
+    std::lock_guard<std::mutex> lk(
+        const_cast<std::mutex&>(conn.hand_mu));
+    return !conn.busy && conn.handoff.empty();
+  }
+
+  void AcceptNew(uint64_t now) {
+    while (true) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+          return;
+        }
+        return;  // transient accept failure; the loop will retry
+      }
+      if (conns_.size() >= options_.max_connections) {
+        ::close(fd);
+        obs_->registry.Count(obs_->c_rejected);
+        continue;
+      }
+      SetNonBlocking(fd);
+      SetNoDelay(fd);
+      auto conn = std::make_shared<Conn>();
+      conn->fd = fd;
+      conn->last_activity = now;
+      conns_.emplace(fd, conn);
+      poller_->Add(fd, /*read=*/true, /*write=*/false);
+      open_conns_.fetch_add(1, std::memory_order_relaxed);
+      obs_->registry.Count(obs_->c_accepted);
+    }
+  }
+
+  void IdleSweep(uint64_t now) {
+    const uint64_t budget =
+        uint64_t{options_.idle_timeout_ms} * 1'000'000;
+    std::vector<std::shared_ptr<Conn>> victims;
+    for (auto& [fd, conn] : conns_) {
+      if (now - conn->last_activity > budget && ConnIdle(*conn)) {
+        victims.push_back(conn);
+      }
+    }
+    for (auto& conn : victims) {
+      obs_->registry.Count(obs_->c_idle_closed);
+      CloseConn(conn);
+    }
+  }
+
+  // By value on purpose: callers often pass the shared_ptr stored inside
+  // conns_, and the erase below would destroy a by-reference parameter
+  // mid-function.
+  void CloseConn(std::shared_ptr<Conn> conn) {  // NOLINT
+    if (conn->closed) return;
+    conn->closed = true;
+    poller_->Remove(conn->fd);
+    ::close(conn->fd);
+    conns_.erase(conn->fd);
+    // Requests admitted but never dispatched release their admission
+    // slots; executing requests release theirs at worker completion.
+    if (!conn->queue.empty()) {
+      inflight_.fetch_sub(conn->queue.size(), std::memory_order_relaxed);
+      conn->queue.clear();
+    }
+    if (conn->defer_since != 0) {
+      conn->defer_since = 0;
+      --deferred_;
+    }
+    open_conns_.fetch_sub(1, std::memory_order_relaxed);
+    obs_->registry.Count(obs_->c_closed);
+  }
+
+  void UpdateInterest(const std::shared_ptr<Conn>& conn, bool draining) {
+    const bool read =
+        !draining && !conn->read_shut &&
+        conn->out.size() < options_.max_frame_bytes * 2 &&
+        conn->in.size() < options_.max_frame_bytes + kFrameHeaderBytes;
+    const bool write = !conn->out.empty();
+    if (read != conn->want_read || write != conn->want_write) {
+      conn->want_read = read;
+      conn->want_write = write;
+      poller_->Update(conn->fd, read, write);
+    }
+  }
+
+  void OnReadable(const std::shared_ptr<Conn>& conn, uint64_t now) {
+    uint8_t buf[64 * 1024];
+    while (!conn->read_shut &&
+           conn->in.size() <
+               options_.max_frame_bytes + kFrameHeaderBytes + sizeof(buf)) {
+      const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        CloseConn(conn);
+        return;
+      }
+      if (n == 0) {
+        // FIN: the peer is done sending; finish its queued work, flush,
+        // then close from our side.
+        conn->read_shut = true;
+        conn->close_after_drain = true;
+        break;
+      }
+      conn->in.insert(conn->in.end(), buf, buf + n);
+      obs_->registry.Count(obs_->c_bytes_in, static_cast<uint64_t>(n));
+      conn->last_activity = now;
+      if (static_cast<size_t>(n) < sizeof(buf)) break;
+    }
+    if (!conn->closed) ParseInput(conn, now);
+  }
+
+  // --- Parsing (IO thread) -------------------------------------------------
+
+  void ParseInput(const std::shared_ptr<Conn>& conn, uint64_t now) {
+    if (conn->mode == Conn::Mode::kUnknown) {
+      if (conn->in.empty()) return;
+      const uint8_t first = conn->in[0];
+      if (first == 0x4E) {  // 'N' — binary magic
+        conn->mode = Conn::Mode::kBinary;
+      } else if (first == '{') {
+        conn->mode = Conn::Mode::kJson;
+      } else if (first == 'G') {
+        conn->mode = Conn::Mode::kHttp;
+      } else {
+        obs_->registry.Count(obs_->c_bad_frames);
+        SendError(conn, Opcode::kPing, 0, WireStatus::kBadRequest,
+                  "unrecognized protocol");
+        conn->close_after_drain = true;
+        conn->read_shut = true;
+        return;
+      }
+    }
+    switch (conn->mode) {
+      case Conn::Mode::kBinary: ParseBinary(conn, now); break;
+      case Conn::Mode::kJson: ParseJsonLines(conn, now); break;
+      case Conn::Mode::kHttp: ParseHttp(conn, now); break;
+      case Conn::Mode::kUnknown: break;
+    }
+  }
+
+  void ParseBinary(const std::shared_ptr<Conn>& conn, uint64_t now) {
+    while (!conn->closed && conn->in.size() >= kFrameHeaderBytes) {
+      FrameHeader h;
+      if (!DecodeFrameHeader(conn->in, &h)) {
+        HardProtocolError(conn, 0, "bad frame magic");
+        return;
+      }
+      if (h.version != kProtocolVersion) {
+        HardProtocolError(conn, h.id, "unsupported protocol version");
+        return;
+      }
+      if (h.payload_len > options_.max_frame_bytes) {
+        // A forged length word: do NOT wait for that many bytes.
+        HardProtocolError(conn, h.id, "frame exceeds max_frame_bytes");
+        return;
+      }
+      const size_t frame = kFrameHeaderBytes + h.payload_len;
+      if (conn->in.size() < frame) return;  // await the rest
+      const std::span<const uint8_t> header(conn->in.data(),
+                                            kFrameHeaderBytes);
+      const std::span<const uint8_t> payload(
+          conn->in.data() + kFrameHeaderBytes, h.payload_len);
+      if (!VerifyFrameCrc(header, payload)) {
+        // The stream's framing can no longer be trusted.
+        HardProtocolError(conn, h.id, "frame CRC mismatch");
+        return;
+      }
+      if (!IsValidOpcode(h.opcode)) {
+        obs_->registry.Count(obs_->c_bad_frames);
+        SendError(conn, Opcode::kPing, h.id, WireStatus::kBadRequest,
+                  "unknown opcode");
+        conn->in.erase(conn->in.begin(),
+                       conn->in.begin() + static_cast<ptrdiff_t>(frame));
+        continue;
+      }
+      Request req;
+      req.op = static_cast<Opcode>(h.opcode);
+      req.id = h.id;
+      std::string parse_error;
+      if (!ParsePayload(payload, &req, &parse_error)) {
+        obs_->registry.Count(obs_->c_bad_frames);
+        SendError(conn, req.op, h.id, WireStatus::kBadRequest, parse_error);
+      } else {
+        Admit(conn, std::move(req));
+      }
+      conn->in.erase(conn->in.begin(),
+                     conn->in.begin() + static_cast<ptrdiff_t>(frame));
+    }
+    TryDispatch(conn, now);
+    FlushOut(conn);
+    if (!conn->closed) UpdateInterest(conn, false);
+  }
+
+  /// Binary payload grammar per opcode (docs/FORMAT.md).
+  bool ParsePayload(std::span<const uint8_t> payload, Request* req,
+                    std::string* error) {
+    PayloadReader r(payload);
+    switch (req->op) {
+      case Opcode::kPing:
+      case Opcode::kSize:
+      case Opcode::kStats:
+        break;
+      case Opcode::kAccess:
+        req->a = r.U64();
+        break;
+      case Opcode::kAccessBatch: {
+        const uint32_t n = r.U32();
+        if (uint64_t{n} * 8 > payload.size()) {
+          *error = "probe count disagrees with payload size";
+          return false;
+        }
+        r.U64Vec(n, &req->idx);
+        break;
+      }
+      case Opcode::kDecompressRange:
+      case Opcode::kRangeSum:
+        req->a = r.U64();
+        req->b = r.U64();
+        break;
+      case Opcode::kDecompressRanges: {
+        const uint32_t n = r.U32();
+        if (uint64_t{n} * 16 > payload.size()) {
+          *error = "range count disagrees with payload size";
+          return false;
+        }
+        req->ranges.resize(n);
+        for (uint32_t i = 0; i < n; ++i) {
+          req->ranges[i].from = r.U64();
+          req->ranges[i].len = r.U64();
+        }
+        break;
+      }
+    }
+    if (!r.ok() || !r.AtEnd()) {
+      *error = "malformed payload";
+      return false;
+    }
+    return true;
+  }
+
+  void ParseJsonLines(const std::shared_ptr<Conn>& conn, uint64_t now) {
+    while (!conn->closed) {
+      const auto nl =
+          std::find(conn->in.begin(), conn->in.end(), uint8_t{'\n'});
+      if (nl == conn->in.end()) {
+        if (conn->in.size() > options_.max_frame_bytes) {
+          HardProtocolError(conn, 0, "JSON line exceeds max_frame_bytes");
+        }
+        break;
+      }
+      const std::string_view line(
+          reinterpret_cast<const char*>(conn->in.data()),
+          static_cast<size_t>(nl - conn->in.begin()));
+      obs_->registry.Count(obs_->c_json_requests);
+      Request req;
+      std::string error;
+      const bool ok = ParseJsonRequest(line, &req, &error);
+      conn->in.erase(conn->in.begin(), nl + 1);
+      if (!ok) {
+        obs_->registry.Count(obs_->c_bad_frames);
+        SendError(conn, req.op, req.id, WireStatus::kBadRequest, error);
+        continue;
+      }
+      Admit(conn, std::move(req));
+    }
+    TryDispatch(conn, now);
+    FlushOut(conn);
+    if (!conn->closed) UpdateInterest(conn, false);
+  }
+
+  bool ParseJsonRequest(std::string_view line, Request* req,
+                        std::string* error) {
+    JsonValue v;
+    if (!ParseJson(line, &v) || v.kind != JsonValue::Kind::kObject) {
+      *error = "not a JSON object";
+      return false;
+    }
+    if (const JsonValue* id = v.Find("id")) {
+      if (id->integral) req->id = static_cast<uint64_t>(id->integer);
+    }
+    const JsonValue* op = v.Find("op");
+    if (op == nullptr || op->kind != JsonValue::Kind::kString) {
+      *error = "missing \"op\"";
+      return false;
+    }
+    auto u64_field = [&](const char* name, uint64_t* out) {
+      const JsonValue* f = v.Find(name);
+      if (f == nullptr || !f->AsU64(out)) {
+        *error = std::string("missing or invalid \"") + name + "\"";
+        return false;
+      }
+      return true;
+    };
+    const std::string& name = op->string;
+    if (name == "ping") {
+      req->op = Opcode::kPing;
+    } else if (name == "size") {
+      req->op = Opcode::kSize;
+    } else if (name == "stats") {
+      req->op = Opcode::kStats;
+    } else if (name == "access") {
+      req->op = Opcode::kAccess;
+      if (!u64_field("i", &req->a)) return false;
+    } else if (name == "access_batch") {
+      req->op = Opcode::kAccessBatch;
+      const JsonValue* idx = v.Find("idx");
+      if (idx == nullptr || idx->kind != JsonValue::Kind::kArray) {
+        *error = "missing or invalid \"idx\"";
+        return false;
+      }
+      req->idx.reserve(idx->array.size());
+      for (const JsonValue& e : idx->array) {
+        uint64_t i;
+        if (!e.AsU64(&i)) {
+          *error = "\"idx\" holds a non-index value";
+          return false;
+        }
+        req->idx.push_back(i);
+      }
+    } else if (name == "range" || name == "range_sum") {
+      req->op = name == "range" ? Opcode::kDecompressRange
+                                : Opcode::kRangeSum;
+      if (!u64_field("from", &req->a) || !u64_field("len", &req->b)) {
+        return false;
+      }
+    } else if (name == "ranges") {
+      req->op = Opcode::kDecompressRanges;
+      const JsonValue* rs = v.Find("ranges");
+      if (rs == nullptr || rs->kind != JsonValue::Kind::kArray) {
+        *error = "missing or invalid \"ranges\"";
+        return false;
+      }
+      for (const JsonValue& e : rs->array) {
+        uint64_t from, len;
+        if (e.kind != JsonValue::Kind::kArray || e.array.size() != 2 ||
+            !e.array[0].AsU64(&from) || !e.array[1].AsU64(&len)) {
+          *error = "\"ranges\" entries must be [from, len]";
+          return false;
+        }
+        req->ranges.push_back({from, len});
+      }
+    } else {
+      *error = "unknown op \"" + name + "\"";
+      return false;
+    }
+    return true;
+  }
+
+  void ParseHttp(const std::shared_ptr<Conn>& conn, uint64_t now) {
+    static constexpr std::string_view kEnd = "\r\n\r\n";
+    const std::string_view text(
+        reinterpret_cast<const char*>(conn->in.data()), conn->in.size());
+    const size_t end = text.find(kEnd);
+    if (end == std::string_view::npos) {
+      if (conn->in.size() > 8192) {
+        obs_->registry.Count(obs_->c_bad_frames);
+        conn->out += "HTTP/1.0 400 Bad Request\r\n\r\n";
+        conn->close_after_drain = true;
+        conn->read_shut = true;
+        FlushOut(conn);
+      }
+      return;
+    }
+    obs_->registry.Count(obs_->c_http_requests);
+    const std::string_view request_line =
+        text.substr(0, text.find("\r\n"));
+    conn->read_shut = true;  // one request per HTTP connection
+    conn->close_after_drain = true;
+    conn->in.clear();
+    const bool is_stats = request_line.rfind("GET /stats", 0) == 0 ||
+                          request_line.rfind("GET /metrics", 0) == 0 ||
+                          request_line.rfind("GET / ", 0) == 0;
+    if (!is_stats) {
+      conn->out +=
+          "HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\n"
+          "Connection: close\r\n\r\n";
+      FlushOut(conn);
+      if (!conn->closed) {
+        MaybeFinish(conn);
+        if (!conn->closed) UpdateInterest(conn, false);
+      }
+      return;
+    }
+    Request req;
+    req.op = Opcode::kStats;
+    Admit(conn, std::move(req));
+    TryDispatch(conn, now);
+    if (!conn->closed) UpdateInterest(conn, false);
+  }
+
+  /// A framing-level failure the stream cannot recover from: best-effort
+  /// typed error response, then close after it drains.
+  void HardProtocolError(const std::shared_ptr<Conn>& conn, uint64_t id,
+                         const std::string& message) {
+    obs_->registry.Count(obs_->c_bad_frames);
+    SendError(conn, Opcode::kPing, id, WireStatus::kBadRequest, message);
+    conn->in.clear();
+    conn->read_shut = true;
+    conn->close_after_drain = true;
+    FlushOut(conn);
+    if (!conn->closed) {
+      MaybeFinish(conn);
+      if (!conn->closed) UpdateInterest(conn, false);
+    }
+  }
+
+  // --- Admission & dispatch (IO thread) ------------------------------------
+
+  void Admit(const std::shared_ptr<Conn>& conn, Request req) {
+    obs_->registry.Count(obs_->c_requests);
+    obs_->registry.Count(obs_->c_op[static_cast<uint8_t>(req.op)]);
+    // Ping and Stats bypass the gate: the health probe and the stats
+    // endpoint are exactly what an operator needs while the server sheds.
+    const bool gated =
+        req.op != Opcode::kPing && req.op != Opcode::kStats;
+    const size_t inflight = inflight_.load(std::memory_order_relaxed);
+    if (gated &&
+        (inflight >= options_.max_inflight ||
+         conn->queue.size() >= options_.max_queued_per_conn)) {
+      obs_->registry.Count(obs_->c_shed);
+      SendError(conn, req.op, req.id, WireStatus::kOverloaded,
+                "shed by admission control");
+      return;
+    }
+    inflight_.fetch_add(1, std::memory_order_relaxed);
+    conn->queue.push_back(std::move(req));
+  }
+
+  /// Starts the next work item if the connection is free: a coalesced run
+  /// of leading Access requests (one store AccessBatch call), or a single
+  /// request of any other opcode. Passing `now = ~0` flushes any pending
+  /// coalesce window (used while draining).
+  void TryDispatch(const std::shared_ptr<Conn>& conn, uint64_t now) {
+    if (conn->closed || conn->queue.empty()) return;
+    {
+      std::lock_guard<std::mutex> lk(conn->hand_mu);
+      if (conn->busy) return;
+    }
+    size_t run = 0;
+    while (run < conn->queue.size() &&
+           conn->queue[run].op == Opcode::kAccess &&
+           run < options_.coalesce_max_batch) {
+      ++run;
+    }
+    if (run > 0 && run == conn->queue.size() &&
+        run < options_.coalesce_max_batch &&
+        options_.coalesce_window_us > 0 && !conn->read_shut &&
+        now != ~uint64_t{0}) {
+      // The whole queue is a still-growing Access run: hold it open for
+      // the coalescing window before spending a batch call on it.
+      if (conn->defer_since == 0) {
+        conn->defer_since = now;
+        ++deferred_;
+        return;
+      }
+      if (now - conn->defer_since <
+          uint64_t{options_.coalesce_window_us} * 1000) {
+        return;
+      }
+    }
+    if (conn->defer_since != 0) {
+      conn->defer_since = 0;
+      --deferred_;
+    }
+    const size_t take = run > 0 ? run : 1;
+    std::vector<Request> items;
+    items.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      items.push_back(std::move(conn->queue.front()));
+      conn->queue.pop_front();
+    }
+    {
+      std::lock_guard<std::mutex> lk(conn->hand_mu);
+      conn->busy = true;
+    }
+    const auto mode = conn->mode;
+    workers_->Submit([this, conn, mode, items = std::move(items)]() mutable {
+      ExecuteItem(conn, mode, items);
+    });
+  }
+
+  /// IO-thread epilogue for a connection that owes nothing more.
+  void MaybeFinish(const std::shared_ptr<Conn>& conn) {
+    if (!conn->closed && conn->close_after_drain && ConnIdle(*conn)) {
+      CloseConn(conn);
+    }
+  }
+
+  void FlushOut(const std::shared_ptr<Conn>& conn) {
+    while (!conn->out.empty()) {
+      const ssize_t n = ::send(conn->fd, conn->out.data(),
+                               conn->out.size(), MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        CloseConn(conn);
+        return;
+      }
+      obs_->registry.Count(obs_->c_bytes_out, static_cast<uint64_t>(n));
+      conn->out.erase(0, static_cast<size_t>(n));
+    }
+  }
+
+  void HandleCompletions(uint64_t now, bool draining) {
+    std::vector<std::shared_ptr<Conn>> done;
+    {
+      std::lock_guard<std::mutex> lk(comp_mu_);
+      done.swap(completed_);
+    }
+    for (const std::shared_ptr<Conn>& conn : done) {
+      if (conn->closed) continue;
+      {
+        std::lock_guard<std::mutex> lk(conn->hand_mu);
+        conn->out += conn->handoff;
+        conn->handoff.clear();
+      }
+      conn->last_activity = now;
+      TryDispatch(conn, draining ? ~uint64_t{0} : now);
+      FlushOut(conn);
+      if (conn->closed) continue;
+      MaybeFinish(conn);
+      if (!conn->closed) UpdateInterest(conn, draining);
+    }
+  }
+
+  // --- Execution (worker threads) ------------------------------------------
+
+  void ExecuteItem(const std::shared_ptr<Conn>& conn, Conn::Mode mode,
+                   std::vector<Request>& items) {
+    std::string out;
+    if (items.size() > 1) {
+      ExecuteCoalesced(mode, items, &out);
+    } else {
+      const uint64_t t0 = obs::NowNs();
+      ExecuteOne(mode, items[0], &out);
+      obs_->registry.Record(
+          obs_->h_op[static_cast<uint8_t>(items[0].op)],
+          obs::NowNs() - t0);
+    }
+    {
+      std::lock_guard<std::mutex> lk(conn->hand_mu);
+      conn->handoff += out;
+      conn->busy = false;
+    }
+    inflight_.fetch_sub(items.size(), std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lk(comp_mu_);
+      completed_.push_back(conn);
+    }
+    const char b = 'c';
+    [[maybe_unused]] ssize_t n = ::write(wake_w_, &b, 1);
+  }
+
+  /// A coalesced Access run: every in-bounds probe rides one store
+  /// AccessBatch call; each request still gets its own response (values in
+  /// request order, out-of-range probes answered individually). The run's
+  /// service time lands in the "op.access" histogram once, its size in
+  /// "coalesce.batch".
+  void ExecuteCoalesced(Conn::Mode mode, std::vector<Request>& items,
+                        std::string* out) {
+    const uint64_t t0 = obs::NowNs();
+    obs_->registry.Count(obs_->c_coalesced_batches);
+    obs_->registry.Count(obs_->c_coalesced_probes, items.size());
+    obs_->registry.Record(obs_->h_batch, items.size());
+    const uint64_t size = store_.size();
+    std::vector<uint64_t> idx;
+    idx.reserve(items.size());
+    for (const Request& r : items) {
+      if (r.a < size) idx.push_back(r.a);
+    }
+    std::vector<int64_t> values(idx.size());
+    WireStatus failure = WireStatus::kOk;
+    std::string failure_msg;
+    if (!idx.empty()) {
+      try {
+        store_.AccessBatch(idx, values);
+      } catch (const Error& e) {
+        failure = e.code() == StatusCode::kUnavailable
+                      ? WireStatus::kUnavailable
+                      : WireStatus::kInternal;
+        failure_msg = e.what();
+      } catch (const std::exception& e) {
+        failure = WireStatus::kInternal;
+        failure_msg = e.what();
+      }
+    }
+    size_t at = 0;
+    for (const Request& r : items) {
+      if (r.a >= size) {
+        AppendError(mode, r.op, r.id, WireStatus::kOutOfRange,
+                    "index past store size", out);
+        continue;
+      }
+      if (failure != WireStatus::kOk) {
+        AppendError(mode, r.op, r.id, failure, failure_msg, out);
+        ++at;
+        continue;
+      }
+      AppendValueResponse(mode, r.id, values[at++], out);
+    }
+    obs_->registry.Record(obs_->h_op[static_cast<uint8_t>(Opcode::kAccess)],
+                          obs::NowNs() - t0);
+  }
+
+  void ExecuteOne(Conn::Mode mode, const Request& req, std::string* out) {
+    try {
+      switch (req.op) {
+        case Opcode::kPing: {
+          AppendOk(mode, req.op, req.id, {}, "", out);
+          return;
+        }
+        case Opcode::kSize: {
+          const uint64_t size = store_.size();
+          if (mode == Conn::Mode::kBinary) {
+            std::vector<uint8_t> payload;
+            PayloadWriter w(&payload);
+            w.U64(size);
+            AppendOk(mode, req.op, req.id, payload, "", out);
+          } else {
+            AppendOk(mode, req.op, req.id, {},
+                     "\"size\": " + std::to_string(size), out);
+          }
+          return;
+        }
+        case Opcode::kStats: {
+          const std::string stats = StatsJson();
+          if (mode == Conn::Mode::kHttp) {
+            *out += "HTTP/1.0 200 OK\r\nContent-Type: application/json\r\n"
+                    "Content-Length: " +
+                    std::to_string(stats.size()) +
+                    "\r\nConnection: close\r\n\r\n" + stats;
+          } else if (mode == Conn::Mode::kBinary) {
+            AppendOk(mode, req.op, req.id,
+                     {reinterpret_cast<const uint8_t*>(stats.data()),
+                      stats.size()},
+                     "", out);
+          } else {
+            // Stats is itself a JSON object; embed it (newlines stripped,
+            // since the dialect is line-delimited).
+            std::string flat = stats;
+            std::erase(flat, '\n');
+            AppendOk(mode, req.op, req.id, {},
+                     "\"stats\": " + flat, out);
+          }
+          return;
+        }
+        case Opcode::kAccess: {
+          if (req.a >= store_.size()) {
+            AppendError(mode, req.op, req.id, WireStatus::kOutOfRange,
+                        "index past store size", out);
+            return;
+          }
+          AppendValueResponse(mode, req.id, store_.Access(req.a), out);
+          return;
+        }
+        case Opcode::kAccessBatch: {
+          const uint64_t size = store_.size();
+          for (uint64_t i : req.idx) {
+            if (i >= size) {
+              AppendError(mode, req.op, req.id, WireStatus::kOutOfRange,
+                          "probe past store size", out);
+              return;
+            }
+          }
+          std::vector<int64_t> values(req.idx.size());
+          store_.AccessBatch(req.idx, values);
+          AppendValuesResponse(mode, req.op, req.id, values, out);
+          return;
+        }
+        case Opcode::kDecompressRange:
+        case Opcode::kDecompressRanges:
+        case Opcode::kRangeSum: {
+          std::span<const IndexRange> ranges;
+          IndexRange single{req.a, req.b};
+          if (req.op == Opcode::kDecompressRanges) {
+            ranges = req.ranges;
+          } else {
+            ranges = {&single, 1};
+          }
+          const uint64_t size = store_.size();
+          uint64_t total = 0;
+          for (const IndexRange& r : ranges) {
+            if (r.len > size || r.from > size - r.len) {
+              AppendError(mode, req.op, req.id, WireStatus::kOutOfRange,
+                          "range past store size", out);
+              return;
+            }
+            total += r.len;
+            if (req.op != Opcode::kRangeSum &&
+                total > options_.max_frame_bytes / 8) {
+              AppendError(mode, req.op, req.id, WireStatus::kBadRequest,
+                          "response would exceed max_frame_bytes", out);
+              return;
+            }
+          }
+          if (req.op == Opcode::kRangeSum) {
+            AppendValueResponse(mode, req.id, store_.RangeSum(req.a, req.b),
+                                out, /*sum=*/true);
+            return;
+          }
+          std::vector<int64_t> values(total);
+          if (req.op == Opcode::kDecompressRange) {
+            store_.DecompressRange(req.a, req.b, values.data());
+          } else {
+            store_.DecompressRanges(ranges, values.data());
+          }
+          AppendValuesResponse(mode, req.op, req.id, values, out);
+          return;
+        }
+      }
+      AppendError(mode, req.op, req.id, WireStatus::kBadRequest,
+                  "unknown opcode", out);
+    } catch (const Error& e) {
+      AppendError(mode, req.op, req.id,
+                  e.code() == StatusCode::kUnavailable
+                      ? WireStatus::kUnavailable
+                      : WireStatus::kInternal,
+                  e.what(), out);
+    } catch (const std::exception& e) {
+      AppendError(mode, req.op, req.id, WireStatus::kInternal, e.what(),
+                  out);
+    }
+  }
+
+  // --- Response formatting (worker or IO thread; writes to a local) --------
+
+  /// Success envelope. Binary: a kOk frame carrying `payload`. JSON: an
+  /// {"id", "ok": true, ...} line carrying `json_fields` (pre-rendered
+  /// `"key": value` text, may be empty).
+  void AppendOk(Conn::Mode mode, Opcode op, uint64_t id,
+                std::span<const uint8_t> payload,
+                const std::string& json_fields, std::string* out) {
+    if (mode == Conn::Mode::kBinary) {
+      std::vector<uint8_t> frame;
+      AppendFrame(&frame, op, static_cast<uint16_t>(WireStatus::kOk), id,
+                  payload);
+      out->append(reinterpret_cast<const char*>(frame.data()),
+                  frame.size());
+      return;
+    }
+    *out += "{\"id\": " + std::to_string(id) + ", \"ok\": true";
+    if (!json_fields.empty()) *out += ", " + json_fields;
+    *out += "}\n";
+  }
+
+  void AppendValueResponse(Conn::Mode mode, uint64_t id, int64_t value,
+                           std::string* out, bool sum = false) {
+    if (mode == Conn::Mode::kBinary) {
+      std::vector<uint8_t> payload;
+      PayloadWriter w(&payload);
+      w.I64(value);
+      AppendOk(mode, sum ? Opcode::kRangeSum : Opcode::kAccess, id, payload,
+               "", out);
+      return;
+    }
+    AppendOk(mode, Opcode::kAccess, id, {},
+             std::string(sum ? "\"sum\": " : "\"value\": ") +
+                 std::to_string(value),
+             out);
+  }
+
+  void AppendValuesResponse(Conn::Mode mode, Opcode op, uint64_t id,
+                            std::span<const int64_t> values,
+                            std::string* out) {
+    if (mode == Conn::Mode::kBinary) {
+      std::vector<uint8_t> payload;
+      PayloadWriter w(&payload);
+      w.I64Span(values);
+      AppendOk(mode, op, id, payload, "", out);
+      return;
+    }
+    std::string field = "\"values\": [";
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) field += ", ";
+      field += std::to_string(values[i]);
+    }
+    field += "]";
+    AppendOk(mode, op, id, {}, field, out);
+  }
+
+  void AppendError(Conn::Mode mode, Opcode op, uint64_t id, WireStatus s,
+                   const std::string& message, std::string* out) {
+    obs_->registry.Count(obs_->c_errors);
+    if (mode == Conn::Mode::kBinary) {
+      std::vector<uint8_t> frame;
+      AppendFrame(&frame, op, static_cast<uint16_t>(s), id,
+                  {reinterpret_cast<const uint8_t*>(message.data()),
+                   message.size()});
+      out->append(reinterpret_cast<const char*>(frame.data()),
+                  frame.size());
+      return;
+    }
+    if (mode == Conn::Mode::kHttp) {
+      *out += "HTTP/1.0 503 Service Unavailable\r\nContent-Length: 0\r\n"
+              "Connection: close\r\n\r\n";
+      return;
+    }
+    *out += "{\"id\": " + std::to_string(id) +
+            ", \"ok\": false, \"status\": \"";
+    *out += WireStatusName(s);
+    *out += "\", \"error\": ";
+    AppendJsonString(out, message);
+    *out += "}\n";
+  }
+
+  /// IO-thread-side immediate error (sheds, parse failures): same
+  /// formatting, straight into the connection's out buffer.
+  void SendError(const std::shared_ptr<Conn>& conn, Opcode op, uint64_t id,
+                 WireStatus s, const std::string& message) {
+    Conn::Mode mode = conn->mode;
+    if (mode == Conn::Mode::kUnknown) mode = Conn::Mode::kBinary;
+    AppendError(mode, op, id, s, message, &conn->out);
+  }
+
+  const NeatsStore& store_;
+  NeatsServerOptions options_;
+  std::unique_ptr<ServerObs> obs_;
+  std::unique_ptr<ThreadPool> workers_;
+
+  int listen_fd_ = -1;
+  int wake_r_ = -1;
+  int wake_w_ = -1;
+  uint16_t port_ = 0;
+  std::thread io_;
+  std::atomic<bool> stop_{false};
+  std::atomic<size_t> inflight_{0};
+  std::atomic<size_t> open_conns_{0};
+
+  // IO-thread state.
+  Poller* poller_ = nullptr;
+  std::unordered_map<int, std::shared_ptr<Conn>> conns_;
+  size_t deferred_ = 0;  // connections holding a coalesce window open
+
+  // Worker -> IO completion handoff.
+  std::mutex comp_mu_;
+  std::vector<std::shared_ptr<Conn>> completed_;
+};
+
+}  // namespace neats::net

@@ -81,6 +81,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <filesystem>
 #include <memory>
 #include <mutex>
@@ -153,6 +154,15 @@ struct NeatsStoreOptions {
   /// fsyncs the record before acking). Disabling trades the pre-Flush
   /// crash guarantee for one fsync less per Append.
   bool wal = true;
+
+  /// Parallel query fan-out: a DecompressRanges / RangeSum spanning
+  /// several sealed shards and at least this many sealed values dispatches
+  /// one task per covered shard on the seal pool (queries stay sequential
+  /// below the threshold — fan-out has dispatch overhead, and small
+  /// queries are cursor-bound, not core-bound). 0 disables fan-out. Only
+  /// helps with seal_threads > 1: the pool the sealer shares is the pool
+  /// the fan-out rides.
+  uint64_t parallel_query_values = uint64_t{1} << 17;
 
   /// Byte budget of the decoded-block LRU cache (store/block_cache.hpp)
   /// consulted by Access/AccessBatch before any block-structured codec
@@ -879,25 +889,65 @@ class NeatsStore {
   }
 
  private:
-  /// DecompressRanges body under the reader lock.
+  struct Shard;  // defined below, with the rest of the shard machinery
+
+  /// One sealed shard's slice of a multi-range query: the shard-local
+  /// subranges that landed on it consecutively and the output cursor where
+  /// their values go. Groups are independent by construction (disjoint
+  /// output spans, distinct series objects), which is what makes the
+  /// fan-out below embarrassingly parallel.
+  struct ShardGroup {
+    const Shard* shard = nullptr;
+    int64_t* out = nullptr;
+    std::vector<IndexRange> local;  // shard-local coordinates
+    uint64_t values = 0;
+  };
+
+  /// Runs the per-shard groups of a multi-range query, fanning out one
+  /// task per group on the seal pool when the query is big enough (see
+  /// NeatsStoreOptions::parallel_query_values). Quarantine was already
+  /// rejected during routing (HealthyShardOf throws before any task is
+  /// spawned), so body exceptions are the rare codec/I/O kind — captured
+  /// and rethrown on the calling thread, because pool bodies must not
+  /// throw. Sequential and parallel execution produce identical bytes;
+  /// only scheduling differs.
+  void ExecuteShardGroups(std::span<ShardGroup> groups) const {
+    uint64_t sealed_values = 0;
+    for (const ShardGroup& g : groups) sealed_values += g.values;
+    const uint64_t threshold = options_.parallel_query_values;
+    if (threshold == 0 || groups.size() < 2 || sealed_values < threshold ||
+        pool_ == nullptr || pool_->num_threads() < 2) {
+      for (const ShardGroup& g : groups) {
+        g.shard->series->DecompressRanges(g.local, g.out);
+      }
+      return;
+    }
+    std::mutex err_mu;
+    std::exception_ptr err;
+    pool_->ParallelFor(groups.size(), [&](size_t i) {
+      try {
+        const ShardGroup& g = groups[i];
+        g.shard->series->DecompressRanges(g.local, g.out);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!err) err = std::current_exception();
+      }
+    });
+    if (err) std::rethrow_exception(err);
+  }
+
+  /// DecompressRanges body under the reader lock (either side: RebuildWal
+  /// calls in here holding the writer lock). Builds the per-shard groups
+  /// sequentially — routing errors (quarantine) surface here, before any
+  /// parallel work starts — then executes them via ExecuteShardGroups.
+  /// Not-yet-sealed spans decode inline during the build; they live in
+  /// plain buffers and are bounded by the tail, never worth a task.
   void DecompressRangesLocked(std::span<const IndexRange> ranges,
                               int64_t* out) const {
-    std::vector<IndexRange> group;  // shard-local coordinates
+    std::vector<ShardGroup> groups;
     std::vector<const Shard*> advised;  // one WILLNEED per shard per call
-    const Shard* cur = nullptr;
-    int64_t* group_out = nullptr;
-    auto flush = [&] {
-      if (cur == nullptr) return;
-      // Unsorted ranges can revisit a shard in a later group; advise each
-      // routed shard once per call, not once per group.
-      if (std::find(advised.begin(), advised.end(), cur) == advised.end()) {
-        advised.push_back(cur);
-        cur->map.Advise(MmapFile::Advice::kWillNeed);
-      }
-      cur->series->DecompressRanges(group, group_out);
-      group.clear();
-      cur = nullptr;
-    };
+    const Shard* cur = nullptr;  // group-continuity: an unsealed span or a
+                                 // shard switch ends the open group
     for (const IndexRange& r : ranges) {
       uint64_t from = r.from;
       uint64_t len = r.len;
@@ -906,25 +956,32 @@ class NeatsStore {
         if (from < sealed_total_) {
           const Shard& s = HealthyShardOf(from);
           const uint64_t take = std::min(len, s.first + s.count - from);
-          if (&s != cur) {
-            flush();
+          if (cur != &s) {
             cur = &s;
-            group_out = out;
+            // Unsorted ranges can revisit a shard in a later group; advise
+            // each routed shard once per call, not once per group.
+            if (std::find(advised.begin(), advised.end(), &s) ==
+                advised.end()) {
+              advised.push_back(&s);
+              s.map.Advise(MmapFile::Advice::kWillNeed);
+            }
+            groups.push_back(ShardGroup{&s, out, {}, 0});
           }
-          group.push_back({from - s.first, take});
+          groups.back().local.push_back({from - s.first, take});
+          groups.back().values += take;
           out += take;
           from += take;
           len -= take;
           continue;
         }
-        flush();
+        cur = nullptr;
         const uint64_t took = DecompressPrefix(from, len, out);
         from += took;
         len -= took;
         out += took;
       }
     }
-    flush();
+    ExecuteShardGroups(groups);
   }
 
  public:
@@ -951,15 +1008,27 @@ class NeatsStore {
   }
 
  private:
-  /// RangeSum body under the reader lock.
+  /// RangeSum body under the reader lock. A sum spanning several sealed
+  /// shards fans out one partial sum per shard on the seal pool (same
+  /// threshold policy as ExecuteShardGroups); int64 addition is
+  /// associative, so per-shard partials accumulated in segment order give
+  /// the exact sequential answer.
   int64_t RangeSumLocked(uint64_t from, uint64_t len) const {
     NEATS_DCHECK(from + len <= SizeImpl());
+    struct Segment {
+      const Shard* shard;
+      uint64_t local_from;
+      uint64_t take;
+    };
+    std::vector<Segment> segments;
     int64_t sum = 0;
+    uint64_t sealed_values = 0;
     while (len > 0) {
       if (from < sealed_total_) {
         const Shard& s = HealthyShardOf(from);
         const uint64_t take = std::min(len, s.first + s.count - from);
-        sum += s.series->RangeSum(from - s.first, take);
+        segments.push_back({&s, from - s.first, take});
+        sealed_values += take;
         from += take;
         len -= take;
         continue;
@@ -967,6 +1036,30 @@ class NeatsStore {
       for (uint64_t k = from; k < from + len; ++k) sum += AccessUnsealed(k);
       break;
     }
+    const uint64_t threshold = options_.parallel_query_values;
+    if (threshold == 0 || segments.size() < 2 ||
+        sealed_values < threshold || pool_ == nullptr ||
+        pool_->num_threads() < 2) {
+      for (const Segment& g : segments) {
+        sum += g.shard->series->RangeSum(g.local_from, g.take);
+      }
+      return sum;
+    }
+    std::vector<int64_t> partial(segments.size(), 0);
+    std::mutex err_mu;
+    std::exception_ptr err;
+    pool_->ParallelFor(segments.size(), [&](size_t i) {
+      try {
+        partial[i] =
+            segments[i].shard->series->RangeSum(segments[i].local_from,
+                                                segments[i].take);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!err) err = std::current_exception();
+      }
+    });
+    if (err) std::rethrow_exception(err);
+    for (int64_t p : partial) sum += p;
     return sum;
   }
 
@@ -1037,16 +1130,14 @@ class NeatsStore {
     return false;
   }
 
-  /// DecompressRange body, lock-free — shared by the public query and
-  /// RebuildWal (which already holds the writer lock).
+  /// DecompressRange body — shared by the public query (reader lock) and
+  /// RebuildWal (writer lock). Delegates to the multi-range body so a
+  /// single long range spanning several sealed shards gets the same
+  /// per-shard fan-out as a multi-range query.
   void DecompressRangeImpl(uint64_t from, uint64_t len, int64_t* out) const {
     NEATS_DCHECK(from + len <= SizeImpl());
-    while (len > 0) {
-      const uint64_t took = DecompressPrefix(from, len, out);
-      from += took;
-      len -= took;
-      out += took;
-    }
+    const IndexRange one{from, len};
+    DecompressRangesLocked({&one, 1}, out);
   }
 
   /// Access body under the reader lock. `ev` is null on the untimed fast

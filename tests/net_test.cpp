@@ -1,0 +1,540 @@
+// Tests for the network layer (src/net/): wire-protocol units, the
+// client/server loopback round trip for every opcode and dialect,
+// admission-control shedding, graceful drain, the poll(2) fallback
+// backend, protocol hardening (the clobber/truncation/forged-length
+// sweeps mirroring the WAL/manifest fuzz pattern), and the multi-client
+// loopback concurrency test that runs under the ThreadSanitizer CI job.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+#include "store/neats_store.hpp"
+
+namespace neats::net {
+namespace {
+
+// --- Protocol units -------------------------------------------------------
+
+TEST(Protocol, FrameRoundTrip) {
+  std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+  std::vector<uint8_t> frame;
+  AppendFrame(&frame, Opcode::kAccess, 0, 42, payload);
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + payload.size());
+
+  FrameHeader h;
+  ASSERT_TRUE(DecodeFrameHeader(frame, &h));
+  EXPECT_EQ(h.version, kProtocolVersion);
+  EXPECT_EQ(h.opcode, static_cast<uint8_t>(Opcode::kAccess));
+  EXPECT_EQ(h.id, 42u);
+  EXPECT_EQ(h.payload_len, payload.size());
+  EXPECT_TRUE(VerifyFrameCrc({frame.data(), kFrameHeaderBytes},
+                             {frame.data() + kFrameHeaderBytes,
+                              payload.size()}));
+}
+
+TEST(Protocol, CrcCatchesEveryBitFlipPosition) {
+  std::vector<uint8_t> payload = {10, 20, 30};
+  std::vector<uint8_t> frame;
+  AppendFrame(&frame, Opcode::kRangeSum, 0, 7, payload);
+  for (size_t i = 0; i < frame.size(); ++i) {
+    std::vector<uint8_t> bad = frame;
+    bad[i] ^= 0x40;
+    FrameHeader h;
+    if (!DecodeFrameHeader(bad, &h)) continue;  // magic flip: caught earlier
+    EXPECT_FALSE(VerifyFrameCrc(
+        {bad.data(), kFrameHeaderBytes},
+        {bad.data() + kFrameHeaderBytes, bad.size() - kFrameHeaderBytes}))
+        << "flip at byte " << i << " went undetected";
+  }
+}
+
+TEST(Protocol, PayloadReaderBoundsChecks) {
+  std::vector<uint8_t> bytes(12, 0xAB);
+  PayloadReader r(bytes);
+  (void)r.U64();
+  EXPECT_TRUE(r.ok());
+  (void)r.U64();  // only 4 bytes left
+  EXPECT_FALSE(r.ok());
+
+  PayloadReader r2(bytes);
+  std::vector<uint64_t> v;
+  r2.U64Vec(1u << 20, &v);  // forged count far past the buffer
+  EXPECT_FALSE(r2.ok());
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(Protocol, JsonParserAcceptsAndRejects) {
+  JsonValue v;
+  ASSERT_TRUE(ParseJson(R"({"op":"access","i":5,"id":9})", &v));
+  ASSERT_NE(v.Find("i"), nullptr);
+  uint64_t i = 0;
+  EXPECT_TRUE(v.Find("i")->AsU64(&i));
+  EXPECT_EQ(i, 5u);
+
+  EXPECT_FALSE(ParseJson("{", &v));
+  EXPECT_FALSE(ParseJson(R"({"a":1} trailing)", &v));
+  EXPECT_FALSE(ParseJson(R"({"a":)", &v));
+  std::string deep(100, '[');
+  EXPECT_FALSE(ParseJson(deep, &v));  // past the depth limit, cleanly
+  ASSERT_TRUE(ParseJson(R"({"x":-3.5e2,"y":12})", &v));
+  EXPECT_FALSE(v.Find("x")->AsU64(&i));  // not integral
+  EXPECT_TRUE(v.Find("y")->AsU64(&i));
+}
+
+// --- Loopback fixture -----------------------------------------------------
+
+/// A store with deterministic contents behind a running server. The value
+/// at index i is Truth(i) forever (appends only ever extend), so any
+/// response can be checked exactly even while an appender runs.
+class NetTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kInitial = 20000;
+
+  static int64_t Truth(uint64_t i) {
+    return static_cast<int64_t>((i * 2654435761u) % 100003u) - 50000;
+  }
+
+  void StartServer(NeatsServerOptions options = {},
+                   uint64_t initial = kInitial) {
+    NeatsStoreOptions store_options;
+    store_options.shard_size = 4096;  // several sealed shards at this size
+    store_options.log_sink = obs::NullLogSink();
+    store_ = std::make_unique<NeatsStore>(store_options);
+    std::vector<int64_t> values;
+    values.reserve(initial);
+    for (uint64_t i = 0; i < initial; ++i) values.push_back(Truth(i));
+    store_->Append(values);
+    server_ = std::make_unique<NeatsServer>(*store_, options);
+    server_->Start();
+  }
+
+  Client Connect() { return Client::Connect("127.0.0.1", server_->port()); }
+
+  /// The hostile-input probe: after feeding the server garbage, a fresh
+  /// connection must still serve a correct response.
+  void ExpectServerAlive() {
+    Client c = Connect();
+    EXPECT_EQ(c.Access(17), Truth(17));
+  }
+
+  std::unique_ptr<NeatsStore> store_;
+  std::unique_ptr<NeatsServer> server_;
+};
+
+TEST_F(NetTest, EveryOpcodeRoundTrips) {
+  StartServer();
+  Client c = Connect();
+  c.Ping();
+  EXPECT_EQ(c.Size(), kInitial);
+  EXPECT_EQ(c.Access(0), Truth(0));
+  EXPECT_EQ(c.Access(kInitial - 1), Truth(kInitial - 1));
+
+  std::vector<uint64_t> idx = {5, 9999, 3, 12345, 5, 19999};
+  std::vector<int64_t> got = c.AccessBatch(idx);
+  ASSERT_EQ(got.size(), idx.size());
+  for (size_t k = 0; k < idx.size(); ++k) EXPECT_EQ(got[k], Truth(idx[k]));
+
+  got = c.DecompressRange(4090, 20);  // crosses a shard boundary
+  ASSERT_EQ(got.size(), 20u);
+  for (size_t k = 0; k < got.size(); ++k) EXPECT_EQ(got[k], Truth(4090 + k));
+
+  std::vector<IndexRange> ranges = {{0, 10}, {8000, 5}, {4095, 3}};
+  got = c.DecompressRanges(ranges);
+  ASSERT_EQ(got.size(), 18u);
+  size_t at = 0;
+  for (const IndexRange& r : ranges) {
+    for (uint64_t k = 0; k < r.len; ++k) {
+      EXPECT_EQ(got[at++], Truth(r.from + k));
+    }
+  }
+
+  int64_t want = 0;
+  for (uint64_t k = 100; k < 9100; ++k) want += Truth(k);
+  EXPECT_EQ(c.RangeSum(100, 9000), want);
+
+  const std::string stats = c.Stats();
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(stats, &doc));
+  ASSERT_NE(doc.Find("server"), nullptr);
+  ASSERT_NE(doc.Find("store"), nullptr);
+  EXPECT_NE(doc.Find("server")->Find("counters"), nullptr);
+}
+
+TEST_F(NetTest, TypedErrorsComeBackTyped) {
+  StartServer();
+  Client c = Connect();
+  EXPECT_THROW((void)c.Access(kInitial), Error);       // out of range
+  EXPECT_THROW((void)c.RangeSum(kInitial - 5, 10), Error);
+  EXPECT_THROW((void)c.DecompressRange(0, uint64_t{1} << 40), Error);
+  // The connection survives typed errors — they are responses, not faults.
+  EXPECT_EQ(c.Access(3), Truth(3));
+  try {
+    (void)c.Access(kInitial + 1);
+    FAIL() << "expected a typed error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), StatusCode::kFailed);  // kOutOfRange maps to kFailed
+  }
+}
+
+TEST_F(NetTest, PipelinedAccessesCoalesceAndAnswerInOrder) {
+  NeatsServerOptions options;
+  options.worker_threads = 0;  // inline execution: deterministic batching
+  StartServer(options);
+
+  // One write carrying 32 access frames: the server parses them into one
+  // queue and feeds the run to a single store AccessBatch call.
+  const int kFd = ConnectTo("127.0.0.1", server_->port());
+  std::vector<uint8_t> burst;
+  for (uint64_t k = 0; k < 32; ++k) {
+    std::vector<uint8_t> payload;
+    PayloadWriter w(&payload);
+    w.U64(k * 601 % kInitial);
+    AppendFrame(&burst, Opcode::kAccess, 0, /*id=*/100 + k, payload);
+  }
+  SendAll(kFd, burst);
+  for (uint64_t k = 0; k < 32; ++k) {
+    uint8_t header[kFrameHeaderBytes];
+    ASSERT_TRUE(RecvAll(kFd, header));
+    FrameHeader h;
+    ASSERT_TRUE(DecodeFrameHeader(header, &h));
+    ASSERT_EQ(h.status, 0u);
+    ASSERT_EQ(h.id, 100 + k) << "responses must keep request order";
+    std::vector<uint8_t> payload(h.payload_len);
+    ASSERT_TRUE(RecvAll(kFd, payload));
+    PayloadReader r(payload);
+    EXPECT_EQ(r.I64(), Truth(k * 601 % kInitial));
+  }
+  ::close(kFd);
+
+  // The server's own accounting saw at least one multi-request batch.
+  Client c = Connect();
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(c.Stats(), &doc));
+  const JsonValue* batches =
+      doc.Find("server")->Find("counters")->Find("coalesce.batches");
+  ASSERT_NE(batches, nullptr);
+  EXPECT_GE(batches->number, 1.0);
+}
+
+TEST_F(NetTest, AdmissionGateShedsWithTypedOverload) {
+  NeatsServerOptions options;
+  options.max_inflight = 0;  // shed everything: deterministic
+  StartServer(options);
+  Client c = Connect();
+  try {
+    (void)c.Access(1);
+    FAIL() << "expected the admission gate to shed";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), StatusCode::kUnavailable);  // kOverloaded maps here
+  }
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(c.Stats(), &doc));  // stats still answers: no gate
+  EXPECT_GE(doc.Find("server")->Find("counters")->Find("req.shed")->number,
+            1.0);
+}
+
+TEST_F(NetTest, JsonDialectServesAndRejects) {
+  StartServer();
+  const int fd = ConnectTo("127.0.0.1", server_->port());
+  auto ask = [&](const std::string& line) {
+    SendAll(fd, {reinterpret_cast<const uint8_t*>(line.data()),
+                 line.size()});
+    std::string response;
+    uint8_t b;
+    while (RecvAll(fd, {&b, 1}) && b != '\n') {
+      response.push_back(static_cast<char>(b));
+    }
+    return response;
+  };
+  JsonValue v;
+  ASSERT_TRUE(ParseJson(ask("{\"op\":\"access\",\"i\":7,\"id\":3}\n"), &v));
+  EXPECT_TRUE(v.Find("ok")->boolean);
+  EXPECT_EQ(v.Find("value")->integer, Truth(7));
+  EXPECT_EQ(v.Find("id")->integer, 3);
+
+  ASSERT_TRUE(
+      ParseJson(ask("{\"op\":\"range_sum\",\"from\":0,\"len\":3}\n"), &v));
+  EXPECT_EQ(v.Find("sum")->integer, Truth(0) + Truth(1) + Truth(2));
+
+  ASSERT_TRUE(ParseJson(ask("{\"op\":\"nope\"}\n"), &v));
+  EXPECT_FALSE(v.Find("ok")->boolean);
+  EXPECT_EQ(v.Find("status")->string, "bad_request");
+
+  ASSERT_TRUE(ParseJson(ask("{\"op\":\"stats\"}\n"), &v));
+  EXPECT_TRUE(v.Find("ok")->boolean);
+  ASSERT_NE(v.Find("stats"), nullptr);
+  EXPECT_NE(v.Find("stats")->Find("server"), nullptr);
+
+  ASSERT_TRUE(ParseJson(ask("not json at all\n"), &v));
+  EXPECT_FALSE(v.Find("ok")->boolean);
+  ::close(fd);
+  ExpectServerAlive();
+}
+
+TEST_F(NetTest, HttpStatsRouteAnswersCurl) {
+  StartServer();
+  const int fd = ConnectTo("127.0.0.1", server_->port());
+  const std::string req =
+      "GET /stats HTTP/1.0\r\nHost: localhost\r\nUser-Agent: curl\r\n\r\n";
+  SendAll(fd, {reinterpret_cast<const uint8_t*>(req.data()), req.size()});
+  std::string response;
+  uint8_t buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;  // server closes after the response
+    response.append(reinterpret_cast<const char*>(buf),
+                    static_cast<size_t>(n));
+  }
+  ::close(fd);
+  ASSERT_TRUE(response.rfind("HTTP/1.0 200 OK\r\n", 0) == 0) << response;
+  const size_t body_at = response.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(response.substr(body_at + 4), &doc));
+  EXPECT_NE(doc.Find("server"), nullptr);
+
+  // Unknown routes 404 and close; the server stays up.
+  const int fd2 = ConnectTo("127.0.0.1", server_->port());
+  const std::string bad = "GET /nope HTTP/1.0\r\n\r\n";
+  SendAll(fd2, {reinterpret_cast<const uint8_t*>(bad.data()), bad.size()});
+  std::string r2;
+  while (true) {
+    const ssize_t n = ::recv(fd2, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    r2.append(reinterpret_cast<const char*>(buf), static_cast<size_t>(n));
+  }
+  ::close(fd2);
+  EXPECT_TRUE(r2.rfind("HTTP/1.0 404", 0) == 0) << r2;
+  ExpectServerAlive();
+}
+
+TEST_F(NetTest, GracefulDrainFinishesInFlightWork) {
+  StartServer();
+  Client c = Connect();
+  // Queue work, then ask for a drain before reading anything back.
+  std::vector<uint8_t> payload;
+  PayloadWriter w(&payload);
+  w.U64(0);
+  w.U64(kInitial);
+  const uint64_t id = c.SendRequest(Opcode::kRangeSum, payload);
+  // Wait until the IO thread has admitted the request — a stop that lands
+  // before the bytes are even read is allowed to drop them.
+  while (true) {
+    const obs::MetricsSnapshot snap = server_->StatsSnapshot();
+    const uint64_t* admitted = snap.counter("req.range_sum");
+    if (admitted != nullptr && *admitted >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server_->RequestStop();
+  Client::Response r = c.ReadResponse();  // the drain completed this
+  EXPECT_EQ(r.id, id);
+  EXPECT_EQ(r.status, WireStatus::kOk);
+  server_->Stop();
+  // The listener is gone after the drain.
+  EXPECT_THROW((void)Client::Connect("127.0.0.1", server_->port()), Error);
+}
+
+TEST_F(NetTest, PollBackendServesTheSameProtocol) {
+  NeatsServerOptions options;
+  options.use_poll = true;
+  StartServer(options);
+  Client c = Connect();
+  EXPECT_EQ(c.Access(11), Truth(11));
+  std::vector<uint64_t> idx = {1, 2, 3};
+  EXPECT_EQ(c.AccessBatch(idx).size(), 3u);
+  EXPECT_EQ(c.Size(), kInitial);
+  ExpectServerAlive();
+}
+
+// --- Protocol hardening sweeps (the WAL/manifest clobber pattern) ---------
+
+/// Sends `bytes`, half-closes, and drains whatever the server answers.
+/// The assertion is survival: the server must neither crash nor hang.
+void FeedHostileBytes(uint16_t port, std::span<const uint8_t> bytes) {
+  const int fd = ConnectTo("127.0.0.1", port);
+  SendAll(fd, bytes);
+  ::shutdown(fd, SHUT_WR);
+  uint8_t sink[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, sink, sizeof(sink), 0);
+    if (n <= 0) break;
+  }
+  ::close(fd);
+}
+
+TEST_F(NetTest, TruncationSweepEveryPrefixSurvives) {
+  StartServer();
+  std::vector<uint8_t> payload;
+  PayloadWriter w(&payload);
+  w.U64(123);
+  std::vector<uint8_t> frame;
+  AppendFrame(&frame, Opcode::kAccess, 0, 5, payload);
+  for (size_t cut = 1; cut < frame.size(); ++cut) {
+    FeedHostileBytes(server_->port(), {frame.data(), cut});
+  }
+  ExpectServerAlive();
+}
+
+TEST_F(NetTest, ClobberSweepEveryHeaderAndPayloadByteSurvives) {
+  StartServer();
+  std::vector<uint8_t> payload;
+  PayloadWriter w(&payload);
+  w.U32(2);
+  w.U64(1);
+  w.U64(2);
+  std::vector<uint8_t> frame;
+  AppendFrame(&frame, Opcode::kAccessBatch, 0, 6, payload);
+  for (size_t at = 0; at < frame.size(); ++at) {
+    for (uint8_t flip : {uint8_t{0x01}, uint8_t{0x80}, uint8_t{0xFF}}) {
+      std::vector<uint8_t> bad = frame;
+      bad[at] ^= flip;
+      FeedHostileBytes(server_->port(), bad);
+    }
+  }
+  ExpectServerAlive();
+}
+
+TEST_F(NetTest, ForgedLengthWordsSurvive) {
+  StartServer();
+  using wire_internal::PutU32;
+  // A header whose length word promises far more than max_frame_bytes:
+  // the server must reject it up front, not wait for 4 GiB.
+  std::vector<uint8_t> frame;
+  AppendFrame(&frame, Opcode::kPing, 0, 1, {});
+  PutU32(frame.data() + 16, 0xFFFFFFFFu);  // forged payload_len, stale CRC
+  FeedHostileBytes(server_->port(), frame);
+
+  // A forged length with a *recomputed* CRC — framing checks alone must
+  // still bound it.
+  std::vector<uint8_t> forged;
+  AppendFrame(&forged, Opcode::kPing, 0, 2, {});
+  PutU32(forged.data() + 16, uint32_t{1} << 30);
+  uint32_t crc = Crc32c({forged.data(), 20});
+  PutU32(forged.data() + 20, crc);
+  FeedHostileBytes(server_->port(), forged);
+
+  // A length word smaller than the bytes actually sent: the remainder is
+  // reinterpreted as the next frame header and rejected as garbage.
+  std::vector<uint8_t> payload;
+  PayloadWriter w(&payload);
+  w.U64(9);
+  std::vector<uint8_t> shortframe;
+  AppendFrame(&shortframe, Opcode::kAccess, 0, 3, payload);
+  shortframe.resize(shortframe.size() + 64, 0xEE);
+  FeedHostileBytes(server_->port(), shortframe);
+
+  // Random-garbage openings in every dialect's first-byte class.
+  for (uint8_t lead : {uint8_t{'N'}, uint8_t{'{'}, uint8_t{'G'},
+                       uint8_t{0x00}, uint8_t{0xFF}}) {
+    std::vector<uint8_t> garbage(64, lead);
+    FeedHostileBytes(server_->port(), garbage);
+  }
+  ExpectServerAlive();
+}
+
+TEST_F(NetTest, OversizedJsonLineCloses) {
+  NeatsServerOptions options;
+  options.max_frame_bytes = 4096;  // small cap to keep the test quick
+  StartServer(options);
+  std::vector<uint8_t> line(options.max_frame_bytes + 512, '{');
+  FeedHostileBytes(server_->port(), line);  // no newline, over the cap
+  ExpectServerAlive();
+}
+
+// --- Loopback concurrency (runs under the TSan CI job) --------------------
+
+TEST_F(NetTest, ConcurrentMixedClientsAgainstLiveAppender) {
+  StartServer();
+  const uint64_t initial = store_->size();
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> checks{0};
+
+  // A live appender: the store grows while clients read. Truth(i) stays
+  // the value at i forever, so every response remains exactly checkable.
+  std::thread appender([&] {
+    uint64_t at = kInitial;
+    while (!stop.load(std::memory_order_relaxed) && at < kInitial + 40000) {
+      std::vector<int64_t> chunk;
+      chunk.reserve(512);
+      for (uint64_t k = 0; k < 512; ++k) chunk.push_back(Truth(at + k));
+      store_->Append(chunk);
+      at += 512;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  constexpr int kClients = 4;
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      try {
+        Client c = Client::Connect("127.0.0.1", server_->port());
+        uint64_t rng = 0x9E3779B97F4A7C15ull * (t + 1);
+        auto next = [&rng] {
+          rng ^= rng << 13;
+          rng ^= rng >> 7;
+          rng ^= rng << 17;
+          return rng;
+        };
+        for (int iter = 0; iter < 300; ++iter) {
+          const uint64_t size = c.Size();
+          ASSERT_GE(size, initial);  // sizes only grow
+          switch (iter % 4) {
+            case 0: {
+              const uint64_t i = next() % size;
+              ASSERT_EQ(c.Access(i), Truth(i));
+              break;
+            }
+            case 1: {
+              std::vector<uint64_t> idx(16);
+              for (uint64_t& v : idx) v = next() % size;
+              std::vector<int64_t> got = c.AccessBatch(idx);
+              for (size_t k = 0; k < idx.size(); ++k) {
+                ASSERT_EQ(got[k], Truth(idx[k]));
+              }
+              break;
+            }
+            case 2: {
+              const uint64_t len = 64 + next() % 256;
+              const uint64_t from = next() % (size - len);
+              int64_t want = 0;
+              for (uint64_t k = from; k < from + len; ++k) want += Truth(k);
+              ASSERT_EQ(c.RangeSum(from, len), want);
+              break;
+            }
+            default: {
+              const uint64_t from = next() % (size - 32);
+              std::vector<int64_t> got = c.DecompressRange(from, 32);
+              for (size_t k = 0; k < got.size(); ++k) {
+                ASSERT_EQ(got[k], Truth(from + k));
+              }
+              break;
+            }
+          }
+          checks.fetch_add(1, std::memory_order_relaxed);
+        }
+      } catch (const std::exception& e) {
+        ADD_FAILURE() << "client " << t << ": " << e.what();
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : clients) th.join();
+  stop.store(true);
+  appender.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(checks.load(), kClients * 300u);
+}
+
+}  // namespace
+}  // namespace neats::net

@@ -270,6 +270,59 @@ TEST(NeatsStore, RangeSumsAcrossShardBoundaries) {
   }
 }
 
+TEST(NeatsStore, ParallelQueryFanOutMatchesSequential) {
+  // The same multi-shard queries with the fan-out forced on (threshold 1)
+  // and forced off (threshold 0) must agree exactly — per-shard int64
+  // partial sums reassociate without changing the answer, and decode
+  // targets are disjoint output spans. Runs under the TSan CI job.
+  std::vector<int64_t> values = BoundedSeries(40000, 13);
+  std::vector<int64_t> prefix(values.size() + 1, 0);
+  for (size_t i = 0; i < values.size(); ++i) {
+    prefix[i + 1] = prefix[i] + values[i];
+  }
+  for (uint64_t threshold : {uint64_t{0}, uint64_t{1}}) {
+    NeatsStoreOptions options;
+    options.shard_size = 5000;  // eight sealed shards
+    options.seal_threads = 2;
+    options.parallel_query_values = threshold;
+    NeatsStore store(options);
+    store.Append(values);
+    store.Flush();
+    std::mt19937_64 rng(14);
+    for (int trial = 0; trial < 25; ++trial) {
+      std::vector<IndexRange> ranges;
+      size_t total = 0;
+      for (int r = 0; r < 5; ++r) {
+        uint64_t from = rng() % values.size();
+        uint64_t len =
+            1 + rng() % std::min<uint64_t>(15000, values.size() - from);
+        ranges.push_back({from, len});
+        total += len;
+      }
+      std::vector<int64_t> got(total);
+      store.DecompressRanges(ranges, got.data());
+      size_t off = 0;
+      for (const IndexRange& r : ranges) {
+        for (uint64_t j = 0; j < r.len; ++j) {
+          ASSERT_EQ(got[off + j], values[r.from + j])
+              << "threshold=" << threshold << " range [" << r.from << ", +"
+              << r.len << ") at " << j;
+        }
+        off += r.len;
+      }
+      const IndexRange& s = ranges[0];
+      ASSERT_EQ(store.RangeSum(s.from, s.len),
+                prefix[s.from + s.len] - prefix[s.from])
+          << "threshold=" << threshold;
+    }
+    // The whole series in one call covers every shard at once.
+    std::vector<int64_t> all(values.size());
+    store.DecompressRange(0, values.size(), all.data());
+    EXPECT_EQ(all, values);
+    EXPECT_EQ(store.RangeSum(0, values.size()), prefix[values.size()]);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Durability: append -> seal -> reopen.
 // ---------------------------------------------------------------------------
